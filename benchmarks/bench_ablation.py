@@ -1,0 +1,55 @@
+"""Ablation benches: robustness of the study's design choices.
+
+Not a table in the paper, but DESIGN.md calls out the methodological choices
+worth ablating: the validity filter, the server-configuration filters, the
+history/observed split year, and (for this reproduction) the corpus seed.
+Each bench times the ablation and prints its outcome.
+"""
+
+from repro.analysis.discovery import DiscoveryModelAnalysis
+from repro.analysis.sensitivity import SensitivityAnalysis
+from repro.core.constants import TABLE5_OSES
+
+
+def test_configuration_ablation(benchmark, dataset):
+    sensitivity = SensitivityAnalysis(dataset)
+    results = benchmark(sensitivity.configuration_ablation)
+    print()
+    for result in results:
+        print(f"  {result.name}: baseline={result.baseline:.1f}% variant={result.variant:.1f}%")
+    for result in results:
+        assert result.baseline >= result.variant
+
+
+def test_validity_filter_ablation(benchmark, dataset):
+    sensitivity = SensitivityAnalysis(dataset)
+    result = benchmark(sensitivity.validity_filter_ablation)
+    print(f"\n  {result.name}: baseline={result.baseline:.1f}% variant={result.variant:.1f}%")
+    assert abs(result.delta) < 20.0
+
+
+def test_split_year_sensitivity(benchmark, dataset):
+    sensitivity = SensitivityAnalysis(dataset)
+    recommendations = benchmark(sensitivity.split_year_sensitivity, (2004, 2005, 2006))
+    print()
+    for year, group in recommendations.items():
+        print(f"  history up to {year}: {', '.join(group)}")
+    assert len(recommendations) == 3
+
+
+def test_leave_one_os_out(benchmark, dataset):
+    sensitivity = SensitivityAnalysis(dataset)
+    recommendations = benchmark(sensitivity.leave_one_os_out)
+    print()
+    for excluded, group in recommendations.items():
+        print(f"  without {excluded:12s}: {', '.join(group)}")
+    assert set(recommendations) == set(TABLE5_OSES)
+
+
+def test_discovery_model_fits(benchmark, dataset):
+    analysis = DiscoveryModelAnalysis(dataset.valid())
+    winners = benchmark(analysis.best_model_per_os, TABLE5_OSES)
+    print()
+    for name, model in winners.items():
+        print(f"  {name:12s}: best model = {model}")
+    assert set(winners) == set(TABLE5_OSES)

@@ -1,0 +1,13 @@
+"""Figure 2 -- temporal distribution of vulnerability publications per family."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_figure2_temporal_distribution(benchmark, dataset):
+    result = benchmark(run_experiment, "Figure 2", dataset)
+    report_experiment(result)
+    # Peaks and valleys correlate inside the Windows family (paper observation).
+    assert result.measured["windows_family_correlation"] > 0.0
+    assert result.measured["win2000_entries_before_release"] >= 1

@@ -1,0 +1,17 @@
+"""Section IV-B -- vulnerabilities shared by groups of three or more OSes."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_ksets_higher_order_sharing(benchmark, dataset):
+    result = benchmark(run_experiment, "Section IV-B", dataset)
+    report_experiment(result)
+    print(result.rendering)
+    # Shape: the number of wide vulnerabilities drops steeply with k, and the
+    # named DNS/DHCP CVEs are among the widest (see EXPERIMENTS.md for the
+    # absolute-count deviation discussion).
+    assert result.measured[">=3"] > result.measured[">=4"] > result.measured[">=5"]
+    assert result.measured[">=5"] == 9
+    assert "CVE-2008-1447" in result.measured["widest_cves"]

@@ -1,0 +1,14 @@
+"""Section IV-E -- summary findings of the study."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_summary_findings(benchmark, dataset):
+    result = benchmark(run_experiment, "Section IV-E", dataset)
+    report_experiment(result)
+    assert 45.0 <= result.measured["fat_to_isolated_reduction_pct"] <= 70.0
+    assert result.measured["pairs_with_at_most_one_pct"] > 50.0
+    assert result.measured["driver_share_pct"] < 2.0
+    assert result.measured["top_group"] == ("Debian", "OpenBSD", "Solaris", "Windows2003")

@@ -1,0 +1,45 @@
+"""End-to-end collection pipeline: feeds -> parse -> normalise -> SQL database.
+
+This benchmarks the machinery of Section III of the paper (the part that ran
+against the real NVD XML feeds): corpus generation, feed serialisation, XML
+parsing, CPE normalisation, validity filtering, classification and SQL
+insertion.
+"""
+
+import pytest
+
+from repro.db.ingest import IngestPipeline
+from repro.nvd.feed_parser import parse_xml_feeds
+from repro.synthetic.corpus import build_corpus
+
+
+@pytest.fixture(scope="module")
+def feed_paths(corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-feeds")
+    return corpus.write_xml_feeds(directory)
+
+
+def test_corpus_generation(benchmark):
+    corpus = benchmark(build_corpus)
+    assert len(corpus.valid_entries) > 1800
+
+
+def test_feed_parsing(benchmark, feed_paths):
+    entries = benchmark(parse_xml_feeds, feed_paths)
+    assert len(entries) > 2000
+
+
+def test_full_ingest(benchmark, feed_paths, corpus):
+    def ingest():
+        pipeline = IngestPipeline()
+        report = pipeline.ingest_xml_feeds(feed_paths)
+        pipeline.database.close()
+        return report
+
+    report = benchmark(ingest)
+    print(
+        f"\nparsed={report.parsed_entries} ingested={report.ingested_entries} "
+        f"valid={report.valid_entries} excluded={report.excluded_entries}"
+    )
+    assert report.ingested_entries == len(corpus.entries)
+    assert report.valid_entries == len(corpus.valid_entries)

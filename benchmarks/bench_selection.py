@@ -1,0 +1,47 @@
+"""Section IV-C -- replica-set selection strategies.
+
+Benchmarks the three selection strategies on the history-period data and
+prints the resulting groups, which should contain the paper's Set1/Set2.
+"""
+
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.selection import ReplicaSetSelector
+from repro.core.constants import TABLE5_OSES
+
+
+def _selector(dataset):
+    periods = PeriodAnalysis(dataset)
+    return ReplicaSetSelector(
+        pair_matrix=periods.history_pair_matrix(), candidates=TABLE5_OSES
+    )
+
+
+def test_exhaustive_selection(benchmark, dataset):
+    selector = _selector(dataset)
+    top = benchmark(selector.exhaustive, 4, 3)
+    print("\ntop-3 four-OS groups (history period):")
+    for result in top:
+        print(f"  {result.os_names}  pairwise shared={result.pairwise_shared}")
+    groups = [set(result.os_names) for result in top]
+    assert {"Windows2003", "Solaris", "Debian", "OpenBSD"} in groups
+    assert {"Windows2003", "Solaris", "Debian", "NetBSD"} in groups
+
+
+def test_greedy_selection(benchmark, dataset):
+    selector = _selector(dataset)
+    result = benchmark(selector.greedy, 4)
+    assert len(result.os_names) == 4
+
+
+def test_graph_selection(benchmark, dataset):
+    selector = _selector(dataset)
+    result = benchmark(selector.graph_based, 4)
+    exhaustive = selector.exhaustive(4, top=1)[0]
+    assert result.pairwise_shared <= exhaustive.pairwise_shared + 3
+
+
+def test_selection_scales_to_larger_groups(benchmark, dataset):
+    """Seven distinct OSes support f=2 (3f+1) / f=3 (2f+1), as the paper notes."""
+    selector = ReplicaSetSelector(dataset=dataset.valid(), candidates=None)
+    result = benchmark(selector.greedy, 7)
+    assert len(result.os_names) == 7

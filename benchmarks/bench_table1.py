@@ -1,0 +1,13 @@
+"""Table I -- distribution of OS vulnerabilities in NVD (valid/excluded per OS)."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table1_distribution_of_vulnerabilities(benchmark, dataset):
+    result = benchmark(run_experiment, "Table I", dataset)
+    report_experiment(result)
+    print(result.rendering)
+    assert result.measured["distinct_unknown"] == 60
+    assert result.measured["solaris_valid"] == 400

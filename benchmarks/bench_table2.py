@@ -1,0 +1,15 @@
+"""Table II -- vulnerabilities per OS component class."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table2_component_classes(benchmark, dataset):
+    result = benchmark(run_experiment, "Table II", dataset)
+    report_experiment(result)
+    print(result.rendering)
+    # Shapes from the paper: Application and Kernel dominate, Drivers are rare.
+    assert result.measured["driver_pct"] < 2.0
+    assert result.measured["kernel_pct"] > 30.0
+    assert result.measured["application_pct"] > 35.0

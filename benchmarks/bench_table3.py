@@ -1,0 +1,12 @@
+"""Table III -- shared vulnerabilities for every OS pair under the three filters."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table3_pairwise_shared_vulnerabilities(benchmark, dataset):
+    result = benchmark(run_experiment, "Table III", dataset)
+    report_experiment(result)
+    # The headline cells of the paper reproduce exactly.
+    assert result.measured == result.paper_values

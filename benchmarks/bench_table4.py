@@ -1,0 +1,13 @@
+"""Table IV -- Isolated Thin Server shared vulnerabilities broken down by part."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table4_shared_by_part(benchmark, dataset):
+    result = benchmark(run_experiment, "Table IV", dataset)
+    report_experiment(result)
+    print(result.rendering)
+    assert result.measured["Windows2000-Windows2003"] == 81
+    assert result.measured["Debian-RedHat"] == 11

@@ -1,0 +1,12 @@
+"""Table V -- history (1994-2005) vs observed (2006-2010) shared vulnerabilities."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table5_history_vs_observed(benchmark, dataset):
+    result = benchmark(run_experiment, "Table V", dataset)
+    report_experiment(result)
+    print(result.rendering)
+    assert result.measured == result.paper_values

@@ -1,0 +1,12 @@
+"""Table VI -- common vulnerabilities between Debian and RedHat releases."""
+
+from conftest import report_experiment
+
+from repro.reports.experiments import run_experiment
+
+
+def test_table6_release_level_diversity(benchmark, dataset):
+    result = benchmark(run_experiment, "Table VI", dataset)
+    report_experiment(result)
+    print(result.rendering)
+    assert result.measured == result.paper_values

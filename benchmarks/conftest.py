@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper: it
+times the analysis with pytest-benchmark and prints the recomputed rows next
+to the values published in the paper (paper-vs-measured), which is what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.dataset import VulnerabilityDataset  # noqa: E402
+from repro.synthetic.corpus import build_corpus  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return build_corpus()
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus) -> VulnerabilityDataset:
+    return VulnerabilityDataset(corpus.entries)
+
+
+def report_experiment(result) -> None:
+    """Print a paper-vs-measured comparison for an experiment result."""
+    print(f"\n=== {result.experiment_id}: {result.description} ===")
+    width = max((len(str(key)) for key in result.measured), default=10)
+    for key, measured in result.measured.items():
+        paper = result.paper_values.get(key, "n/a")
+        print(f"  {str(key).ljust(width)}  measured={measured!r:>12}  paper={paper!r}")

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table carries the canonical metadata; this file
+exists so that ``pip install -e .`` works in offline environments whose
+setuptools lacks PEP 660 editable-wheel support (no ``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'OS Diversity for Intrusion Tolerance: Myth or "
+        "Reality?' (Garcia et al., DSN 2011)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.20", "networkx>=2.6"],
+)

@@ -1,0 +1,93 @@
+"""repro -- a reproduction of "OS Diversity for Intrusion Tolerance: Myth or Reality?".
+
+Garcia, Bessani, Gashi, Neves and Obelheiro (DSN 2011) mined the NIST
+National Vulnerability Database to measure how many vulnerabilities are
+shared between 11 operating systems, and argued that OS diversity gives real
+security gains to intrusion-tolerant (BFT) replicated systems.  This package
+rebuilds that study end to end:
+
+* :mod:`repro.nvd` -- NVD feed parsing (XML/JSON), CPE and CVSS handling;
+* :mod:`repro.synthetic` -- a calibrated synthetic corpus standing in for the
+  live NVD feeds (not downloadable in the offline reproduction environment);
+* :mod:`repro.db` -- the SQL database of the paper's Figure 1 (SQLite);
+* :mod:`repro.classify` -- component-class classification and the validity /
+  server-configuration filters;
+* :mod:`repro.analysis` -- every table and figure of the evaluation plus the
+  replica-set selection strategies;
+* :mod:`repro.itsys` -- an executable intrusion-tolerance model (replica
+  groups, attacker, BFT service, Monte-Carlo comparison);
+* :mod:`repro.reports` -- table/figure rendering and the experiment registry.
+
+Quickstart
+----------
+
+>>> from repro import build_corpus, VulnerabilityDataset, PairAnalysis
+>>> from repro.core import ServerConfiguration
+>>> corpus = build_corpus()
+>>> dataset = VulnerabilityDataset(corpus.entries)
+>>> analysis = PairAnalysis(dataset)
+>>> shared = analysis.shared_matrix(ServerConfiguration.ISOLATED_THIN)
+>>> shared[("Debian", "Windows2003")]
+0
+"""
+
+from repro.analysis import (
+    KSetAnalysis,
+    PairAnalysis,
+    PeriodAnalysis,
+    ReleaseDiversityAnalysis,
+    ReplicaSetSelector,
+    TemporalAnalysis,
+    VulnerabilityDataset,
+    summary_findings,
+)
+from repro.classify import ComponentClassifier, ValidityFilter
+from repro.core import (
+    AccessVector,
+    ComponentClass,
+    OSFamily,
+    OS_NAMES,
+    ServerConfiguration,
+    ValidityStatus,
+    VulnerabilityEntry,
+)
+from repro.db import IngestPipeline, VulnerabilityDatabase
+from repro.itsys import BFTService, CompromiseSimulation, ReplicaGroup
+from repro.reports import run_experiment
+from repro.synthetic import SyntheticCorpus, build_corpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # corpus
+    "build_corpus",
+    "SyntheticCorpus",
+    # core vocabulary
+    "VulnerabilityEntry",
+    "ComponentClass",
+    "AccessVector",
+    "ServerConfiguration",
+    "ValidityStatus",
+    "OSFamily",
+    "OS_NAMES",
+    # pipeline
+    "VulnerabilityDatabase",
+    "IngestPipeline",
+    "ComponentClassifier",
+    "ValidityFilter",
+    # analyses
+    "VulnerabilityDataset",
+    "PairAnalysis",
+    "TemporalAnalysis",
+    "KSetAnalysis",
+    "PeriodAnalysis",
+    "ReleaseDiversityAnalysis",
+    "ReplicaSetSelector",
+    "summary_findings",
+    "run_experiment",
+    # intrusion tolerance
+    "ReplicaGroup",
+    "BFTService",
+    "CompromiseSimulation",
+]

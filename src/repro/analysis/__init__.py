@@ -1,0 +1,53 @@
+"""The OS-diversity study: all analyses of Section IV of the paper.
+
+Each module maps to one table, figure or sub-study:
+
+* :mod:`repro.analysis.dataset` -- the in-memory analytic view over a set of
+  vulnerability entries (validity counts for Table I live here too);
+* :mod:`repro.analysis.parts` -- per-component-class counts (Table II) and
+  the per-part breakdown of shared vulnerabilities (Table IV);
+* :mod:`repro.analysis.temporal` -- yearly publication series per OS and per
+  family (Figure 2);
+* :mod:`repro.analysis.pairs` -- shared vulnerabilities for every OS pair
+  under the three server configurations (Table III);
+* :mod:`repro.analysis.ksets` -- vulnerabilities shared by k >= 3 OSes
+  (Section IV-B);
+* :mod:`repro.analysis.periods` -- the history/observed split and the
+  replica-configuration evaluation (Table V, Figure 3);
+* :mod:`repro.analysis.releases` -- release-level diversity (Table VI);
+* :mod:`repro.analysis.selection` -- replica-set selection strategies
+  (Section IV-C);
+* :mod:`repro.analysis.metrics` -- the summary findings of Section IV-E;
+* :mod:`repro.analysis.discovery` -- vulnerability-discovery model fitting
+  (the linear-vs-logistic debate discussed in Section II);
+* :mod:`repro.analysis.sensitivity` -- ablations of the study's design
+  choices (validity filter, server profiles, split year, corpus seed).
+"""
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.pairs import PairAnalysis, PairResult
+from repro.analysis.parts import class_distribution, shared_by_part
+from repro.analysis.temporal import TemporalAnalysis
+from repro.analysis.ksets import KSetAnalysis
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.releases import ReleaseDiversityAnalysis
+from repro.analysis.selection import ReplicaSetSelector
+from repro.analysis.metrics import summary_findings
+from repro.analysis.discovery import DiscoveryModelAnalysis
+from repro.analysis.sensitivity import SensitivityAnalysis
+
+__all__ = [
+    "VulnerabilityDataset",
+    "PairAnalysis",
+    "PairResult",
+    "class_distribution",
+    "shared_by_part",
+    "TemporalAnalysis",
+    "KSetAnalysis",
+    "PeriodAnalysis",
+    "ReleaseDiversityAnalysis",
+    "ReplicaSetSelector",
+    "summary_findings",
+    "DiscoveryModelAnalysis",
+    "SensitivityAnalysis",
+]

@@ -1,0 +1,173 @@
+"""In-memory analytic view over a collection of vulnerability entries.
+
+The dataset is the single entry point for all analyses: it indexes entries by
+OS, by year and by server-configuration filter, and exposes the Table I
+validity summary.  It never consults the calibration targets -- every number
+is computed from the entries it is given.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.classify.filters import ServerConfigurationFilter, ValidityFilter
+from repro.core.constants import OS_NAMES
+from repro.core.enums import ServerConfiguration, ValidityStatus
+from repro.core.models import VulnerabilityEntry
+
+
+@dataclass(frozen=True)
+class ValiditySummary:
+    """Per-OS and distinct counts of valid and excluded entries (Table I)."""
+
+    per_os: Mapping[str, Mapping[ValidityStatus, int]]
+    distinct: Mapping[ValidityStatus, int]
+
+    def valid_count(self, os_name: str) -> int:
+        return self.per_os.get(os_name, {}).get(ValidityStatus.VALID, 0)
+
+
+class VulnerabilityDataset:
+    """A queryable collection of vulnerability entries."""
+
+    def __init__(
+        self,
+        entries: Iterable[VulnerabilityEntry],
+        os_names: Sequence[str] = OS_NAMES,
+    ) -> None:
+        self._entries: List[VulnerabilityEntry] = list(entries)
+        self._os_names: Tuple[str, ...] = tuple(os_names)
+        self._by_os: Dict[str, List[VulnerabilityEntry]] = {name: [] for name in self._os_names}
+        for entry in self._entries:
+            for name in entry.affected_os:
+                if name in self._by_os:
+                    self._by_os[name].append(entry)
+
+    # -- basic accessors -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def entries(self) -> Sequence[VulnerabilityEntry]:
+        return tuple(self._entries)
+
+    @property
+    def os_names(self) -> Tuple[str, ...]:
+        return self._os_names
+
+    def for_os(self, os_name: str) -> List[VulnerabilityEntry]:
+        """All entries affecting the given OS."""
+        if os_name not in self._by_os:
+            raise KeyError(f"unknown operating system {os_name!r}")
+        return list(self._by_os[os_name])
+
+    def valid(self) -> "VulnerabilityDataset":
+        """A dataset restricted to valid entries."""
+        return VulnerabilityDataset(
+            (entry for entry in self._entries if entry.is_valid), self._os_names
+        )
+
+    # -- validity (Table I) -----------------------------------------------------
+
+    def validity_summary(self) -> ValiditySummary:
+        """Per-OS and distinct counts per validity status."""
+        per_os: Dict[str, Dict[ValidityStatus, int]] = {
+            name: {status: 0 for status in ValidityStatus} for name in self._os_names
+        }
+        distinct: Dict[ValidityStatus, int] = {status: 0 for status in ValidityStatus}
+        for entry in self._entries:
+            distinct[entry.validity] += 1
+            for name in entry.affected_os:
+                if name in per_os:
+                    per_os[name][entry.validity] += 1
+        return ValiditySummary(per_os=per_os, distinct=distinct)
+
+    def annotate_validity(self, validity_filter: Optional[ValidityFilter] = None) -> "VulnerabilityDataset":
+        """Re-derive validity statuses from the description text."""
+        validity_filter = validity_filter or ValidityFilter()
+        return VulnerabilityDataset(
+            validity_filter.annotate(self._entries), self._os_names
+        )
+
+    # -- filtering ----------------------------------------------------------------
+
+    def filtered(
+        self, configuration: ServerConfiguration | ServerConfigurationFilter
+    ) -> "VulnerabilityDataset":
+        """Dataset restricted to a server configuration (Fat/Thin/Isolated Thin)."""
+        if isinstance(configuration, ServerConfiguration):
+            configuration = ServerConfigurationFilter(configuration)
+        return VulnerabilityDataset(
+            (entry for entry in self._entries if configuration.admits(entry)),
+            self._os_names,
+        )
+
+    def between(self, start: _dt.date, end: _dt.date) -> "VulnerabilityDataset":
+        """Dataset restricted to entries published in [start, end]."""
+        if start > end:
+            raise ValueError("start date must not be after end date")
+        return VulnerabilityDataset(
+            (entry for entry in self._entries if start <= entry.published <= end),
+            self._os_names,
+        )
+
+    def years(self) -> List[int]:
+        """Sorted list of publication years present in the dataset."""
+        return sorted({entry.year for entry in self._entries})
+
+    # -- shared-vulnerability primitives --------------------------------------------
+
+    def count_for(self, os_name: str) -> int:
+        """Number of entries affecting the OS."""
+        return len(self._by_os.get(os_name, ()))
+
+    def shared_between(self, os_names: Sequence[str]) -> List[VulnerabilityEntry]:
+        """Entries affecting *all* the given OSes (common vulnerabilities)."""
+        names = list(os_names)
+        if not names:
+            return []
+        smallest = min(names, key=lambda n: len(self._by_os.get(n, ())))
+        return [
+            entry
+            for entry in self._by_os.get(smallest, ())
+            if entry.affects_all(names)
+        ]
+
+    def shared_count(self, os_names: Sequence[str]) -> int:
+        return len(self.shared_between(os_names))
+
+    def affecting_at_least(self, k: int) -> List[VulnerabilityEntry]:
+        """Entries affecting at least ``k`` of the catalogued OSes."""
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        catalog: Set[str] = set(self._os_names)
+        return [
+            entry
+            for entry in self._entries
+            if len(entry.affected_os & catalog) >= k
+        ]
+
+    def compromising(self, os_names: Sequence[str], threshold: int = 2) -> List[VulnerabilityEntry]:
+        """Entries affecting at least ``threshold`` members of a replica group.
+
+        With the default threshold of two this is the notion used by the
+        Figure 3 evaluation: a vulnerability "breaks the diversity" of a
+        replica group as soon as it is common to two of its members.  For a
+        single-OS group every vulnerability of that OS counts.
+        """
+        names = list(os_names)
+        if not names:
+            return []
+        if len(names) == 1:
+            return list(self._by_os.get(names[0], ()))
+        return [
+            entry
+            for entry in self._entries
+            if sum(1 for name in names if entry.affects(name)) >= threshold
+        ]

@@ -1,0 +1,107 @@
+"""Summary findings of the study (Section IV-E).
+
+Each function recomputes one of the paper's summary claims from a dataset, so
+the benchmark harness can print paper-vs-measured values side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.ksets import KSetAnalysis
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.parts import class_percentages
+from repro.core.enums import ComponentClass, ServerConfiguration
+
+
+@dataclass(frozen=True)
+class SummaryFindings:
+    """The numbered findings of Section IV-E, recomputed from a dataset."""
+
+    #: Finding 1: average reduction (%) in shared vulnerabilities per pair
+    #: from the Fat Server to the Isolated Thin Server configuration.
+    fat_to_isolated_reduction_pct: float
+    #: Finding 2: fraction (%) of OS pairs with at most one shared
+    #: non-application, remotely-exploitable vulnerability.
+    pairs_with_at_most_one_pct: float
+    #: Finding 3: the three most diverse four-OS replica groups (isolated thin).
+    top3_four_os_groups: Tuple[Tuple[str, ...], ...]
+    #: Finding 5: vulnerabilities affecting the most OSes (cve, breadth).
+    widest_vulnerabilities: Tuple[Tuple[str, int], ...]
+    #: Finding 6: share (%) of Driver vulnerabilities in the whole data set.
+    driver_share_pct: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fat_to_isolated_reduction_pct": self.fat_to_isolated_reduction_pct,
+            "pairs_with_at_most_one_pct": self.pairs_with_at_most_one_pct,
+            "top3_four_os_groups": self.top3_four_os_groups,
+            "widest_vulnerabilities": self.widest_vulnerabilities,
+            "driver_share_pct": self.driver_share_pct,
+        }
+
+
+def fat_to_isolated_reduction(dataset: VulnerabilityDataset) -> float:
+    """Average per-pair reduction (%) of shared vulnerabilities, Fat -> Isolated Thin."""
+    analysis = PairAnalysis(dataset)
+    return analysis.reduction_between(
+        ServerConfiguration.FAT, ServerConfiguration.ISOLATED_THIN
+    )
+
+
+def pairs_with_at_most_one(dataset: VulnerabilityDataset) -> float:
+    """Percentage of OS pairs with <= 1 shared vulnerability (Isolated Thin)."""
+    analysis = PairAnalysis(dataset)
+    pairs = analysis.pairs()
+    if not pairs:
+        return 0.0
+    low = analysis.pairs_with_at_most(1, ServerConfiguration.ISOLATED_THIN)
+    return 100.0 * len(low) / len(pairs)
+
+
+def top_four_os_groups(
+    dataset: VulnerabilityDataset, top: int = 3, history_only: bool = False
+) -> List[Tuple[str, ...]]:
+    """The most diverse four-OS groups under the Isolated Thin configuration.
+
+    With ``history_only`` the ranking uses only the 1994--2005 data, exactly
+    as the paper does when recommending Sets 1--3.
+    """
+    from repro.analysis.periods import PeriodAnalysis
+    from repro.analysis.selection import ReplicaSetSelector
+    from repro.core.constants import TABLE5_OSES
+
+    if history_only:
+        periods = PeriodAnalysis(dataset)
+        selector = ReplicaSetSelector(
+            pair_matrix=periods.history_pair_matrix(), candidates=TABLE5_OSES
+        )
+    else:
+        selector = ReplicaSetSelector(dataset=dataset, candidates=TABLE5_OSES)
+    return [result.os_names for result in selector.exhaustive(4, top=top)]
+
+
+def driver_share(dataset: VulnerabilityDataset) -> float:
+    """Share (%) of Driver vulnerabilities among distinct valid entries."""
+    return class_percentages(dataset)[ComponentClass.DRIVER]
+
+
+def widest_vulnerabilities(
+    dataset: VulnerabilityDataset, top: int = 3
+) -> List[Tuple[str, int]]:
+    """The vulnerabilities affecting the most studied OSes."""
+    analysis = KSetAnalysis(dataset)
+    return [(wide.cve_id, wide.breadth) for wide in analysis.widest(top)]
+
+
+def summary_findings(dataset: VulnerabilityDataset) -> SummaryFindings:
+    """Recompute every Section IV-E finding from the dataset."""
+    return SummaryFindings(
+        fat_to_isolated_reduction_pct=fat_to_isolated_reduction(dataset),
+        pairs_with_at_most_one_pct=pairs_with_at_most_one(dataset),
+        top3_four_os_groups=tuple(top_four_os_groups(dataset, top=3, history_only=True)),
+        widest_vulnerabilities=tuple(widest_vulnerabilities(dataset)),
+        driver_share_pct=driver_share(dataset),
+    )

@@ -1,0 +1,104 @@
+"""Component-class distributions (Table II) and per-part shared counts (Table IV)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.core.constants import OS_NAMES
+from repro.core.enums import ComponentClass, ServerConfiguration
+
+Pair = Tuple[str, str]
+
+CLASS_ORDER: Tuple[ComponentClass, ...] = (
+    ComponentClass.DRIVER,
+    ComponentClass.KERNEL,
+    ComponentClass.SYSTEM_SOFTWARE,
+    ComponentClass.APPLICATION,
+)
+
+
+def class_distribution(
+    dataset: VulnerabilityDataset,
+    os_names: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[ComponentClass, int]]:
+    """Per-OS counts per component class over valid entries (Table II)."""
+    dataset = dataset.valid()
+    os_names = tuple(os_names or dataset.os_names or OS_NAMES)
+    table: Dict[str, Dict[ComponentClass, int]] = {
+        name: {cls: 0 for cls in CLASS_ORDER} for name in os_names
+    }
+    for entry in dataset:
+        if entry.component_class is None:
+            continue
+        for name in entry.affected_os:
+            if name in table:
+                table[name][entry.component_class] += 1
+    return table
+
+
+def class_percentages(dataset: VulnerabilityDataset) -> Dict[ComponentClass, float]:
+    """Share of each class over the distinct valid entries (Table II, last row)."""
+    dataset = dataset.valid()
+    counts = {cls: 0 for cls in CLASS_ORDER}
+    total = 0
+    for entry in dataset:
+        if entry.component_class is None:
+            continue
+        counts[entry.component_class] += 1
+        total += 1
+    if total == 0:
+        return {cls: 0.0 for cls in CLASS_ORDER}
+    return {cls: 100.0 * counts[cls] / total for cls in CLASS_ORDER}
+
+
+def shared_by_part(
+    dataset: VulnerabilityDataset,
+    configuration: ServerConfiguration = ServerConfiguration.ISOLATED_THIN,
+    os_names: Optional[Sequence[str]] = None,
+    include_empty: bool = False,
+) -> Dict[Pair, Dict[ComponentClass, int]]:
+    """Shared vulnerabilities per OS pair, broken down by component class (Table IV).
+
+    By default only pairs with at least one shared vulnerability under the
+    configuration are returned, in decreasing order of total shared count --
+    the presentation used by the paper.
+    """
+    dataset = dataset.valid().filtered(configuration)
+    os_names = tuple(os_names or dataset.os_names or OS_NAMES)
+    results: Dict[Pair, Dict[ComponentClass, int]] = {}
+    for os_a, os_b in itertools.combinations(os_names, 2):
+        breakdown = {cls: 0 for cls in CLASS_ORDER if cls is not ComponentClass.APPLICATION}
+        shared = dataset.shared_between((os_a, os_b))
+        for entry in shared:
+            if entry.component_class in breakdown:
+                breakdown[entry.component_class] += 1
+        if shared or include_empty:
+            results[(os_a, os_b)] = breakdown
+    ordered = sorted(
+        results.items(), key=lambda item: (-sum(item[1].values()), item[0])
+    )
+    return dict(ordered)
+
+
+def family_class_totals(
+    dataset: VulnerabilityDataset,
+) -> Dict[str, Dict[ComponentClass, int]]:
+    """Per-family aggregation of the Table II counts.
+
+    Used to reproduce the observation that Kernel vulnerabilities dominate in
+    the BSD and Solaris families while Application vulnerabilities dominate in
+    the Linux and Windows families.
+    """
+    from repro.core.constants import FAMILY_MEMBERS
+
+    per_os = class_distribution(dataset)
+    totals: Dict[str, Dict[ComponentClass, int]] = {}
+    for family, members in FAMILY_MEMBERS.items():
+        family_counts = {cls: 0 for cls in CLASS_ORDER}
+        for name in members:
+            for cls in CLASS_ORDER:
+                family_counts[cls] += per_os.get(name, {}).get(cls, 0)
+        totals[family.value] = family_counts
+    return totals

@@ -1,0 +1,141 @@
+"""History vs observed period analysis (Table V, Figure 3, Section IV-C).
+
+The paper splits the data set into a *history* period (1994--2005, two thirds
+of the valid vulnerabilities) used to pick replica groups, and an *observed*
+period (2006--2010) used to check whether the chosen groups indeed share few
+vulnerabilities.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.core.constants import (
+    FIGURE3_CONFIGURATIONS,
+    HISTORY_PERIOD,
+    OBSERVED_PERIOD,
+    TABLE5_OSES,
+)
+from repro.core.enums import ServerConfiguration
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ConfigurationEvaluation:
+    """Figure 3 result for one replica configuration."""
+
+    name: str
+    os_names: Tuple[str, ...]
+    history_count: int
+    observed_count: int
+
+    @property
+    def improved_over_history(self) -> bool:
+        return self.observed_count <= self.history_count
+
+
+class PeriodAnalysis:
+    """History/observed split of shared vulnerabilities."""
+
+    def __init__(
+        self,
+        dataset: VulnerabilityDataset,
+        configuration: ServerConfiguration = ServerConfiguration.ISOLATED_THIN,
+        history_period: Tuple[_dt.date, _dt.date] = HISTORY_PERIOD,
+        observed_period: Tuple[_dt.date, _dt.date] = OBSERVED_PERIOD,
+    ) -> None:
+        if history_period[1] >= observed_period[0]:
+            raise ValueError("history period must end before the observed period starts")
+        base = dataset.valid().filtered(configuration)
+        self._history = base.between(*history_period)
+        self._observed = base.between(*observed_period)
+        self._configuration = configuration
+
+    # -- datasets -----------------------------------------------------------------
+
+    @property
+    def history(self) -> VulnerabilityDataset:
+        return self._history
+
+    @property
+    def observed(self) -> VulnerabilityDataset:
+        return self._observed
+
+    def split_sizes(self) -> Tuple[int, int]:
+        """Number of (filtered) vulnerabilities in the history and observed periods."""
+        return len(self._history), len(self._observed)
+
+    # -- Table V --------------------------------------------------------------------
+
+    def pair_table(
+        self, os_names: Sequence[str] = TABLE5_OSES
+    ) -> Dict[Pair, Tuple[int, int]]:
+        """(history, observed) shared counts for every pair of the given OSes."""
+        table: Dict[Pair, Tuple[int, int]] = {}
+        for os_a, os_b in itertools.combinations(os_names, 2):
+            table[(os_a, os_b)] = (
+                self._history.shared_count((os_a, os_b)),
+                self._observed.shared_count((os_a, os_b)),
+            )
+        return table
+
+    def os_counts(self, os_names: Sequence[str] = TABLE5_OSES) -> Dict[str, Tuple[int, int]]:
+        """(history, observed) per-OS vulnerability counts under the configuration."""
+        return {
+            name: (self._history.count_for(name), self._observed.count_for(name))
+            for name in os_names
+        }
+
+    # -- Figure 3 ---------------------------------------------------------------------
+
+    def evaluate_configuration(
+        self, name: str, os_names: Sequence[str], threshold: int = 2
+    ) -> ConfigurationEvaluation:
+        """History/observed counts of vulnerabilities compromising a replica group.
+
+        A vulnerability counts against the group when it affects at least
+        ``threshold`` of its members (or simply affects the OS for a
+        single-OS, non-diverse group), which is how Figure 3 scores the
+        configurations.
+        """
+        history_count = len(self._history.compromising(os_names, threshold))
+        observed_count = len(self._observed.compromising(os_names, threshold))
+        return ConfigurationEvaluation(
+            name=name,
+            os_names=tuple(os_names),
+            history_count=history_count,
+            observed_count=observed_count,
+        )
+
+    def evaluate_paper_configurations(
+        self,
+        configurations: Mapping[str, Sequence[str]] = FIGURE3_CONFIGURATIONS,
+    ) -> List[ConfigurationEvaluation]:
+        """Evaluate the Figure 3 configurations (Debian-only and Sets 1-4)."""
+        return [
+            self.evaluate_configuration(name, os_names)
+            for name, os_names in configurations.items()
+        ]
+
+    # -- selection support ------------------------------------------------------------
+
+    def history_pair_matrix(
+        self, os_names: Sequence[str] = TABLE5_OSES
+    ) -> Dict[Pair, int]:
+        """History-period shared counts, the input to replica-set selection."""
+        return {
+            pair: counts[0] for pair, counts in self.pair_table(os_names).items()
+        }
+
+    def observed_pair_matrix(
+        self, os_names: Sequence[str] = TABLE5_OSES
+    ) -> Dict[Pair, int]:
+        """Observed-period shared counts, used to validate a selection."""
+        return {
+            pair: counts[1] for pair, counts in self.pair_table(os_names).items()
+        }

@@ -1,0 +1,169 @@
+"""Sensitivity / ablation analyses for the study's design choices.
+
+The paper takes several methodological decisions whose impact is worth
+quantifying (and which DESIGN.md calls out for ablation):
+
+* excluding the Unknown / Unspecified / Disputed entries (Section III-A);
+* filtering Application and locally-exploitable vulnerabilities (the Thin and
+  Isolated Thin Server profiles, Section IV-B);
+* aggregating all releases of a distribution (Section IV-D argues this is
+  pessimistic);
+* the particular 2/3-vs-1/3 history/observed split year (Section IV-C).
+
+Each function recomputes a headline statistic under a perturbed choice so the
+robustness of the conclusions can be reported alongside the main results.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.selection import ReplicaSetSelector
+from repro.core.constants import STUDY_PERIOD, TABLE5_OSES
+from repro.core.enums import ServerConfiguration
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """One ablation: the statistic under the paper's choice vs the variant."""
+
+    name: str
+    baseline: float
+    variant: float
+
+    @property
+    def delta(self) -> float:
+        return self.variant - self.baseline
+
+
+class SensitivityAnalysis:
+    """Quantifies how robust the headline results are to methodology changes."""
+
+    def __init__(self, dataset: VulnerabilityDataset) -> None:
+        #: Full dataset including excluded entries (needed for the validity ablation).
+        self._full = dataset
+        self._valid = dataset.valid()
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _pairs_with_at_most_one(dataset: VulnerabilityDataset,
+                                configuration: ServerConfiguration) -> float:
+        analysis = PairAnalysis(dataset)
+        pairs = analysis.pairs()
+        low = analysis.pairs_with_at_most(1, configuration)
+        return 100.0 * len(low) / len(pairs) if pairs else 0.0
+
+    # -- ablations ----------------------------------------------------------------
+
+    def validity_filter_ablation(self) -> AblationResult:
+        """Keep the Unknown/Unspecified/Disputed entries instead of dropping them.
+
+        The excluded entries carry no component class, so the comparison is
+        made on the Fat Server profile (all vulnerabilities): percentage of OS
+        pairs sharing at most one vulnerability.
+        """
+        baseline = self._pairs_with_at_most_one(self._valid, ServerConfiguration.FAT)
+        # Treat every entry as valid for the variant.
+        relaxed = VulnerabilityDataset(
+            [entry.with_validity(entry.validity.__class__.VALID) for entry in self._full],
+            self._full.os_names,
+        )
+        variant = self._pairs_with_at_most_one(relaxed, ServerConfiguration.FAT)
+        return AblationResult("keep Unknown/Unspecified/Disputed entries", baseline, variant)
+
+    def configuration_ablation(self) -> List[AblationResult]:
+        """How much each server profile contributes to the diversity argument."""
+        results: List[AblationResult] = []
+        baseline = self._pairs_with_at_most_one(
+            self._valid, ServerConfiguration.ISOLATED_THIN
+        )
+        for configuration in (ServerConfiguration.FAT, ServerConfiguration.THIN):
+            variant = self._pairs_with_at_most_one(self._valid, configuration)
+            results.append(
+                AblationResult(
+                    f"evaluate pairs on the {configuration.value} profile",
+                    baseline,
+                    variant,
+                )
+            )
+        return results
+
+    def split_year_sensitivity(
+        self, split_years: Sequence[int] = (2003, 2004, 2005, 2006, 2007)
+    ) -> Dict[int, Tuple[str, ...]]:
+        """Does the recommended replica set change with the history cut-off year?
+
+        Returns, for each candidate split year, the best four-OS group chosen
+        from data up to (and including) that year.
+        """
+        recommendations: Dict[int, Tuple[str, ...]] = {}
+        for split_year in split_years:
+            history_end = _dt.date(split_year, 12, 31)
+            observed_start = _dt.date(split_year + 1, 1, 1)
+            if observed_start > STUDY_PERIOD[1]:
+                continue
+            periods = PeriodAnalysis(
+                self._valid,
+                history_period=(STUDY_PERIOD[0], history_end),
+                observed_period=(observed_start, STUDY_PERIOD[1]),
+            )
+            selector = ReplicaSetSelector(
+                pair_matrix=periods.history_pair_matrix(), candidates=TABLE5_OSES
+            )
+            recommendations[split_year] = selector.exhaustive(4, top=1)[0].os_names
+        return recommendations
+
+    def seed_sensitivity(
+        self, seeds: Sequence[int] = (1, 7, 42), statistic: str = "reduction"
+    ) -> Dict[int, float]:
+        """Stability of a headline statistic across corpus-generation seeds.
+
+        Rebuilds the corpus for each seed and recomputes either the Fat→
+        Isolated-Thin reduction (``"reduction"``) or the percentage of pairs
+        sharing at most one vulnerability (``"low_pairs"``).
+        """
+        from repro.synthetic.corpus import build_corpus
+
+        values: Dict[int, float] = {}
+        for seed in seeds:
+            dataset = VulnerabilityDataset(build_corpus(seed=seed).entries).valid()
+            analysis = PairAnalysis(dataset)
+            if statistic == "reduction":
+                values[seed] = analysis.reduction_between(
+                    ServerConfiguration.FAT, ServerConfiguration.ISOLATED_THIN
+                )
+            elif statistic == "low_pairs":
+                values[seed] = self._pairs_with_at_most_one(
+                    dataset, ServerConfiguration.ISOLATED_THIN
+                )
+            else:
+                raise ValueError(f"unknown statistic {statistic!r}")
+        return values
+
+    def leave_one_os_out(self) -> Dict[str, Tuple[str, ...]]:
+        """Best four-OS group when each OS in turn is unavailable.
+
+        Answers the operational question "what if we cannot deploy X?", and
+        shows that the diversity argument does not hinge on one particular OS.
+        """
+        periods = PeriodAnalysis(self._valid)
+        matrix = periods.history_pair_matrix()
+        recommendations: Dict[str, Tuple[str, ...]] = {}
+        for excluded in TABLE5_OSES:
+            candidates = tuple(name for name in TABLE5_OSES if name != excluded)
+            selector = ReplicaSetSelector(
+                pair_matrix={
+                    pair: count
+                    for pair, count in matrix.items()
+                    if excluded not in pair
+                },
+                candidates=candidates,
+            )
+            recommendations[excluded] = selector.exhaustive(4, top=1)[0].os_names
+        return recommendations

@@ -1,0 +1,33 @@
+"""Vulnerability classification and filtering.
+
+Reimplements the manual analysis steps of Section III of the paper:
+
+* :mod:`repro.classify.rules` / :mod:`repro.classify.classifier` -- assign
+  each vulnerability to one of the four OS component classes (Driver, Kernel,
+  System Software, Application) from its description text, with support for
+  manual overrides.
+* :mod:`repro.classify.filters` -- the validity filter (Unknown /
+  Unspecified / Disputed exclusion) and the three server-configuration
+  filters (Fat, Thin and Isolated Thin Server).
+"""
+
+from repro.classify.classifier import ComponentClassifier
+from repro.classify.filters import (
+    ServerConfigurationFilter,
+    ValidityFilter,
+    fat_server,
+    isolated_thin_server,
+    thin_server,
+)
+from repro.classify.rules import DEFAULT_RULES, ClassificationRule
+
+__all__ = [
+    "ComponentClassifier",
+    "ClassificationRule",
+    "DEFAULT_RULES",
+    "ValidityFilter",
+    "ServerConfigurationFilter",
+    "fat_server",
+    "thin_server",
+    "isolated_thin_server",
+]

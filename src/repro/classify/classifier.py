@@ -1,0 +1,128 @@
+"""Component-class classifier for vulnerability entries.
+
+Applies the keyword rules of :mod:`repro.classify.rules` to the description
+text of each entry, with two extra mechanisms mirroring the paper's manual
+process:
+
+* **overrides** -- an explicit CVE-id -> class mapping that always wins (used
+  when the description is ambiguous, or to encode decisions taken by hand);
+* **fallback** -- a class used when no rule matches (the paper assigned every
+  valid entry to exactly one class, so a neutral default is needed; callers
+  can instead ask for strict behaviour and handle unclassified entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.enums import ComponentClass
+from repro.core.exceptions import ClassificationError
+from repro.core.models import VulnerabilityEntry
+from repro.classify.rules import DEFAULT_RULES, ClassificationRule
+
+
+@dataclass
+class ClassificationReport:
+    """Diagnostics from a classification run."""
+
+    classified: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+    overridden: int = 0
+    fallback_used: int = 0
+
+    def record(self, rule_name: str) -> None:
+        self.classified += 1
+        self.by_rule[rule_name] = self.by_rule.get(rule_name, 0) + 1
+
+
+class ComponentClassifier:
+    """Rule-based classifier with manual overrides.
+
+    Parameters
+    ----------
+    rules:
+        Classification rules, applied in ascending ``priority`` order.
+    overrides:
+        Mapping from CVE identifier to the class decided by hand.
+    fallback:
+        Class assigned when no rule matches.  When ``None`` the classifier is
+        strict and :meth:`classify` raises
+        :class:`~repro.core.exceptions.ClassificationError` for unmatched
+        descriptions.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[ClassificationRule] = DEFAULT_RULES,
+        overrides: Optional[Mapping[str, ComponentClass]] = None,
+        fallback: Optional[ComponentClass] = ComponentClass.APPLICATION,
+    ) -> None:
+        self._rules: Tuple[ClassificationRule, ...] = tuple(
+            sorted(rules, key=lambda r: r.priority)
+        )
+        self._overrides: Dict[str, ComponentClass] = dict(overrides or {})
+        self._fallback = fallback
+        self.report = ClassificationReport()
+
+    # -- overrides ----------------------------------------------------------
+
+    def add_override(self, cve_id: str, component_class: ComponentClass) -> None:
+        """Record a manual classification decision for one entry."""
+        self._overrides[cve_id] = component_class
+
+    def overrides(self) -> Mapping[str, ComponentClass]:
+        return dict(self._overrides)
+
+    # -- classification -----------------------------------------------------
+
+    def classify_text(self, text: str) -> Optional[ComponentClass]:
+        """Class suggested by the rules for a description, or ``None``."""
+        for rule in self._rules:
+            if rule.matches(text):
+                self.report.record(rule.name)
+                return rule.component_class
+        return None
+
+    def classify(self, entry: VulnerabilityEntry) -> ComponentClass:
+        """Classify a single entry (overrides, then rules, then fallback)."""
+        override = self._overrides.get(entry.cve_id)
+        if override is not None:
+            self.report.overridden += 1
+            return override
+        by_rule = self.classify_text(entry.summary)
+        if by_rule is not None:
+            return by_rule
+        if self._fallback is None:
+            raise ClassificationError(
+                f"no rule matches the description of {entry.cve_id}"
+            )
+        self.report.fallback_used += 1
+        return self._fallback
+
+    def classify_all(
+        self, entries: Iterable[VulnerabilityEntry], keep_existing: bool = False
+    ) -> List[VulnerabilityEntry]:
+        """Classify a batch of entries, returning updated copies.
+
+        With ``keep_existing=True`` entries that already carry a component
+        class are left untouched (useful when ingesting a corpus that was
+        partially classified by hand).
+        """
+        out: List[VulnerabilityEntry] = []
+        for entry in entries:
+            if keep_existing and entry.component_class is not None:
+                out.append(entry)
+                continue
+            out.append(entry.with_class(self.classify(entry)))
+        return out
+
+    def class_distribution(
+        self, entries: Iterable[VulnerabilityEntry]
+    ) -> Dict[ComponentClass, int]:
+        """Histogram of classes over already-classified entries."""
+        histogram: Dict[ComponentClass, int] = {cls: 0 for cls in ComponentClass}
+        for entry in entries:
+            if entry.component_class is not None:
+                histogram[entry.component_class] += 1
+        return histogram

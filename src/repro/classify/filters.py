@@ -1,0 +1,112 @@
+"""Validity filtering and server-configuration filters.
+
+Two filtering stages from the paper:
+
+1. **Validity** (Section III-A): entries whose descriptions are tagged
+   ``Unknown`` or ``Unspecified`` or flagged ``** DISPUTED **`` are excluded
+   from the study.
+2. **Server configuration** (Section IV-B): the three platform profiles --
+   *Fat Server* (all vulnerabilities), *Thin Server* (no Application
+   vulnerabilities) and *Isolated Thin Server* (no Application and only
+   remotely-exploitable vulnerabilities).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.enums import ServerConfiguration, ValidityStatus
+from repro.core.models import VulnerabilityEntry
+
+_UNKNOWN_RE = re.compile(r"\bunknown\b", re.IGNORECASE)
+_UNSPECIFIED_RE = re.compile(r"\bunspecified\b", re.IGNORECASE)
+_DISPUTED_RE = re.compile(r"\*\*\s*disputed\s*\*\*", re.IGNORECASE)
+
+
+class ValidityFilter:
+    """Detects and removes Unknown / Unspecified / Disputed entries."""
+
+    def status_for_text(self, text: str) -> ValidityStatus:
+        """Validity status implied by a description text."""
+        if _DISPUTED_RE.search(text):
+            return ValidityStatus.DISPUTED
+        if _UNSPECIFIED_RE.search(text):
+            return ValidityStatus.UNSPECIFIED
+        if _UNKNOWN_RE.search(text):
+            return ValidityStatus.UNKNOWN
+        return ValidityStatus.VALID
+
+    def annotate(self, entries: Iterable[VulnerabilityEntry]) -> List[VulnerabilityEntry]:
+        """Return copies of the entries with validity statuses assigned."""
+        out: List[VulnerabilityEntry] = []
+        for entry in entries:
+            out.append(entry.with_validity(self.status_for_text(entry.summary)))
+        return out
+
+    def split(
+        self, entries: Iterable[VulnerabilityEntry]
+    ) -> Tuple[List[VulnerabilityEntry], List[VulnerabilityEntry]]:
+        """Split entries into (valid, excluded), annotating on the way."""
+        annotated = self.annotate(entries)
+        valid = [entry for entry in annotated if entry.is_valid]
+        excluded = [entry for entry in annotated if not entry.is_valid]
+        return valid, excluded
+
+    def exclusion_counts(
+        self, entries: Iterable[VulnerabilityEntry]
+    ) -> Dict[ValidityStatus, int]:
+        """Histogram of validity statuses (distinct entries)."""
+        counts: Dict[ValidityStatus, int] = {status: 0 for status in ValidityStatus}
+        for entry in self.annotate(entries):
+            counts[entry.validity] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class ServerConfigurationFilter:
+    """Predicate selecting the vulnerabilities relevant to a configuration."""
+
+    configuration: ServerConfiguration
+
+    def admits(self, entry: VulnerabilityEntry) -> bool:
+        """Whether the entry is relevant for this server configuration.
+
+        Only valid entries are ever admitted; a Thin Server drops Application
+        vulnerabilities and an Isolated Thin Server additionally drops
+        locally-exploitable ones.
+        """
+        if not entry.is_valid:
+            return False
+        if self.configuration.excludes_applications and entry.is_application:
+            return False
+        if self.configuration.excludes_local and not entry.is_remote:
+            return False
+        return True
+
+    def apply(self, entries: Iterable[VulnerabilityEntry]) -> List[VulnerabilityEntry]:
+        return [entry for entry in entries if self.admits(entry)]
+
+    def __call__(self, entry: VulnerabilityEntry) -> bool:
+        return self.admits(entry)
+
+
+def fat_server() -> ServerConfigurationFilter:
+    """Filter for the *Fat Server* profile (all valid vulnerabilities)."""
+    return ServerConfigurationFilter(ServerConfiguration.FAT)
+
+
+def thin_server() -> ServerConfigurationFilter:
+    """Filter for the *Thin Server* profile (no Application vulnerabilities)."""
+    return ServerConfigurationFilter(ServerConfiguration.THIN)
+
+
+def isolated_thin_server() -> ServerConfigurationFilter:
+    """Filter for the *Isolated Thin Server* profile (remote, non-Application)."""
+    return ServerConfigurationFilter(ServerConfiguration.ISOLATED_THIN)
+
+
+def configuration_filters() -> Sequence[ServerConfigurationFilter]:
+    """The three paper configurations, in Table III column order."""
+    return (fat_server(), thin_server(), isolated_thin_server())

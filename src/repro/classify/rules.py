@@ -1,0 +1,142 @@
+"""Keyword rules for OS component classification.
+
+The paper classified 1887 vulnerability descriptions by hand into Driver,
+Kernel, System Software and Application (Section III-B).  This module encodes
+that rationale as keyword rules so the classification can be applied
+automatically and reproducibly; :mod:`repro.classify.classifier` applies the
+rules in priority order and supports explicit overrides for entries where the
+text is ambiguous (the programmatic analogue of a manual decision).
+
+The rule vocabulary follows the criteria quoted in the paper:
+
+* Kernel -- TCP/IP stack and OS-dependent network protocols, file systems,
+  process/task management, core libraries, processor-architecture issues;
+* Driver -- wireless/wired network cards, video/graphic cards, web cams,
+  audio cards, Universal Plug and Play devices;
+* System Software -- login, shells and basic daemons shipped by default;
+* Application -- bundled software not needed for basic operation (DBMS,
+  messengers, editors, web/email/FTP clients and servers, media players,
+  language runtimes, antivirus, Kerberos/LDAP, games).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Pattern, Sequence, Tuple
+
+from repro.core.enums import ComponentClass
+
+
+@dataclass(frozen=True)
+class ClassificationRule:
+    """A single keyword rule.
+
+    ``priority`` orders rule application (lower value wins first); the first
+    matching rule decides the class.
+    """
+
+    name: str
+    component_class: ComponentClass
+    pattern: Pattern[str]
+    priority: int = 100
+
+    def matches(self, text: str) -> bool:
+        return bool(self.pattern.search(text))
+
+
+def _rule(
+    name: str,
+    component_class: ComponentClass,
+    keywords: Sequence[str],
+    priority: int = 100,
+) -> ClassificationRule:
+    pattern = re.compile("|".join(rf"(?:{kw})" for kw in keywords), re.IGNORECASE)
+    return ClassificationRule(
+        name=name, component_class=component_class, pattern=pattern, priority=priority
+    )
+
+
+#: Default rule set, in priority order.  Driver rules come first because
+#: driver descriptions frequently also mention the kernel; application rules
+#: come before kernel rules for the same reason (e.g. "the Java virtual
+#: machine" must not be captured by a generic "virtual memory" keyword).
+DEFAULT_RULES: Tuple[ClassificationRule, ...] = (
+    _rule(
+        "driver-devices",
+        ComponentClass.DRIVER,
+        (
+            r"\bdriver\b",
+            r"wireless (?:network )?card",
+            r"ethernet adapter",
+            r"video|graphic[s]? card",
+            r"web ?cam",
+            r"audio card",
+            r"universal plug and play",
+            r"\bupnp\b",
+            r"bluetooth adapter",
+        ),
+        priority=10,
+    ),
+    _rule(
+        "application-bundled",
+        ComponentClass.APPLICATION,
+        (
+            r"web browser",
+            r"database management system",
+            r"\bdbms\b",
+            r"instant messenger|messenger client",
+            r"text editor|word processor",
+            r"email client|mail client",
+            r"ftp client",
+            r"media player|music player|video player",
+            r"java virtual machine|compiler|programming language",
+            r"antivirus",
+            r"kerberos|ldap",
+            r"\bgame\b|games\b",
+            r"office suite",
+            r"dns protocol cache poisoning|dns server package",
+            r"dhcp daemon",
+        ),
+        priority=20,
+    ),
+    _rule(
+        "system-software-daemons",
+        ComponentClass.SYSTEM_SOFTWARE,
+        (
+            r"login service|login program",
+            r"command shell|\bshell\b",
+            r"cron daemon",
+            r"syslog",
+            r"dhcp client",
+            r"dns resolver",
+            r"telnet daemon",
+            r"ftp daemon",
+            r"printing subsystem|print spooler",
+            r"\bpam\b|authentication modules",
+            r"network configuration utility",
+            r"mail transfer agent",
+            r"basic daemon",
+        ),
+        priority=30,
+    ),
+    _rule(
+        "kernel-core",
+        ComponentClass.KERNEL,
+        (
+            r"tcp/ip stack|network stack|tcp state|ipv[46] protocol",
+            r"\bkernel\b",
+            r"file ?system",
+            r"process (?:and task )?management|process scheduler|task management",
+            r"core librar",
+            r"virtual memory",
+            r"system call",
+            r"page fault",
+            r"signal delivery",
+            r"icmp",
+            r"loopback",
+            r"processor architecture|x86 processors",
+        ),
+        priority=40,
+    ),
+)

@@ -1,0 +1,247 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .`` or from the repository root)::
+
+    python -m repro tables                 # print every reproduced table
+    python -m repro table --id "Table III" # print one table / figure
+    python -m repro experiments            # paper-vs-measured for all experiments
+    python -m repro select --faults 1      # pick replica sets (Section IV-C)
+    python -m repro simulate --runs 100    # homogeneous vs diverse simulation
+    python -m repro export --output out/   # write all tables/figures as text+CSV
+    python -m repro feeds --output feeds/  # write the corpus as NVD-style XML feeds
+
+All commands operate on the calibrated synthetic corpus by default; pass
+``--feeds DIR`` to run the analyses on a directory of NVD XML feeds instead
+(e.g. the real ones, in an online environment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.selection import ReplicaSetSelector, replicas_needed
+from repro.core.constants import FIGURE3_CONFIGURATIONS, TABLE5_OSES
+from repro.db.ingest import IngestPipeline
+from repro.itsys.simulation import CompromiseSimulation
+from repro.reports.experiments import EXPERIMENTS
+from repro.reports.export import to_csv
+from repro.reports.figures import figure2, figure3
+from repro.reports.tables import (
+    ksets_summary,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.synthetic.corpus import build_corpus
+
+_TABLES = {
+    "Table I": table1,
+    "Table II": table2,
+    "Table III": table3,
+    "Table IV": table4,
+    "Table V": table5,
+    "Table VI": table6,
+    "Section IV-B": ksets_summary,
+}
+_FIGURES = {"Figure 2": figure2, "Figure 3": figure3}
+
+
+def _load_dataset(args: argparse.Namespace) -> VulnerabilityDataset:
+    """Dataset from NVD feeds when ``--feeds`` is given, else the synthetic corpus."""
+    if getattr(args, "feeds", None):
+        feed_dir = Path(args.feeds)
+        paths = sorted(feed_dir.glob("*.xml"))
+        if not paths:
+            raise SystemExit(f"no .xml feeds found in {feed_dir}")
+        pipeline = IngestPipeline()
+        pipeline.ingest_xml_feeds(paths)
+        entries = pipeline.database.load_entries()
+        pipeline.database.close()
+        return VulnerabilityDataset(entries)
+    corpus = build_corpus(seed=args.seed)
+    return VulnerabilityDataset(corpus.entries)
+
+
+# ---------------------------------------------------------------------------
+# sub-commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    for builder in _TABLES.values():
+        print(builder(dataset).text)
+        print()
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    if args.id in _TABLES:
+        print(_TABLES[args.id](dataset).text)
+        return 0
+    if args.id in _FIGURES:
+        print(_FIGURES[args.id](dataset).text)
+        return 0
+    known = ", ".join(sorted(list(_TABLES) + list(_FIGURES)))
+    print(f"unknown table/figure {args.id!r}; known: {known}", file=sys.stderr)
+    return 2
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    if getattr(args, "markdown", False):
+        from repro.reports.summary import generate_markdown_report
+
+        print(generate_markdown_report(dataset))
+        return 0
+    for experiment in EXPERIMENTS.values():
+        result = experiment.run(dataset)
+        print(f"== {result.experiment_id}: {result.description}")
+        for key, measured in result.measured.items():
+            paper = result.paper_values.get(key, "n/a")
+            print(f"   {key}: measured={measured}  paper={paper}")
+        print()
+    return 0
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    periods = PeriodAnalysis(dataset)
+    selector = ReplicaSetSelector(
+        pair_matrix=periods.history_pair_matrix(), candidates=TABLE5_OSES
+    )
+    n = replicas_needed(args.faults, args.quorum)
+    print(f"selecting {n} operating systems to tolerate f={args.faults} ({args.quorum}), "
+          f"using the {HISTORY_LABEL} data:")
+    for result in selector.exhaustive(n, top=args.top):
+        evaluation = periods.evaluate_configuration("candidate", result.os_names)
+        print(f"  {', '.join(result.os_names):60s} history={result.pairwise_shared:3d} "
+              f"observed={evaluation.observed_count:2d}")
+    return 0
+
+
+HISTORY_LABEL = "1994-2005 history"
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    simulation = CompromiseSimulation(
+        [entry for entry in dataset if entry.is_valid], seed=args.seed
+    )
+    configurations = {
+        "homogeneous (4 x Debian)": ("Debian",) * 4,
+        "Set1": FIGURE3_CONFIGURATIONS["Set1"],
+        "Set4": FIGURE3_CONFIGURATIONS["Set4"],
+    }
+    print("single-exploit (0-day) defeat probability:")
+    for name, os_names in configurations.items():
+        analysis = simulation.single_exploit_analysis(name, os_names)
+        print(f"  {name:28s} {analysis.single_attack_defeat_probability:5.2f} "
+              f"(mean replicas hit {analysis.mean_replicas_per_exploit:.2f})")
+    print(f"\nMonte-Carlo campaigns ({args.runs} runs, rate {args.rate}, horizon {args.horizon}):")
+    for result in simulation.compare(
+        configurations, runs=args.runs, exploit_rate=args.rate, horizon=args.horizon
+    ):
+        print(f"  {result.summary()}")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name, builder in _TABLES.items():
+        report = builder(dataset)
+        slug = name.lower().replace(" ", "_").replace("-", "_")
+        text_path = output / f"{slug}.txt"
+        text_path.write_text(report.text + "\n", encoding="utf-8")
+        to_csv(report.headers, report.rows, output / f"{slug}.csv")
+        written.extend([text_path, output / f"{slug}.csv"])
+    for name, builder in _FIGURES.items():
+        figure = builder(dataset)
+        slug = name.lower().replace(" ", "_")
+        path = output / f"{slug}.txt"
+        path.write_text(figure.text + "\n", encoding="utf-8")
+        written.append(path)
+    print(f"wrote {len(written)} files to {output}")
+    return 0
+
+
+def cmd_feeds(args: argparse.Namespace) -> int:
+    corpus = build_corpus(seed=args.seed)
+    paths = corpus.write_xml_feeds(args.output)
+    corpus.write_json_feed(Path(args.output) / "nvdcve-all.json")
+    print(f"wrote {len(paths)} XML feeds and 1 JSON feed to {args.output}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'OS Diversity for Intrusion Tolerance' (DSN 2011)",
+    )
+    parser.add_argument("--seed", type=int, default=20110627,
+                        help="seed for the synthetic corpus (default: 20110627)")
+    parser.add_argument("--feeds", type=str, default=None,
+                        help="directory of NVD XML feeds to analyse instead of the synthetic corpus")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print every reproduced table").set_defaults(func=cmd_tables)
+
+    table_parser = sub.add_parser("table", help="print one table or figure")
+    table_parser.add_argument("--id", required=True, help='e.g. "Table III" or "Figure 3"')
+    table_parser.set_defaults(func=cmd_table)
+
+    experiments_parser = sub.add_parser(
+        "experiments", help="paper-vs-measured for every experiment"
+    )
+    experiments_parser.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown reproduction report"
+    )
+    experiments_parser.set_defaults(func=cmd_experiments)
+
+    select_parser = sub.add_parser("select", help="choose diverse replica sets (Section IV-C)")
+    select_parser.add_argument("--faults", type=int, default=1, help="faults to tolerate (f)")
+    select_parser.add_argument("--quorum", choices=("3f+1", "2f+1"), default="3f+1")
+    select_parser.add_argument("--top", type=int, default=5, help="number of groups to print")
+    select_parser.set_defaults(func=cmd_select)
+
+    simulate_parser = sub.add_parser("simulate", help="homogeneous vs diverse attack simulation")
+    simulate_parser.add_argument("--runs", type=int, default=100)
+    simulate_parser.add_argument("--rate", type=float, default=1.0)
+    simulate_parser.add_argument("--horizon", type=float, default=5.0)
+    simulate_parser.set_defaults(func=cmd_simulate)
+
+    export_parser = sub.add_parser("export", help="write all tables/figures as text and CSV")
+    export_parser.add_argument("--output", required=True)
+    export_parser.set_defaults(func=cmd_export)
+
+    feeds_parser = sub.add_parser("feeds", help="write the synthetic corpus as NVD-style feeds")
+    feeds_parser.add_argument("--output", required=True)
+    feeds_parser.set_defaults(func=cmd_feeds)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests of main()
+    raise SystemExit(main())

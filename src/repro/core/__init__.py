@@ -1,0 +1,72 @@
+"""Core data model for the OS-diversity reproduction.
+
+This package defines the vocabulary shared by every other subpackage:
+
+* :mod:`repro.core.enums` -- closed enumerations (OS family, component class,
+  access vector, validity status, server configuration).
+* :mod:`repro.core.models` -- dataclasses for CVE entries, CVSS vectors, CPE
+  products, operating systems and releases.
+* :mod:`repro.core.constants` -- the 11-OS catalogue studied by the paper,
+  vendor aliases, release timelines and the study period.
+* :mod:`repro.core.versions` -- light-weight version parsing and comparison
+  used for release-level analyses.
+* :mod:`repro.core.exceptions` -- exception hierarchy.
+"""
+
+from repro.core.enums import (
+    AccessVector,
+    ComponentClass,
+    OSFamily,
+    ServerConfiguration,
+    ValidityStatus,
+)
+from repro.core.exceptions import (
+    CalibrationError,
+    CPEError,
+    CVSSError,
+    DatabaseError,
+    FeedParseError,
+    ReproError,
+    SelectionError,
+)
+from repro.core.models import (
+    CPEName,
+    CVSSVector,
+    OperatingSystem,
+    OSRelease,
+    VulnerabilityEntry,
+)
+from repro.core.constants import (
+    HISTORY_PERIOD,
+    OBSERVED_PERIOD,
+    OS_CATALOG,
+    OS_NAMES,
+    STUDY_PERIOD,
+    get_os,
+)
+
+__all__ = [
+    "AccessVector",
+    "ComponentClass",
+    "OSFamily",
+    "ServerConfiguration",
+    "ValidityStatus",
+    "ReproError",
+    "FeedParseError",
+    "CPEError",
+    "CVSSError",
+    "DatabaseError",
+    "CalibrationError",
+    "SelectionError",
+    "CPEName",
+    "CVSSVector",
+    "OperatingSystem",
+    "OSRelease",
+    "VulnerabilityEntry",
+    "OS_CATALOG",
+    "OS_NAMES",
+    "STUDY_PERIOD",
+    "HISTORY_PERIOD",
+    "OBSERVED_PERIOD",
+    "get_os",
+]

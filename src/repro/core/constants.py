@@ -1,0 +1,253 @@
+"""The 11-OS catalogue and study periods used by the paper.
+
+The paper clusters 64 CPE product identifiers into 11 operating-system
+distributions covering four families (Section III).  This module records that
+catalogue -- including the (product, vendor) aliases under which each
+distribution appears in NVD feeds and the release timeline shown on Figure 2
+-- together with the study period and the history/observed split used in
+Section IV-C.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Mapping, Tuple
+
+from repro.core.enums import OSFamily
+from repro.core.models import OperatingSystem, OSRelease
+
+#: First and last publication dates covered by the study (Section III: feeds
+#: from 2002 to 2010, where the 2002 feed reaches back to 1994; the last feed
+#: analysed stops at September 30th 2010).
+STUDY_PERIOD: Tuple[_dt.date, _dt.date] = (
+    _dt.date(1994, 1, 1),
+    _dt.date(2010, 9, 30),
+)
+
+#: History period used to *select* replica sets (Section IV-C).
+HISTORY_PERIOD: Tuple[_dt.date, _dt.date] = (
+    _dt.date(1994, 1, 1),
+    _dt.date(2005, 12, 31),
+)
+
+#: Observed period used to *evaluate* the selected replica sets.
+OBSERVED_PERIOD: Tuple[_dt.date, _dt.date] = (
+    _dt.date(2006, 1, 1),
+    _dt.date(2010, 9, 30),
+)
+
+
+def _os(
+    name: str,
+    family: OSFamily,
+    vendor: str,
+    aliases: Tuple[Tuple[str, str], ...],
+    first_year: int,
+    releases: Tuple[Tuple[str, int], ...] = (),
+) -> OperatingSystem:
+    release_objs = tuple(
+        OSRelease(os_name=name, version=version, year=year) for version, year in releases
+    )
+    return OperatingSystem(
+        name=name,
+        family=family,
+        vendor=vendor,
+        cpe_aliases=aliases,
+        first_release_year=first_year,
+        releases=release_objs,
+    )
+
+
+#: The 11 operating systems studied by the paper, keyed by canonical name.
+#: The alias lists reproduce the normalisation step of Section III (e.g. the
+#: ("debian_linux", "debian") vs ("linux", "debian") duplicates found in NVD).
+OS_CATALOG: Mapping[str, OperatingSystem] = {
+    "OpenBSD": _os(
+        "OpenBSD",
+        OSFamily.BSD,
+        "openbsd",
+        (("openbsd", "openbsd"),),
+        1996,
+        (("1.2", 1996), ("3.1", 2002), ("3.5", 2004), ("4.5", 2009)),
+    ),
+    "NetBSD": _os(
+        "NetBSD",
+        OSFamily.BSD,
+        "netbsd",
+        (("netbsd", "netbsd"),),
+        1993,
+        (("1.0", 1994), ("3.0.1", 2006), ("5.0", 2009)),
+    ),
+    "FreeBSD": _os(
+        "FreeBSD",
+        OSFamily.BSD,
+        "freebsd",
+        (("freebsd", "freebsd"),),
+        1993,
+        (
+            ("3.0", 1998),
+            ("4.0", 2000),
+            ("5.0", 2003),
+            ("6.0", 2005),
+            ("7.0", 2008),
+            ("8.0", 2009),
+        ),
+    ),
+    "OpenSolaris": _os(
+        "OpenSolaris",
+        OSFamily.SOLARIS,
+        "sun",
+        (("opensolaris", "sun"), ("opensolaris", "oracle")),
+        2008,
+        (("2008.05", 2008), ("2009.06", 2009)),
+    ),
+    "Solaris": _os(
+        "Solaris",
+        OSFamily.SOLARIS,
+        "sun",
+        (("solaris", "sun"), ("sunos", "sun"), ("solaris", "oracle")),
+        1993,
+        (("2.1", 1993), ("7", 1998), ("8", 2000), ("10", 2005)),
+    ),
+    "Debian": _os(
+        "Debian",
+        OSFamily.LINUX,
+        "debian",
+        (("debian_linux", "debian"), ("linux", "debian")),
+        1996,
+        (
+            ("1.1", 1996),
+            ("2.1", 1999),
+            ("2.2", 2000),
+            ("3.0", 2002),
+            ("3.1", 2005),
+            ("4.0", 2007),
+            ("5.0", 2009),
+        ),
+    ),
+    "Ubuntu": _os(
+        "Ubuntu",
+        OSFamily.LINUX,
+        "canonical",
+        (("ubuntu_linux", "canonical"), ("ubuntu", "ubuntu"), ("ubuntu_linux", "ubuntu")),
+        2004,
+        (("4.10", 2004), ("5.0", 2005), ("9.04", 2009)),
+    ),
+    "RedHat": _os(
+        "RedHat",
+        OSFamily.LINUX,
+        "redhat",
+        (
+            ("linux", "redhat"),
+            ("enterprise_linux", "redhat"),
+            ("redhat_linux", "redhat"),
+            ("redhat_enterprise_linux", "redhat"),
+        ),
+        1995,
+        (
+            ("6.0", 1999),
+            ("6.2*", 2000),
+            ("7", 2000),
+            ("3", 2003),
+            ("4.0", 2005),
+            ("5.0", 2007),
+            ("5.4", 2009),
+        ),
+    ),
+    "Windows2000": _os(
+        "Windows2000",
+        OSFamily.WINDOWS,
+        "microsoft",
+        (("windows_2000", "microsoft"), ("windows_2k", "microsoft")),
+        1999,
+        (("2000", 2000), ("SP4", 2003)),
+    ),
+    "Windows2003": _os(
+        "Windows2003",
+        OSFamily.WINDOWS,
+        "microsoft",
+        (("windows_server_2003", "microsoft"), ("windows_2003_server", "microsoft")),
+        2003,
+        (("2003", 2003), ("SP1", 2005), ("SP2", 2007)),
+    ),
+    "Windows2008": _os(
+        "Windows2008",
+        OSFamily.WINDOWS,
+        "microsoft",
+        (("windows_server_2008", "microsoft"),),
+        2008,
+        (("2008", 2008), ("SP1", 2009)),
+    ),
+}
+
+#: Canonical OS names in the order used by the paper's tables.
+OS_NAMES: Tuple[str, ...] = tuple(OS_CATALOG)
+
+#: OS names grouped by family, in paper order.
+FAMILY_MEMBERS: Mapping[OSFamily, Tuple[str, ...]] = {
+    OSFamily.BSD: ("OpenBSD", "NetBSD", "FreeBSD"),
+    OSFamily.SOLARIS: ("OpenSolaris", "Solaris"),
+    OSFamily.LINUX: ("Debian", "Ubuntu", "RedHat"),
+    OSFamily.WINDOWS: ("Windows2000", "Windows2003", "Windows2008"),
+}
+
+#: The eight OSes used in the history/observed experiment (Table V).  Ubuntu,
+#: OpenSolaris and Windows 2008 are excluded for lack of meaningful history
+#: data (Section IV-C).
+TABLE5_OSES: Tuple[str, ...] = (
+    "OpenBSD",
+    "NetBSD",
+    "FreeBSD",
+    "Solaris",
+    "Debian",
+    "RedHat",
+    "Windows2000",
+    "Windows2003",
+)
+
+#: Replica-set configurations evaluated on Figure 3.
+FIGURE3_CONFIGURATIONS: Mapping[str, Tuple[str, ...]] = {
+    "Debian": ("Debian",),
+    "Set1": ("Windows2003", "Solaris", "Debian", "OpenBSD"),
+    "Set2": ("Windows2003", "Solaris", "Debian", "NetBSD"),
+    "Set3": ("Windows2003", "Solaris", "RedHat", "NetBSD"),
+    "Set4": ("OpenBSD", "NetBSD", "Debian", "RedHat"),
+}
+
+
+def get_os(name: str) -> OperatingSystem:
+    """Look up an OS by canonical name (case-insensitive, alias-tolerant).
+
+    >>> get_os("debian").name
+    'Debian'
+    """
+    if name in OS_CATALOG:
+        return OS_CATALOG[name]
+    lowered = name.lower().replace(" ", "").replace("_", "").replace("-", "")
+    for canonical, os_obj in OS_CATALOG.items():
+        if canonical.lower() == lowered:
+            return os_obj
+    aliases: Dict[str, str] = {
+        "win2000": "Windows2000",
+        "win2k": "Windows2000",
+        "windows2000": "Windows2000",
+        "win2003": "Windows2003",
+        "windows2003": "Windows2003",
+        "win2008": "Windows2008",
+        "windows2008": "Windows2008",
+        "redhatlinux": "RedHat",
+        "rhel": "RedHat",
+    }
+    if lowered in aliases:
+        return OS_CATALOG[aliases[lowered]]
+    raise KeyError(f"unknown operating system: {name!r}")
+
+
+def canonical_os_name(name: str) -> str:
+    """Return the canonical catalogue name for ``name`` (see :func:`get_os`)."""
+    return get_os(name).name
+
+
+def family_of(name: str) -> OSFamily:
+    """Family of the given OS distribution."""
+    return get_os(name).family

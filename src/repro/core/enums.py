@@ -1,0 +1,135 @@
+"""Enumerations used throughout the reproduction.
+
+The values mirror the vocabulary of the paper (Section III) and of the NVD /
+CVSS v2 data the paper mines.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OSFamily(str, enum.Enum):
+    """Operating-system family, as grouped by the paper (Section III)."""
+
+    BSD = "BSD"
+    SOLARIS = "Solaris"
+    LINUX = "Linux"
+    WINDOWS = "Windows"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ComponentClass(str, enum.Enum):
+    """OS component class a vulnerability belongs to (paper Section III-B).
+
+    The paper hand-classifies every valid vulnerability into exactly one of
+    these four classes.
+    """
+
+    DRIVER = "Driver"
+    KERNEL = "Kernel"
+    SYSTEM_SOFTWARE = "System Software"
+    APPLICATION = "Application"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_core_os(self) -> bool:
+        """Whether this class survives the *Thin Server* filter.
+
+        The Thin Server configuration removes Application vulnerabilities and
+        keeps Driver, Kernel and System Software ones.
+        """
+        return self is not ComponentClass.APPLICATION
+
+
+class AccessVector(str, enum.Enum):
+    """CVSS v2 access vector (``CVSS_ACCESS_VECTOR`` in the NVD feeds)."""
+
+    LOCAL = "LOCAL"
+    ADJACENT_NETWORK = "ADJACENT_NETWORK"
+    NETWORK = "NETWORK"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_remote(self) -> bool:
+        """Whether the vulnerability is remotely exploitable.
+
+        The paper's *Isolated Thin Server* filter keeps vulnerabilities whose
+        access vector is ``Network`` or ``Adjacent Network``.
+        """
+        return self is not AccessVector.LOCAL
+
+    @classmethod
+    def from_cvss_token(cls, token: str) -> "AccessVector":
+        """Parse the single-letter CVSS v2 vector token (``L``/``A``/``N``)."""
+        mapping = {
+            "L": cls.LOCAL,
+            "A": cls.ADJACENT_NETWORK,
+            "N": cls.NETWORK,
+        }
+        try:
+            return mapping[token.upper()]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise ValueError(f"unknown CVSS access-vector token: {token!r}") from exc
+
+
+class ValidityStatus(str, enum.Enum):
+    """Manual data-cleaning status assigned in the paper (Section III-A).
+
+    Entries whose descriptions are tagged Unknown or Unspecified, or that are
+    flagged ``**DISPUTED**``, are excluded from the study.
+    """
+
+    VALID = "Valid"
+    UNKNOWN = "Unknown"
+    UNSPECIFIED = "Unspecified"
+    DISPUTED = "Disputed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_valid(self) -> bool:
+        return self is ValidityStatus.VALID
+
+
+class ServerConfiguration(str, enum.Enum):
+    """Server configurations considered by the paper (Section IV-B).
+
+    * ``FAT`` -- all vulnerabilities ("All" column of Table III).
+    * ``THIN`` -- Application vulnerabilities removed ("No Applications").
+    * ``ISOLATED_THIN`` -- Application vulnerabilities removed and only
+      remotely-exploitable vulnerabilities kept ("No App. and No Local").
+    """
+
+    FAT = "Fat Server"
+    THIN = "Thin Server"
+    ISOLATED_THIN = "Isolated Thin Server"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def excludes_applications(self) -> bool:
+        return self is not ServerConfiguration.FAT
+
+    @property
+    def excludes_local(self) -> bool:
+        return self is ServerConfiguration.ISOLATED_THIN
+
+
+class CPEPart(str, enum.Enum):
+    """The ``part`` component of a CPE 2.2 name."""
+
+    HARDWARE = "h"
+    OPERATING_SYSTEM = "o"
+    APPLICATION = "a"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

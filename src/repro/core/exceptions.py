@@ -1,0 +1,43 @@
+"""Exception hierarchy for the reproduction library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FeedParseError(ReproError):
+    """An NVD data feed (XML or JSON) could not be parsed."""
+
+
+class CPEError(ReproError):
+    """A Common Platform Enumeration name is malformed or unsupported."""
+
+
+class CVSSError(ReproError):
+    """A CVSS v2 vector string is malformed or incomplete."""
+
+
+class DatabaseError(ReproError):
+    """The vulnerability database rejected an operation."""
+
+
+class CalibrationError(ReproError):
+    """The synthetic-corpus solver could not satisfy the calibration targets."""
+
+
+class ClassificationError(ReproError):
+    """A vulnerability could not be assigned to a component class."""
+
+
+class SelectionError(ReproError):
+    """Replica-set selection was asked for an infeasible configuration."""
+
+
+class SimulationError(ReproError):
+    """The intrusion-tolerance simulator was configured inconsistently."""

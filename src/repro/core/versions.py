@@ -1,0 +1,116 @@
+"""Light-weight version handling for OS releases and CPE version fields.
+
+The NVD encodes product versions as free-form dotted strings (``5.0``,
+``2003``, ``6.2*``, ``8.04 LTS`` ...).  The paper's release-level analysis
+(Section IV-D) only needs ordering and equality of releases of the same
+product, so we implement a small, dependency-free comparable version type
+rather than pulling in packaging machinery.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterable, Tuple
+
+_COMPONENT_RE = re.compile(r"(\d+|[a-zA-Z]+)")
+
+
+def split_version(text: str) -> Tuple[object, ...]:
+    """Split a version string into a tuple of comparable components.
+
+    Numeric runs become integers and alphabetic runs become lower-case
+    strings; punctuation is discarded.  An empty or wildcard version yields an
+    empty tuple, which sorts before every concrete version.
+
+    >>> split_version("5.0.1")
+    (5, 0, 1)
+    >>> split_version("6.2*")
+    (6, 2)
+    >>> split_version("8.04-LTS")
+    (8, 4, 'lts')
+    """
+    if text is None:
+        return ()
+    text = text.strip()
+    if text in ("", "*", "-"):
+        return ()
+    parts: list[object] = []
+    for token in _COMPONENT_RE.findall(text):
+        if token.isdigit():
+            parts.append(int(token))
+        else:
+            parts.append(token.lower())
+    return tuple(parts)
+
+
+def _comparable(parts: Iterable[object]) -> Tuple[Tuple[int, object], ...]:
+    """Make heterogeneous version tuples safely orderable.
+
+    Integers sort before strings so that ``5.0 < 5.0a`` and mixed tuples never
+    raise ``TypeError``.
+    """
+    out = []
+    for part in parts:
+        if isinstance(part, int):
+            out.append((0, part))
+        else:
+            out.append((1, str(part)))
+    return tuple(out)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Version:
+    """A comparable, hashable product version.
+
+    >>> Version("4.0") < Version("5.0")
+    True
+    >>> Version("2003") == Version("2003")
+    True
+    """
+
+    raw: str
+
+    @property
+    def parts(self) -> Tuple[object, ...]:
+        return split_version(self.raw)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            other = Version(other)
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self.parts == other.parts
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, str):
+            other = Version(other)
+        if not isinstance(other, Version):
+            return NotImplemented
+        return _comparable(self.parts) < _comparable(other.parts)
+
+    def __hash__(self) -> int:
+        return hash(self.parts)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.raw
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True when the version matches any concrete version (``*`` / empty)."""
+        return not self.parts
+
+    def matches(self, other: "Version | str") -> bool:
+        """Whether ``other`` falls under this version specification.
+
+        A wildcard matches everything; otherwise ``other`` must share this
+        version's components as a prefix (so ``5.0`` matches ``5.0.1``).
+        """
+        if isinstance(other, str):
+            other = Version(other)
+        if self.is_wildcard:
+            return True
+        mine, theirs = self.parts, other.parts
+        return theirs[: len(mine)] == mine

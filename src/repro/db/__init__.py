@@ -1,0 +1,27 @@
+"""SQL storage of the vulnerability study data.
+
+The paper loads the parsed NVD feeds into an SQL database with a custom
+schema (Figure 1) because it makes hand-enrichment (component classes, OS
+release metadata), data cleaning (product-name normalisation) and the
+aggregation queries convenient.  This subpackage reproduces that database on
+SQLite:
+
+* :mod:`repro.db.schema` -- the DDL for the tables of Figure 1;
+* :mod:`repro.db.database` -- :class:`VulnerabilityDatabase`, the typed
+  facade over the SQLite connection;
+* :mod:`repro.db.ingest` -- the feed -> database pipeline (parse, normalise,
+  validity-filter, classify, insert);
+* :mod:`repro.db.queries` -- the canned aggregation queries behind the
+  paper's tables, expressed in SQL.
+"""
+
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline, IngestReport
+from repro.db.schema import SCHEMA_STATEMENTS
+
+__all__ = [
+    "VulnerabilityDatabase",
+    "IngestPipeline",
+    "IngestReport",
+    "SCHEMA_STATEMENTS",
+]

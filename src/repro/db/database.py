@@ -1,0 +1,243 @@
+"""Typed facade over the SQLite vulnerability database."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.constants import OS_CATALOG
+from repro.core.enums import AccessVector, ComponentClass, ValidityStatus
+from repro.core.exceptions import DatabaseError
+from repro.core.models import CVSSVector, OperatingSystem, VulnerabilityEntry
+from repro.db.schema import SCHEMA_STATEMENTS
+
+
+class VulnerabilityDatabase:
+    """SQLite-backed store with the schema of the paper's Figure 1.
+
+    The database can be in-memory (the default, convenient for analysis runs
+    and tests) or on disk.  It offers typed insert/load operations plus access
+    to the raw connection for the SQL analysis queries in
+    :mod:`repro.db.queries`.
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._path = str(path)
+        self._conn = sqlite3.connect(self._path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        self._create_schema()
+        self._os_ids: Dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _create_schema(self) -> None:
+        with self._conn:
+            for statement in SCHEMA_STATEMENTS:
+                self._conn.execute(statement)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "VulnerabilityDatabase":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying SQLite connection (for ad-hoc queries)."""
+        return self._conn
+
+    # -- operating systems -----------------------------------------------------
+
+    def register_os_catalog(
+        self, catalog: Optional[Mapping[str, OperatingSystem]] = None
+    ) -> None:
+        """Insert the OS catalogue (names, families, releases)."""
+        catalog = catalog or OS_CATALOG
+        with self._conn:
+            for os_obj in catalog.values():
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO os (name, family, vendor, first_release_year)"
+                    " VALUES (?, ?, ?, ?)",
+                    (os_obj.name, os_obj.family.value, os_obj.vendor, os_obj.first_release_year),
+                )
+                if cursor.rowcount:
+                    os_id = cursor.lastrowid
+                else:
+                    # Already registered (idempotent re-registration).
+                    os_id = self._os_id(os_obj.name)
+                for release in os_obj.releases:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO os_release (os_id, version, year)"
+                        " VALUES (?, ?, ?)",
+                        (os_id, release.version, release.year),
+                    )
+        self._os_ids = {
+            row["name"]: row["os_id"]
+            for row in self._conn.execute("SELECT os_id, name FROM os")
+        }
+
+    def _os_id(self, name: str) -> int:
+        if name in self._os_ids:
+            return self._os_ids[name]
+        row = self._conn.execute("SELECT os_id FROM os WHERE name = ?", (name,)).fetchone()
+        if row is None:
+            raise DatabaseError(
+                f"operating system {name!r} is not registered; call register_os_catalog first"
+            )
+        self._os_ids[name] = row["os_id"]
+        return row["os_id"]
+
+    def os_names(self) -> List[str]:
+        return [row["name"] for row in self._conn.execute("SELECT name FROM os ORDER BY os_id")]
+
+    # -- vulnerabilities -------------------------------------------------------
+
+    def insert_entry(self, entry: VulnerabilityEntry) -> int:
+        """Insert one entry (and its relationships); returns the row id."""
+        try:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO vulnerability (cve_id, published, summary, validity)"
+                    " VALUES (?, ?, ?, ?)",
+                    (
+                        entry.cve_id,
+                        entry.published.isoformat(),
+                        entry.summary,
+                        entry.validity.value,
+                    ),
+                )
+                vuln_id = cursor.lastrowid
+                self._conn.execute(
+                    "INSERT INTO vulnerability_type (vuln_id, component_class) VALUES (?, ?)",
+                    (
+                        vuln_id,
+                        entry.component_class.value if entry.component_class else None,
+                    ),
+                )
+                cvss = entry.cvss
+                self._conn.execute(
+                    "INSERT INTO cvss (vuln_id, access_vector, access_complexity,"
+                    " authentication, confidentiality_impact, integrity_impact,"
+                    " availability_impact, base_score) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        vuln_id,
+                        cvss.access_vector.value,
+                        cvss.access_complexity,
+                        cvss.authentication,
+                        cvss.confidentiality_impact,
+                        cvss.integrity_impact,
+                        cvss.availability_impact,
+                        cvss.base_score,
+                    ),
+                )
+                for name in sorted(entry.affected_os):
+                    versions = ",".join(entry.affected_versions.get(name, ()))
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO os_vuln (os_id, vuln_id, versions)"
+                        " VALUES (?, ?, ?)",
+                        (self._os_id(name), vuln_id, versions),
+                    )
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(f"cannot insert {entry.cve_id}: {exc}") from exc
+        return vuln_id
+
+    def insert_entries(self, entries: Iterable[VulnerabilityEntry]) -> int:
+        """Insert a batch of entries; returns the number inserted."""
+        count = 0
+        for entry in entries:
+            self.insert_entry(entry)
+            count += 1
+        return count
+
+    def entry_count(self, only_valid: bool = False) -> int:
+        query = "SELECT COUNT(*) AS n FROM vulnerability"
+        if only_valid:
+            query += " WHERE validity = 'Valid'"
+        return int(self._conn.execute(query).fetchone()["n"])
+
+    def load_entries(self, only_valid: bool = False) -> List[VulnerabilityEntry]:
+        """Materialise database rows back into :class:`VulnerabilityEntry` objects."""
+        where = "WHERE v.validity = 'Valid'" if only_valid else ""
+        rows = self._conn.execute(
+            f"""
+            SELECT v.vuln_id, v.cve_id, v.published, v.summary, v.validity,
+                   t.component_class,
+                   c.access_vector, c.access_complexity, c.authentication,
+                   c.confidentiality_impact, c.integrity_impact,
+                   c.availability_impact, c.base_score
+            FROM vulnerability v
+            JOIN vulnerability_type t ON t.vuln_id = v.vuln_id
+            JOIN cvss c ON c.vuln_id = v.vuln_id
+            {where}
+            ORDER BY v.published, v.cve_id
+            """
+        ).fetchall()
+        os_rows = self._conn.execute(
+            """
+            SELECT ov.vuln_id, o.name, ov.versions
+            FROM os_vuln ov JOIN os o ON o.os_id = ov.os_id
+            """
+        ).fetchall()
+        affected: Dict[int, Dict[str, Tuple[str, ...]]] = {}
+        for row in os_rows:
+            versions = tuple(v for v in row["versions"].split(",") if v)
+            affected.setdefault(row["vuln_id"], {})[row["name"]] = versions
+        entries: List[VulnerabilityEntry] = []
+        for row in rows:
+            os_versions = affected.get(row["vuln_id"], {})
+            entries.append(
+                VulnerabilityEntry(
+                    cve_id=row["cve_id"],
+                    published=_dt.date.fromisoformat(row["published"]),
+                    summary=row["summary"],
+                    cvss=CVSSVector(
+                        access_vector=AccessVector(row["access_vector"]),
+                        access_complexity=row["access_complexity"],
+                        authentication=row["authentication"],
+                        confidentiality_impact=row["confidentiality_impact"],
+                        integrity_impact=row["integrity_impact"],
+                        availability_impact=row["availability_impact"],
+                        base_score=row["base_score"],
+                    ),
+                    affected_os=frozenset(os_versions),
+                    affected_versions=os_versions,
+                    component_class=(
+                        ComponentClass(row["component_class"])
+                        if row["component_class"]
+                        else None
+                    ),
+                    validity=ValidityStatus(row["validity"]),
+                )
+            )
+        return entries
+
+    # -- updates (hand enrichment) ----------------------------------------------
+
+    def set_component_class(self, cve_id: str, component_class: ComponentClass) -> None:
+        """Record a (possibly revised) manual classification for an entry."""
+        row = self._conn.execute(
+            "SELECT vuln_id FROM vulnerability WHERE cve_id = ?", (cve_id,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"unknown CVE identifier {cve_id!r}")
+        with self._conn:
+            self._conn.execute(
+                "UPDATE vulnerability_type SET component_class = ? WHERE vuln_id = ?",
+                (component_class.value, row["vuln_id"]),
+            )
+
+    def set_validity(self, cve_id: str, validity: ValidityStatus) -> None:
+        """Record a manual validity decision for an entry."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE vulnerability SET validity = ? WHERE cve_id = ?",
+                (validity.value, cve_id),
+            )
+        if cursor.rowcount == 0:
+            raise DatabaseError(f"unknown CVE identifier {cve_id!r}")

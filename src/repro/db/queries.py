@@ -1,0 +1,126 @@
+"""Canned SQL aggregation queries.
+
+These queries express the paper's main aggregations directly in SQL against
+the Figure 1 schema, as the authors did.  The in-memory analysis layer
+(:mod:`repro.analysis`) computes the same results from
+:class:`~repro.core.models.VulnerabilityEntry` objects; tests cross-check the
+two implementations against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.db.database import VulnerabilityDatabase
+
+
+def os_validity_counts(db: VulnerabilityDatabase) -> Dict[str, Dict[str, int]]:
+    """Per-OS counts of Valid / Unknown / Unspecified / Disputed entries (Table I)."""
+    rows = db.connection.execute(
+        """
+        SELECT o.name AS os_name, v.validity AS validity, COUNT(*) AS n
+        FROM vulnerability v
+        JOIN os_vuln ov ON ov.vuln_id = v.vuln_id
+        JOIN os o ON o.os_id = ov.os_id
+        GROUP BY o.name, v.validity
+        """
+    ).fetchall()
+    out: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        out.setdefault(row["os_name"], {})[row["validity"]] = row["n"]
+    return out
+
+
+def os_class_counts(db: VulnerabilityDatabase) -> Dict[str, Dict[str, int]]:
+    """Per-OS counts per component class, valid entries only (Table II)."""
+    rows = db.connection.execute(
+        """
+        SELECT o.name AS os_name, t.component_class AS class, COUNT(*) AS n
+        FROM vulnerability v
+        JOIN vulnerability_type t ON t.vuln_id = v.vuln_id
+        JOIN os_vuln ov ON ov.vuln_id = v.vuln_id
+        JOIN os o ON o.os_id = ov.os_id
+        WHERE v.validity = 'Valid'
+        GROUP BY o.name, t.component_class
+        """
+    ).fetchall()
+    out: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        out.setdefault(row["os_name"], {})[row["class"]] = row["n"]
+    return out
+
+
+def pair_shared_counts(
+    db: VulnerabilityDatabase,
+    exclude_applications: bool = False,
+    only_remote: bool = False,
+) -> Dict[Tuple[str, str], int]:
+    """Shared vulnerabilities per OS pair (Table III), under optional filters."""
+    conditions = ["v.validity = 'Valid'"]
+    if exclude_applications:
+        conditions.append("t.component_class != 'Application'")
+    if only_remote:
+        conditions.append("c.access_vector != 'LOCAL'")
+    where = " AND ".join(conditions)
+    rows = db.connection.execute(
+        f"""
+        SELECT oa.name AS os_a, ob.name AS os_b, COUNT(DISTINCT v.vuln_id) AS n
+        FROM vulnerability v
+        JOIN vulnerability_type t ON t.vuln_id = v.vuln_id
+        JOIN cvss c ON c.vuln_id = v.vuln_id
+        JOIN os_vuln va ON va.vuln_id = v.vuln_id
+        JOIN os_vuln vb ON vb.vuln_id = v.vuln_id AND vb.os_id > va.os_id
+        JOIN os oa ON oa.os_id = va.os_id
+        JOIN os ob ON ob.os_id = vb.os_id
+        WHERE {where}
+        GROUP BY oa.name, ob.name
+        """
+    ).fetchall()
+    return {
+        tuple(sorted((row["os_a"], row["os_b"]))): row["n"] for row in rows
+    }
+
+
+def yearly_counts(db: VulnerabilityDatabase) -> Dict[str, Dict[int, int]]:
+    """Vulnerabilities published per OS per year, valid entries only (Figure 2)."""
+    rows = db.connection.execute(
+        """
+        SELECT o.name AS os_name,
+               CAST(strftime('%Y', v.published) AS INTEGER) AS year,
+               COUNT(*) AS n
+        FROM vulnerability v
+        JOIN os_vuln ov ON ov.vuln_id = v.vuln_id
+        JOIN os o ON o.os_id = ov.os_id
+        WHERE v.validity = 'Valid'
+        GROUP BY o.name, year
+        """
+    ).fetchall()
+    out: Dict[str, Dict[int, int]] = {}
+    for row in rows:
+        out.setdefault(row["os_name"], {})[row["year"]] = row["n"]
+    return out
+
+
+def distinct_valid_count(db: VulnerabilityDatabase) -> int:
+    """Number of distinct valid vulnerabilities (last row of Table I)."""
+    row = db.connection.execute(
+        "SELECT COUNT(*) AS n FROM vulnerability WHERE validity = 'Valid'"
+    ).fetchone()
+    return int(row["n"])
+
+
+def shared_by_at_least(db: VulnerabilityDatabase, k: int) -> List[str]:
+    """CVE identifiers of valid vulnerabilities affecting at least ``k`` OSes."""
+    rows = db.connection.execute(
+        """
+        SELECT v.cve_id AS cve_id, COUNT(ov.os_id) AS n
+        FROM vulnerability v
+        JOIN os_vuln ov ON ov.vuln_id = v.vuln_id
+        WHERE v.validity = 'Valid'
+        GROUP BY v.vuln_id
+        HAVING n >= ?
+        ORDER BY n DESC, v.cve_id
+        """,
+        (k,),
+    ).fetchall()
+    return [row["cve_id"] for row in rows]

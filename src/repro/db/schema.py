@@ -1,0 +1,88 @@
+"""SQLite schema reproducing Figure 1 of the paper.
+
+Tables:
+
+* ``os`` -- the operating-system platforms of interest, enriched with family
+  and first-release year (the by-hand enrichment described in Section III);
+* ``os_release`` -- catalogued releases per OS (used by the Section IV-D
+  release-level analysis);
+* ``vulnerability`` -- one row per CVE entry (name, publication date,
+  summary, validity status);
+* ``vulnerability_type`` -- the component class assigned to each entry;
+* ``cvss`` -- the CVSS v2 base metrics per entry (the paper keeps several
+  ``cvss_*`` lookup tables purely as a storage optimisation; a single table
+  carries the same information here);
+* ``security_protection`` -- the security attribute affected on exploitation;
+* ``os_vuln`` -- the many-to-many relationship between vulnerabilities and
+  operating systems, with the affected versions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+SCHEMA_STATEMENTS: Tuple[str, ...] = (
+    """
+    CREATE TABLE IF NOT EXISTS os (
+        os_id INTEGER PRIMARY KEY,
+        name TEXT NOT NULL UNIQUE,
+        family TEXT NOT NULL,
+        vendor TEXT NOT NULL,
+        first_release_year INTEGER NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS os_release (
+        release_id INTEGER PRIMARY KEY,
+        os_id INTEGER NOT NULL REFERENCES os(os_id),
+        version TEXT NOT NULL,
+        year INTEGER NOT NULL,
+        UNIQUE (os_id, version)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS vulnerability (
+        vuln_id INTEGER PRIMARY KEY,
+        cve_id TEXT NOT NULL UNIQUE,
+        published DATE NOT NULL,
+        summary TEXT NOT NULL,
+        validity TEXT NOT NULL DEFAULT 'Valid'
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS vulnerability_type (
+        vuln_id INTEGER PRIMARY KEY REFERENCES vulnerability(vuln_id),
+        component_class TEXT
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS cvss (
+        vuln_id INTEGER PRIMARY KEY REFERENCES vulnerability(vuln_id),
+        access_vector TEXT NOT NULL,
+        access_complexity TEXT NOT NULL,
+        authentication TEXT NOT NULL,
+        confidentiality_impact TEXT NOT NULL,
+        integrity_impact TEXT NOT NULL,
+        availability_impact TEXT NOT NULL,
+        base_score REAL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS security_protection (
+        vuln_id INTEGER NOT NULL REFERENCES vulnerability(vuln_id),
+        attribute TEXT NOT NULL,
+        PRIMARY KEY (vuln_id, attribute)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS os_vuln (
+        os_id INTEGER NOT NULL REFERENCES os(os_id),
+        vuln_id INTEGER NOT NULL REFERENCES vulnerability(vuln_id),
+        versions TEXT NOT NULL DEFAULT '',
+        PRIMARY KEY (os_id, vuln_id)
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_os_vuln_vuln ON os_vuln(vuln_id)",
+    "CREATE INDEX IF NOT EXISTS idx_vuln_published ON vulnerability(published)",
+    "CREATE INDEX IF NOT EXISTS idx_vuln_validity ON vulnerability(validity)",
+)

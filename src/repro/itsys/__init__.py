@@ -1,0 +1,40 @@
+"""Intrusion-tolerant system modelling.
+
+The paper motivates OS diversity with intrusion-tolerant (BFT) replicated
+systems: as long as at most ``f`` of the ``3f+1`` (or ``2f+1``) replicas are
+compromised, the service stays correct.  This subpackage makes that argument
+executable:
+
+* :mod:`repro.itsys.events` -- a small discrete-event simulation engine;
+* :mod:`repro.itsys.replica` -- replicas, replica groups and quorum sizing;
+* :mod:`repro.itsys.attacker` -- an attacker model that weaponises
+  vulnerabilities from a corpus with exploit-arrival processes;
+* :mod:`repro.itsys.bft` -- a quorum-based state-machine-replication service
+  model that reports when safety/liveness are lost;
+* :mod:`repro.itsys.simulation` -- Monte-Carlo campaigns comparing
+  homogeneous and diverse replica groups.
+"""
+
+from repro.itsys.attacker import Attacker, ExploitEvent
+from repro.itsys.bft import BFTService, ServiceState
+from repro.itsys.events import Event, EventQueue
+from repro.itsys.replica import Replica, ReplicaGroup
+from repro.itsys.simulation import (
+    CompromiseSimulation,
+    SimulationResult,
+    SingleExploitAnalysis,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Replica",
+    "ReplicaGroup",
+    "Attacker",
+    "ExploitEvent",
+    "BFTService",
+    "ServiceState",
+    "CompromiseSimulation",
+    "SimulationResult",
+    "SingleExploitAnalysis",
+]

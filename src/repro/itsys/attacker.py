@@ -1,0 +1,160 @@
+"""Attacker model: exploit-arrival processes over a vulnerability corpus.
+
+The paper argues that a single attack can compromise several replicas only
+when they share the exploited vulnerability.  The attacker model here makes
+that concrete: exploits arrive over simulated time, each targeting one
+vulnerability drawn from a corpus; the damage an exploit does to a replica
+group is exactly the set of replicas whose OS is affected and unpatched.
+
+Two arrival processes are provided:
+
+* a **Poisson** process with a configurable rate (exploit development is an
+  external random process, the common assumption in stochastic security
+  models);
+* a **publication-driven** process that replays the corpus in publication
+  order, one exploit per vulnerability, optionally with a 0-day lead time
+  (the paper's focus on undisclosed vulnerabilities).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.enums import ServerConfiguration
+from repro.core.exceptions import SimulationError
+from repro.core.models import VulnerabilityEntry
+from repro.classify.filters import ServerConfigurationFilter
+
+
+@dataclass(frozen=True)
+class ExploitEvent:
+    """One weaponised vulnerability arriving at a point in simulated time."""
+
+    time: float
+    cve_id: str
+    affected_os: FrozenSet[str]
+    remote: bool
+
+    @property
+    def breadth(self) -> int:
+        return len(self.affected_os)
+
+
+class Attacker:
+    """Generates exploit events from a vulnerability corpus."""
+
+    def __init__(
+        self,
+        entries: Iterable[VulnerabilityEntry],
+        configuration: ServerConfiguration = ServerConfiguration.ISOLATED_THIN,
+        seed: int = 1,
+    ) -> None:
+        config_filter = ServerConfigurationFilter(configuration)
+        self._pool: List[VulnerabilityEntry] = [
+            entry for entry in entries if config_filter.admits(entry)
+        ]
+        if not self._pool:
+            raise SimulationError("the attacker has no exploitable vulnerabilities")
+        self._rng = random.Random(seed)
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def pool_for_os(self, os_name: str) -> List[VulnerabilityEntry]:
+        """Vulnerabilities in the attacker's pool affecting a specific OS."""
+        return [entry for entry in self._pool if entry.affects(os_name)]
+
+    # -- arrival processes ---------------------------------------------------------
+
+    def poisson_campaign(
+        self,
+        rate: float,
+        horizon: float,
+        targeted_os: Optional[Sequence[str]] = None,
+    ) -> List[ExploitEvent]:
+        """Exploit events from a Poisson process of the given rate.
+
+        ``rate`` is the expected number of new exploits per unit of simulated
+        time and ``horizon`` the campaign length.  With ``targeted_os`` the
+        attacker only weaponises vulnerabilities affecting at least one of the
+        listed OSes (a focused adversary).
+        """
+        if rate <= 0:
+            raise SimulationError("the exploit arrival rate must be positive")
+        if horizon <= 0:
+            raise SimulationError("the campaign horizon must be positive")
+        pool = self._pool
+        if targeted_os is not None:
+            targets = set(targeted_os)
+            pool = [entry for entry in pool if entry.affected_os & targets]
+            if not pool:
+                return []
+        events: List[ExploitEvent] = []
+        time = 0.0
+        while True:
+            time += self._rng.expovariate(rate)
+            if time > horizon:
+                break
+            entry = self._rng.choice(pool)
+            events.append(
+                ExploitEvent(
+                    time=time,
+                    cve_id=entry.cve_id,
+                    affected_os=frozenset(entry.affected_os),
+                    remote=entry.is_remote,
+                )
+            )
+        return events
+
+    def publication_replay(
+        self,
+        zero_day_lead: float = 0.0,
+        time_unit_days: float = 1.0,
+    ) -> List[ExploitEvent]:
+        """Replay the corpus in publication order, one exploit per entry.
+
+        Exploit times are measured in simulated days from the earliest
+        publication date; ``zero_day_lead`` shifts every exploit earlier to
+        model attacks that precede disclosure.
+        """
+        if time_unit_days <= 0:
+            raise SimulationError("time_unit_days must be positive")
+        ordered = sorted(self._pool, key=lambda entry: (entry.published, entry.cve_id))
+        origin = ordered[0].published
+        events: List[ExploitEvent] = []
+        for entry in ordered:
+            offset_days = (entry.published - origin).days
+            time = max(0.0, offset_days / time_unit_days - zero_day_lead)
+            events.append(
+                ExploitEvent(
+                    time=time,
+                    cve_id=entry.cve_id,
+                    affected_os=frozenset(entry.affected_os),
+                    remote=entry.is_remote,
+                )
+            )
+        return events
+
+    # -- single-shot adversary ----------------------------------------------------------
+
+    def best_single_exploit(self, os_names: Sequence[str]) -> Tuple[Optional[str], int]:
+        """The exploit compromising the most replicas of a group in one shot.
+
+        Returns ``(cve_id, number_of_distinct_group_OSes_affected)``; a smart
+        adversary attacking a diverse group starts from exactly this
+        vulnerability.
+        """
+        best_id: Optional[str] = None
+        best_coverage = 0
+        group = list(os_names)
+        for entry in self._pool:
+            coverage = len({name for name in group if entry.affects(name)})
+            if coverage > best_coverage or (
+                coverage == best_coverage and best_id is not None and entry.cve_id < best_id
+            ):
+                if coverage >= best_coverage:
+                    best_id, best_coverage = entry.cve_id, coverage
+        return best_id, best_coverage

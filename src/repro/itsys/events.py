@@ -1,0 +1,88 @@
+"""A minimal discrete-event simulation engine.
+
+Events carry a timestamp, a kind and an arbitrary payload; the queue delivers
+them in timestamp order (ties broken by insertion order, so runs are
+deterministic for a fixed seed).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled simulation event."""
+
+    time: float
+    sequence: int = field(compare=True)
+    kind: str = field(compare=False, default="")
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Priority queue of events ordered by time (then insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event; times must not precede the current time."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule event in the past ({time} < {self._now})")
+        event = Event(time=time, sequence=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next event, advancing the clock."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0] if self._heap else None
+
+    def drain(self) -> Iterator[Event]:
+        """Iterate over all remaining events in order."""
+        while self._heap:
+            yield self.pop()
+
+    def run(
+        self,
+        handler: Callable[[Event], None],
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Dispatch events to ``handler`` until the horizon or the queue empties.
+
+        Returns the number of events processed.  ``handler`` may schedule
+        further events.
+        """
+        processed = 0
+        while self._heap:
+            upcoming = self._heap[0]
+            if until is not None and upcoming.time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            handler(self.pop())
+            processed += 1
+        if until is not None and (not self._heap or self._heap[0].time > until):
+            self._now = max(self._now, until)
+        return processed

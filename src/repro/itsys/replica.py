@@ -1,0 +1,170 @@
+"""Replicas and replica groups for the intrusion-tolerance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constants import get_os
+from repro.core.exceptions import SimulationError
+
+
+@dataclass
+class Replica:
+    """One server replica running a particular operating system."""
+
+    replica_id: int
+    os_name: str
+    compromised: bool = False
+    compromised_at: Optional[float] = None
+    compromised_by: Optional[str] = None
+    patched: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        # Normalise the OS name against the catalogue early, so that typos
+        # fail fast rather than silently producing an "invulnerable" replica.
+        self.os_name = get_os(self.os_name).name
+
+    def is_vulnerable_to(self, cve_id: str, affected_os: Iterable[str]) -> bool:
+        """Whether an exploit for the given vulnerability can compromise this replica."""
+        if self.compromised:
+            return False
+        if cve_id in self.patched:
+            return False
+        return self.os_name in set(affected_os)
+
+    def compromise(self, time: float, cve_id: str) -> None:
+        if not self.compromised:
+            self.compromised = True
+            self.compromised_at = time
+            self.compromised_by = cve_id
+
+    def recover(self) -> None:
+        """Proactive recovery: the replica is restored to a clean state."""
+        self.compromised = False
+        self.compromised_at = None
+        self.compromised_by = None
+
+    def patch(self, cve_id: str) -> None:
+        """Apply a patch so the vulnerability can no longer be exploited here."""
+        self.patched = self.patched | {cve_id}
+
+
+class ReplicaGroup:
+    """A group of replicas forming one intrusion-tolerant service.
+
+    ``quorum_model`` is ``"3f+1"`` (standard BFT SMR) or ``"2f+1"`` (hybrid
+    protocols with trusted components); it determines how many compromised
+    replicas the group tolerates.
+    """
+
+    def __init__(
+        self,
+        os_names: Sequence[str],
+        quorum_model: str = "3f+1",
+    ) -> None:
+        if not os_names:
+            raise SimulationError("a replica group needs at least one replica")
+        if quorum_model not in ("3f+1", "2f+1"):
+            raise SimulationError(f"unknown quorum model {quorum_model!r}")
+        self.quorum_model = quorum_model
+        self.replicas: List[Replica] = [
+            Replica(replica_id=index, os_name=name) for index, name in enumerate(os_names)
+        ]
+
+    # -- sizing -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def n(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def f(self) -> int:
+        """Number of compromised replicas the group is designed to tolerate."""
+        if self.quorum_model == "3f+1":
+            return max(0, (self.n - 1) // 3)
+        return max(0, (self.n - 1) // 2)
+
+    @property
+    def quorum_size(self) -> int:
+        """Replicas needed to make progress (2f+1 of 3f+1, or f+1 of 2f+1)."""
+        if self.quorum_model == "3f+1":
+            return 2 * self.f + 1
+        return self.f + 1
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def os_names(self) -> Tuple[str, ...]:
+        return tuple(replica.os_name for replica in self.replicas)
+
+    @property
+    def distinct_os(self) -> Set[str]:
+        return set(self.os_names)
+
+    @property
+    def is_diverse(self) -> bool:
+        """Whether every replica runs a different operating system."""
+        return len(self.distinct_os) == self.n
+
+    def compromised_replicas(self) -> List[Replica]:
+        return [replica for replica in self.replicas if replica.compromised]
+
+    def compromised_count(self) -> int:
+        return len(self.compromised_replicas())
+
+    @property
+    def safety_violated(self) -> bool:
+        """True once more than ``f`` replicas are compromised."""
+        return self.compromised_count() > self.f
+
+    def correct_replicas(self) -> List[Replica]:
+        return [replica for replica in self.replicas if not replica.compromised]
+
+    def reset(self) -> None:
+        for replica in self.replicas:
+            replica.recover()
+            replica.patched = frozenset()
+
+    # -- attack surface ------------------------------------------------------------
+
+    def vulnerable_replicas(self, cve_id: str, affected_os: Iterable[str]) -> List[Replica]:
+        """Replicas that a single exploit for ``cve_id`` could compromise."""
+        affected = set(affected_os)
+        return [
+            replica
+            for replica in self.replicas
+            if replica.is_vulnerable_to(cve_id, affected)
+        ]
+
+    def apply_exploit(self, time: float, cve_id: str, affected_os: Iterable[str]) -> int:
+        """Compromise every replica vulnerable to the exploit; return how many."""
+        victims = self.vulnerable_replicas(cve_id, affected_os)
+        for replica in victims:
+            replica.compromise(time, cve_id)
+        return len(victims)
+
+    def proactive_recovery(self) -> int:
+        """Recover all compromised replicas (e.g. periodic rejuvenation)."""
+        recovered = 0
+        for replica in self.compromised_replicas():
+            replica.recover()
+            recovered += 1
+        return recovered
+
+    # -- constructors -----------------------------------------------------------------
+
+    @classmethod
+    def homogeneous(cls, os_name: str, n: int, quorum_model: str = "3f+1") -> "ReplicaGroup":
+        """A non-diverse group: ``n`` replicas of the same OS."""
+        return cls([os_name] * n, quorum_model=quorum_model)
+
+    @classmethod
+    def diverse(cls, os_names: Sequence[str], quorum_model: str = "3f+1") -> "ReplicaGroup":
+        """A diverse group with one replica per listed OS."""
+        if len(set(os_names)) != len(os_names):
+            raise SimulationError("diverse groups must not repeat operating systems")
+        return cls(list(os_names), quorum_model=quorum_model)

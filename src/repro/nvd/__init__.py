@@ -1,0 +1,29 @@
+"""NVD substrate: CPE names, CVSS v2 vectors, data-feed parsing and writing.
+
+The paper downloads NVD XML data feeds, extracts per-entry CVE metadata and
+the affected Common Platform Enumerations, and normalises (product, vendor)
+pairs to the 11-OS catalogue.  This subpackage reimplements that machinery so
+the rest of the library can consume either real NVD feeds or the synthetic
+feeds produced by :mod:`repro.synthetic`.
+"""
+
+from repro.nvd.cpe import format_cpe_uri, parse_cpe_uri
+from repro.nvd.cvss import cvss_base_score, format_cvss_vector, parse_cvss_vector
+from repro.nvd.feed_parser import parse_xml_feed, parse_xml_feeds
+from repro.nvd.json_feed import dump_json_feed, parse_json_feed
+from repro.nvd.feed_writer import write_xml_feed
+from repro.nvd.normalize import ProductNormalizer
+
+__all__ = [
+    "parse_cpe_uri",
+    "format_cpe_uri",
+    "parse_cvss_vector",
+    "format_cvss_vector",
+    "cvss_base_score",
+    "parse_xml_feed",
+    "parse_xml_feeds",
+    "parse_json_feed",
+    "dump_json_feed",
+    "write_xml_feed",
+    "ProductNormalizer",
+]

@@ -1,0 +1,106 @@
+"""Common Platform Enumeration (CPE 2.2) URI handling.
+
+NVD feeds of the era studied by the paper identify affected platforms with
+CPE 2.2 URIs of the form::
+
+    cpe:/{part}:{vendor}:{product}:{version}:{update}:{edition}:{language}
+
+Only ``part`` is mandatory.  The paper keeps platforms whose part is ``o``
+(operating system) and uses the (product, vendor) pair plus version for its
+normalisation and release analysis.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from typing import Iterable, List
+
+from repro.core.enums import CPEPart
+from repro.core.exceptions import CPEError
+from repro.core.models import CPEName
+
+_PREFIX = "cpe:/"
+
+
+def parse_cpe_uri(uri: str) -> CPEName:
+    """Parse a CPE 2.2 URI into a :class:`~repro.core.models.CPEName`.
+
+    >>> cpe = parse_cpe_uri("cpe:/o:debian:debian_linux:4.0")
+    >>> (cpe.part.value, cpe.vendor, cpe.product, cpe.version)
+    ('o', 'debian', 'debian_linux', '4.0')
+
+    Raises :class:`~repro.core.exceptions.CPEError` on malformed input.
+    """
+    if not isinstance(uri, str):
+        raise CPEError(f"CPE URI must be a string, got {type(uri).__name__}")
+    text = uri.strip()
+    if not text.lower().startswith(_PREFIX):
+        raise CPEError(f"not a CPE 2.2 URI (missing 'cpe:/' prefix): {uri!r}")
+    body = text[len(_PREFIX):]
+    fields = body.split(":")
+    if not fields or not fields[0]:
+        raise CPEError(f"CPE URI has no part component: {uri!r}")
+    part_token = fields[0].lower()
+    try:
+        part = CPEPart(part_token)
+    except ValueError as exc:
+        raise CPEError(f"unknown CPE part {part_token!r} in {uri!r}") from exc
+    # Percent-decode each component; missing components default to "".
+    decoded = [urllib.parse.unquote(f) for f in fields[1:]]
+    decoded += [""] * (6 - len(decoded))
+    vendor, product, version, update, edition, language = decoded[:6]
+    if part is CPEPart.OPERATING_SYSTEM and not product:
+        raise CPEError(f"operating-system CPE without a product: {uri!r}")
+    return CPEName(
+        part=part,
+        vendor=vendor,
+        product=product,
+        version=version,
+        update=update,
+        edition=edition,
+        language=language,
+    )
+
+
+def format_cpe_uri(cpe: CPEName) -> str:
+    """Format a :class:`CPEName` back into a CPE 2.2 URI.
+
+    Trailing empty components are omitted, matching NVD conventions.
+
+    >>> from repro.core.enums import CPEPart
+    >>> from repro.core.models import CPEName
+    >>> format_cpe_uri(CPEName(CPEPart.OPERATING_SYSTEM, "debian", "debian_linux", "4.0"))
+    'cpe:/o:debian:debian_linux:4.0'
+    """
+    components = [
+        cpe.vendor,
+        cpe.product,
+        cpe.version,
+        cpe.update,
+        cpe.edition,
+        cpe.language,
+    ]
+    while components and not components[-1]:
+        components.pop()
+    encoded = [urllib.parse.quote(c, safe="._-~%") for c in components]
+    return _PREFIX + ":".join([cpe.part.value] + encoded)
+
+
+def operating_system_cpes(cpes: Iterable[CPEName]) -> List[CPEName]:
+    """Filter an iterable of CPE names down to operating-system platforms."""
+    return [cpe for cpe in cpes if cpe.is_operating_system]
+
+
+def cpe_matches(spec: CPEName, candidate: CPEName) -> bool:
+    """Whether ``candidate`` falls under the (possibly version-less) ``spec``.
+
+    Matching follows CPE 2.2 prefix semantics on (part, vendor, product) and
+    treats an empty version in the spec as a wildcard.
+    """
+    if spec.part is not candidate.part:
+        return False
+    if spec.vendor and spec.vendor != candidate.vendor:
+        return False
+    if spec.product != candidate.product:
+        return False
+    return spec.version_obj.matches(candidate.version_obj) or spec.version == candidate.version

@@ -1,0 +1,142 @@
+"""CVSS v2 base-vector parsing, formatting and base-score computation.
+
+The paper uses a single CVSS field -- ``CVSS_ACCESS_VECTOR`` -- to separate
+locally from remotely exploitable vulnerabilities (the *Isolated Thin Server*
+filter).  We implement the full CVSS v2 base metric group so that feeds can be
+round-tripped faithfully and so that severity-weighted extensions remain
+possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.enums import AccessVector
+from repro.core.exceptions import CVSSError
+from repro.core.models import CVSSVector
+
+#: Metric weights from the CVSS v2 specification.
+_AV_SCORES: Mapping[str, float] = {"LOCAL": 0.395, "ADJACENT_NETWORK": 0.646, "NETWORK": 1.0}
+_AC_SCORES: Mapping[str, float] = {"HIGH": 0.35, "MEDIUM": 0.61, "LOW": 0.71}
+_AU_SCORES: Mapping[str, float] = {"MULTIPLE": 0.45, "SINGLE": 0.56, "NONE": 0.704}
+_IMPACT_SCORES: Mapping[str, float] = {"NONE": 0.0, "PARTIAL": 0.275, "COMPLETE": 0.660}
+
+_VECTOR_TOKENS: Mapping[str, Mapping[str, str]] = {
+    "AV": {"L": "LOCAL", "A": "ADJACENT_NETWORK", "N": "NETWORK"},
+    "AC": {"H": "HIGH", "M": "MEDIUM", "L": "LOW"},
+    "Au": {"M": "MULTIPLE", "S": "SINGLE", "N": "NONE"},
+    "C": {"N": "NONE", "P": "PARTIAL", "C": "COMPLETE"},
+    "I": {"N": "NONE", "P": "PARTIAL", "C": "COMPLETE"},
+    "A": {"N": "NONE", "P": "PARTIAL", "C": "COMPLETE"},
+}
+
+_REVERSE_TOKENS: Dict[str, Dict[str, str]] = {
+    metric: {long: short for short, long in table.items()}
+    for metric, table in _VECTOR_TOKENS.items()
+}
+
+
+def parse_cvss_vector(vector: str) -> CVSSVector:
+    """Parse a CVSS v2 base vector such as ``AV:N/AC:L/Au:N/C:P/I:P/A:P``.
+
+    The parenthesised form ``(AV:N/AC:L/...)`` used in some NVD exports is
+    accepted as well.  The base score is computed from the parsed metrics.
+
+    Raises :class:`~repro.core.exceptions.CVSSError` on malformed vectors.
+    """
+    if not isinstance(vector, str) or not vector.strip():
+        raise CVSSError("empty CVSS vector")
+    text = vector.strip().strip("()")
+    metrics: Dict[str, str] = {}
+    for chunk in text.split("/"):
+        if not chunk:
+            continue
+        if ":" not in chunk:
+            raise CVSSError(f"malformed CVSS metric {chunk!r} in {vector!r}")
+        key, _, value = chunk.partition(":")
+        key = key.strip()
+        value = value.strip()
+        # Normalise case of the metric key (Au is mixed-case in the spec).
+        canonical_key = {"AV": "AV", "AC": "AC", "AU": "Au", "Au": "Au",
+                         "C": "C", "I": "I", "A": "A"}.get(key, key)
+        if canonical_key not in _VECTOR_TOKENS:
+            # Temporal/environmental metrics are ignored, not an error.
+            continue
+        table = _VECTOR_TOKENS[canonical_key]
+        if value.upper() not in table:
+            raise CVSSError(f"unknown value {value!r} for CVSS metric {canonical_key}")
+        metrics[canonical_key] = table[value.upper()]
+    missing = [m for m in ("AV", "AC", "Au", "C", "I", "A") if m not in metrics]
+    if missing:
+        raise CVSSError(f"CVSS vector {vector!r} is missing metrics: {', '.join(missing)}")
+    cvss = CVSSVector(
+        access_vector=AccessVector(metrics["AV"]),
+        access_complexity=metrics["AC"],
+        authentication=metrics["Au"],
+        confidentiality_impact=metrics["C"],
+        integrity_impact=metrics["I"],
+        availability_impact=metrics["A"],
+    )
+    return CVSSVector(
+        access_vector=cvss.access_vector,
+        access_complexity=cvss.access_complexity,
+        authentication=cvss.authentication,
+        confidentiality_impact=cvss.confidentiality_impact,
+        integrity_impact=cvss.integrity_impact,
+        availability_impact=cvss.availability_impact,
+        base_score=cvss_base_score(cvss),
+    )
+
+
+def format_cvss_vector(cvss: CVSSVector) -> str:
+    """Format a :class:`CVSSVector` back into the canonical v2 string form."""
+    try:
+        return "/".join(
+            [
+                f"AV:{_REVERSE_TOKENS['AV'][cvss.access_vector.value]}",
+                f"AC:{_REVERSE_TOKENS['AC'][cvss.access_complexity]}",
+                f"Au:{_REVERSE_TOKENS['Au'][cvss.authentication]}",
+                f"C:{_REVERSE_TOKENS['C'][cvss.confidentiality_impact]}",
+                f"I:{_REVERSE_TOKENS['I'][cvss.integrity_impact]}",
+                f"A:{_REVERSE_TOKENS['A'][cvss.availability_impact]}",
+            ]
+        )
+    except KeyError as exc:
+        raise CVSSError(f"cannot format CVSS vector with metric value {exc}") from exc
+
+
+def cvss_base_score(cvss: CVSSVector) -> float:
+    """Compute the CVSS v2 base score (0.0 -- 10.0) for a vector.
+
+    Implements the standard equations::
+
+        Impact        = 10.41 * (1 - (1-C)(1-I)(1-A))
+        Exploitability = 20 * AV * AC * Au
+        f(Impact)     = 0 if Impact == 0 else 1.176
+        BaseScore     = round_to_1_decimal(((0.6*Impact) + (0.4*Exploitability) - 1.5) * f(Impact))
+    """
+    try:
+        c = _IMPACT_SCORES[cvss.confidentiality_impact]
+        i = _IMPACT_SCORES[cvss.integrity_impact]
+        a = _IMPACT_SCORES[cvss.availability_impact]
+        av = _AV_SCORES[cvss.access_vector.value]
+        ac = _AC_SCORES[cvss.access_complexity]
+        au = _AU_SCORES[cvss.authentication]
+    except KeyError as exc:
+        raise CVSSError(f"unknown CVSS metric value: {exc}") from exc
+    impact = 10.41 * (1.0 - (1.0 - c) * (1.0 - i) * (1.0 - a))
+    exploitability = 20.0 * av * ac * au
+    f_impact = 0.0 if impact == 0 else 1.176
+    raw = ((0.6 * impact) + (0.4 * exploitability) - 1.5) * f_impact
+    return round(max(0.0, min(10.0, raw)), 1)
+
+
+def severity_label(base_score: float) -> str:
+    """NVD severity bucket for a CVSS v2 base score (Low/Medium/High)."""
+    if base_score < 0 or base_score > 10:
+        raise CVSSError(f"base score out of range: {base_score}")
+    if base_score < 4.0:
+        return "Low"
+    if base_score < 7.0:
+        return "Medium"
+    return "High"

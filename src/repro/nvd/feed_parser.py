@@ -1,0 +1,170 @@
+"""Parsing of NVD XML data feeds.
+
+The feeds consumed (and, for the synthetic corpus, produced) by this library
+follow the structure of the NVD 2.0 XML vulnerability feeds of the studied
+era: a root ``<nvd>`` element containing one ``<entry>`` per CVE with the
+identifier, publication timestamp, summary text, CVSS v2 base metrics and a
+vulnerable-software list of CPE 2.2 URIs.
+
+Namespaces are tolerated but not required, so both the official feeds and the
+namespace-free synthetic feeds written by :mod:`repro.nvd.feed_writer` parse
+with the same code path.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable, List, Sequence, Tuple, Union
+
+from repro.core.exceptions import FeedParseError
+from repro.core.models import CPEName
+from repro.nvd.cpe import parse_cpe_uri
+
+FeedSource = Union[str, Path, IO[str], IO[bytes]]
+
+
+@dataclass
+class RawFeedEntry:
+    """One CVE entry as it appears in a data feed, before normalisation."""
+
+    cve_id: str
+    published: _dt.date
+    summary: str
+    cvss_vector: str
+    cpe_uris: Tuple[str, ...] = ()
+    #: CPE names that failed to parse (kept for diagnostics).
+    invalid_cpes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def parsed_cpes(self) -> List[CPEName]:
+        """Parse the entry's CPE URIs, silently skipping malformed ones."""
+        names: List[CPEName] = []
+        for uri in self.cpe_uris:
+            try:
+                names.append(parse_cpe_uri(uri))
+            except Exception:
+                continue
+        return names
+
+
+def _localname(tag: str) -> str:
+    """Strip an XML namespace from a tag name."""
+    if "}" in tag:
+        return tag.rsplit("}", 1)[1]
+    return tag
+
+
+def _find_text(element: ET.Element, name: str) -> str:
+    """Find the text of the first descendant whose local name is ``name``."""
+    for child in element.iter():
+        if _localname(child.tag) == name and child.text is not None:
+            return child.text.strip()
+    return ""
+
+
+def _parse_date(text: str, cve_id: str) -> _dt.date:
+    """Parse the feed's published-datetime into a date.
+
+    Accepts ISO timestamps (with or without time component / timezone) and
+    plain ``YYYY-MM-DD`` dates.
+    """
+    if not text:
+        raise FeedParseError(f"entry {cve_id} has no publication date")
+    candidate = text.strip()
+    # Trim timezone suffixes that ``fromisoformat`` on 3.10 may reject.
+    for suffix in ("Z", "+00:00"):
+        if candidate.endswith(suffix):
+            candidate = candidate[: -len(suffix)]
+    try:
+        if "T" in candidate:
+            return _dt.datetime.fromisoformat(candidate).date()
+        return _dt.date.fromisoformat(candidate)
+    except ValueError as exc:
+        raise FeedParseError(f"entry {cve_id} has malformed date {text!r}") from exc
+
+
+def _entry_from_element(element: ET.Element) -> RawFeedEntry:
+    cve_id = element.get("id") or _find_text(element, "cve-id")
+    if not cve_id:
+        raise FeedParseError("feed entry without a CVE identifier")
+    published_text = _find_text(element, "published-datetime") or _find_text(
+        element, "published"
+    )
+    summary = _find_text(element, "summary")
+    cvss_vector = _find_text(element, "vector") or _find_text(element, "cvss-vector")
+    cpe_uris: List[str] = []
+    invalid: List[str] = []
+    for child in element.iter():
+        if _localname(child.tag) != "product":
+            continue
+        uri = (child.text or "").strip()
+        if not uri:
+            continue
+        try:
+            parse_cpe_uri(uri)
+        except Exception:
+            invalid.append(uri)
+        else:
+            cpe_uris.append(uri)
+    return RawFeedEntry(
+        cve_id=cve_id,
+        published=_parse_date(published_text, cve_id),
+        summary=summary,
+        cvss_vector=cvss_vector,
+        cpe_uris=tuple(cpe_uris),
+        invalid_cpes=tuple(invalid),
+    )
+
+
+def parse_xml_feed(source: FeedSource) -> List[RawFeedEntry]:
+    """Parse a single NVD XML feed into a list of raw entries.
+
+    ``source`` may be a filesystem path or an open file object.  Entries that
+    lack a CVE identifier or publication date raise
+    :class:`~repro.core.exceptions.FeedParseError`; malformed CPE URIs are
+    recorded on the entry but do not abort parsing (mirroring the tolerance of
+    the paper's collector, which had to cope with inconsistent NVD records).
+    """
+    try:
+        tree = ET.parse(source)  # type: ignore[arg-type]
+    except ET.ParseError as exc:
+        raise FeedParseError(f"malformed XML feed: {exc}") from exc
+    except (OSError, FileNotFoundError) as exc:
+        raise FeedParseError(f"cannot read feed {source!r}: {exc}") from exc
+    root = tree.getroot()
+    entries: List[RawFeedEntry] = []
+    for element in root:
+        if _localname(element.tag) != "entry":
+            continue
+        entries.append(_entry_from_element(element))
+    return entries
+
+
+def parse_xml_feeds(sources: Iterable[FeedSource]) -> List[RawFeedEntry]:
+    """Parse several feeds and concatenate their entries in feed order.
+
+    Duplicate CVE identifiers across feeds are collapsed, keeping the last
+    occurrence (later feeds carry corrected data, as with the real NVD where
+    modified entries are republished).
+    """
+    by_id: dict[str, RawFeedEntry] = {}
+    order: List[str] = []
+    for source in sources:
+        for entry in parse_xml_feed(source):
+            if entry.cve_id not in by_id:
+                order.append(entry.cve_id)
+            by_id[entry.cve_id] = entry
+    return [by_id[cve_id] for cve_id in order]
+
+
+def feed_statistics(entries: Sequence[RawFeedEntry]) -> dict:
+    """Summary statistics for a parsed feed (used by diagnostics and tests)."""
+    years = sorted({e.published.year for e in entries})
+    return {
+        "entries": len(entries),
+        "years": years,
+        "with_cpes": sum(1 for e in entries if e.cpe_uris),
+        "invalid_cpes": sum(len(e.invalid_cpes) for e in entries),
+    }

@@ -1,0 +1,103 @@
+"""JSON data-feed support.
+
+NVD later replaced the XML feeds used by the paper with JSON feeds.  We
+support a JSON representation with the same information content so the
+library can ingest either format, and so round-trip tests can cross-check the
+two parsers against each other.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from pathlib import Path
+from typing import IO, List, Sequence, Union
+
+from repro.core.exceptions import FeedParseError
+from repro.nvd.feed_parser import RawFeedEntry
+
+JSONSource = Union[str, Path, IO[str]]
+
+
+def entry_to_dict(entry: RawFeedEntry) -> dict:
+    """Serialise a raw entry into the JSON feed item structure."""
+    return {
+        "cve": {
+            "CVE_data_meta": {"ID": entry.cve_id},
+            "description": {"description_data": [{"lang": "en", "value": entry.summary}]},
+        },
+        "publishedDate": entry.published.isoformat(),
+        "impact": {"baseMetricV2": {"cvssV2": {"vectorString": entry.cvss_vector}}},
+        "configurations": {
+            "cpe_match": [{"cpe22Uri": uri, "vulnerable": True} for uri in entry.cpe_uris]
+        },
+    }
+
+
+def entry_from_dict(item: dict) -> RawFeedEntry:
+    """Deserialise one JSON feed item into a :class:`RawFeedEntry`."""
+    try:
+        cve_id = item["cve"]["CVE_data_meta"]["ID"]
+    except (KeyError, TypeError) as exc:
+        raise FeedParseError("JSON feed item without cve.CVE_data_meta.ID") from exc
+    published_text = item.get("publishedDate", "")
+    if not published_text:
+        raise FeedParseError(f"JSON entry {cve_id} has no publishedDate")
+    try:
+        published = _dt.date.fromisoformat(published_text[:10])
+    except ValueError as exc:
+        raise FeedParseError(f"JSON entry {cve_id} has malformed publishedDate") from exc
+    descriptions = (
+        item.get("cve", {}).get("description", {}).get("description_data", [])
+    )
+    summary = ""
+    for description in descriptions:
+        if description.get("lang") in (None, "en"):
+            summary = description.get("value", "")
+            break
+    vector = (
+        item.get("impact", {})
+        .get("baseMetricV2", {})
+        .get("cvssV2", {})
+        .get("vectorString", "")
+    )
+    matches = item.get("configurations", {}).get("cpe_match", [])
+    uris = tuple(
+        m.get("cpe22Uri", "") for m in matches if m.get("vulnerable", True) and m.get("cpe22Uri")
+    )
+    return RawFeedEntry(
+        cve_id=cve_id,
+        published=published,
+        summary=summary,
+        cvss_vector=vector,
+        cpe_uris=uris,
+    )
+
+
+def dump_json_feed(entries: Sequence[RawFeedEntry], path: Union[str, Path]) -> Path:
+    """Write entries as a JSON feed file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "CVE_data_type": "CVE",
+        "CVE_data_format": "MITRE",
+        "CVE_data_numberOfCVEs": str(len(entries)),
+        "CVE_Items": [entry_to_dict(entry) for entry in entries],
+    }
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return path
+
+
+def parse_json_feed(source: JSONSource) -> List[RawFeedEntry]:
+    """Parse a JSON feed from a path or open file object."""
+    try:
+        if hasattr(source, "read"):
+            payload = json.load(source)  # type: ignore[arg-type]
+        else:
+            payload = json.loads(Path(source).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise FeedParseError(f"cannot parse JSON feed {source!r}: {exc}") from exc
+    items = payload.get("CVE_Items")
+    if items is None:
+        raise FeedParseError("JSON feed has no CVE_Items array")
+    return [entry_from_dict(item) for item in items]

@@ -1,0 +1,133 @@
+"""Product / vendor normalisation of NVD CPE names.
+
+One of the data-quality problems reported in Section III of the paper is that
+NVD registers the same product under distinct (product, vendor) pairs across
+entries -- for instance both ``("debian_linux", "debian")`` and
+``("linux", "debian")`` denote Debian GNU/Linux.  The paper fixes this inside
+its SQL database; we implement the same normalisation as a reusable component
+that maps operating-system CPE names onto the 11-OS catalogue of
+:mod:`repro.core.constants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.constants import OS_CATALOG
+from repro.core.models import CPEName, OperatingSystem
+
+
+@dataclass
+class NormalizationReport:
+    """Diagnostics accumulated while normalising a batch of CPE names."""
+
+    matched: int = 0
+    unmatched: int = 0
+    non_os: int = 0
+    unmatched_keys: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def record_match(self) -> None:
+        self.matched += 1
+
+    def record_unmatched(self, key: Tuple[str, str]) -> None:
+        self.unmatched += 1
+        self.unmatched_keys.add(key)
+
+    def record_non_os(self) -> None:
+        self.non_os += 1
+
+
+class ProductNormalizer:
+    """Maps operating-system CPE names onto canonical OS distributions.
+
+    The default alias table comes from the OS catalogue; extra aliases can be
+    registered (e.g. when a new spelling is discovered in a feed), which is
+    the programmatic equivalent of the paper's by-hand database fixes.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Mapping[str, OperatingSystem]] = None,
+        extra_aliases: Optional[Mapping[Tuple[str, str], str]] = None,
+    ) -> None:
+        self._catalog: Mapping[str, OperatingSystem] = catalog or OS_CATALOG
+        self._alias_to_os: Dict[Tuple[str, str], str] = {}
+        for os_obj in self._catalog.values():
+            for alias in os_obj.cpe_aliases:
+                self._alias_to_os[self._normalise_key(alias)] = os_obj.name
+        if extra_aliases:
+            for alias, os_name in extra_aliases.items():
+                self.add_alias(alias, os_name)
+        self.report = NormalizationReport()
+
+    @staticmethod
+    def _normalise_key(key: Tuple[str, str]) -> Tuple[str, str]:
+        product, vendor = key
+        return (product.strip().lower(), vendor.strip().lower())
+
+    # -- alias management --------------------------------------------------
+
+    def add_alias(self, key: Tuple[str, str], os_name: str) -> None:
+        """Register an extra (product, vendor) alias for a catalogued OS."""
+        if os_name not in self._catalog:
+            raise KeyError(f"cannot alias to unknown OS {os_name!r}")
+        self._alias_to_os[self._normalise_key(key)] = os_name
+
+    def aliases_for(self, os_name: str) -> List[Tuple[str, str]]:
+        """All (product, vendor) aliases currently mapping to ``os_name``."""
+        return [key for key, name in self._alias_to_os.items() if name == os_name]
+
+    # -- normalisation -----------------------------------------------------
+
+    def resolve(self, cpe: CPEName) -> Optional[str]:
+        """Canonical OS name for an operating-system CPE, or ``None``.
+
+        Non-OS CPEs and OS CPEs outside the 11-OS catalogue resolve to
+        ``None`` (they are excluded from the study); diagnostics are recorded
+        on :attr:`report`.
+        """
+        if not cpe.is_operating_system:
+            self.report.record_non_os()
+            return None
+        key = self._normalise_key(cpe.key())
+        os_name = self._alias_to_os.get(key)
+        if os_name is None:
+            self.report.record_unmatched(key)
+            return None
+        self.report.record_match()
+        return os_name
+
+    def resolve_many(
+        self, cpes: Iterable[CPEName]
+    ) -> Tuple[Set[str], Dict[str, Tuple[str, ...]]]:
+        """Resolve a batch of CPEs to (affected OS names, versions per OS).
+
+        Versions are collected per OS; an empty version on any matching CPE
+        means "all versions" and clears the collected set for that OS (the
+        most pessimistic interpretation, matching the paper's aggregated
+        analysis).
+        """
+        affected: Set[str] = set()
+        versions: Dict[str, Set[str]] = {}
+        unversioned: Set[str] = set()
+        for cpe in cpes:
+            os_name = self.resolve(cpe)
+            if os_name is None:
+                continue
+            affected.add(os_name)
+            if cpe.version:
+                versions.setdefault(os_name, set()).add(cpe.version)
+            else:
+                unversioned.add(os_name)
+        version_map: Dict[str, Tuple[str, ...]] = {}
+        for os_name in affected:
+            if os_name in unversioned:
+                version_map[os_name] = ()
+            else:
+                version_map[os_name] = tuple(sorted(versions.get(os_name, set())))
+        return affected, version_map
+
+    def known_os_names(self) -> Sequence[str]:
+        """Canonical OS names this normaliser can produce."""
+        return tuple(self._catalog)

@@ -1,0 +1,36 @@
+"""Report generation: text tables, figure data series and experiment registry.
+
+matplotlib is not available in the reproduction environment, so figures are
+emitted as data series plus ASCII bar charts; tables are rendered as aligned
+text and as CSV.
+"""
+
+from repro.reports.tables import (
+    ksets_summary,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.reports.figures import figure2, figure3
+from repro.reports.experiments import EXPERIMENTS, Experiment, run_experiment
+from repro.reports.export import render_table, to_csv
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "ksets_summary",
+    "figure2",
+    "figure3",
+    "EXPERIMENTS",
+    "Experiment",
+    "run_experiment",
+    "render_table",
+    "to_csv",
+]

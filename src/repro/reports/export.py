@@ -1,0 +1,79 @@
+"""Table rendering and CSV export helpers."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+Row = Sequence[object]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Row],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned, monospaced text table.
+
+    >>> print(render_table(("a", "b"), [(1, 2)]))
+    a | b
+    --+--
+    1 | 2
+    """
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header.ljust(width) for header, width in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialised:
+        padded = [cell.ljust(width) for cell, width in zip(row, widths)]
+        lines.append(" | ".join(padded).rstrip())
+    return "\n".join(lines)
+
+
+def to_csv(
+    headers: Sequence[str],
+    rows: Iterable[Row],
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialise rows as CSV text; optionally also write them to ``path``."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(text, encoding="utf-8")
+    return text
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    symbol: str = "#",
+) -> str:
+    """A horizontal ASCII bar chart (used in place of matplotlib figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return ""
+    peak = max(max(values), 1e-9)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = symbol * int(round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}")
+    return "\n".join(lines)

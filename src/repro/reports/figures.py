@@ -1,0 +1,66 @@
+"""Figure data series (Figure 2 and Figure 3) and their ASCII rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.temporal import TemporalAnalysis
+from repro.core.constants import FIGURE3_CONFIGURATIONS
+from repro.core.enums import OSFamily
+from repro.reports.export import ascii_bars
+
+
+@dataclass(frozen=True)
+class FigureReport:
+    """A reproduced figure: identifier, data series and an ASCII rendering."""
+
+    figure_id: str
+    title: str
+    series: Mapping[str, Mapping[object, float]]
+
+    @property
+    def text(self) -> str:
+        blocks: List[str] = [f"{self.figure_id}: {self.title}"]
+        for name, values in self.series.items():
+            labels = [str(key) for key in values]
+            blocks.append(name)
+            blocks.append(ascii_bars(labels, [float(v) for v in values.values()], width=40))
+        return "\n".join(blocks)
+
+
+def figure2(dataset: VulnerabilityDataset, first_year: int = 1994, last_year: int = 2010) -> FigureReport:
+    """Temporal distribution of vulnerability publications per OS family panel."""
+    analysis = TemporalAnalysis(dataset, first_year=first_year, last_year=last_year)
+    panels = analysis.family_panels()
+    series: Dict[str, Dict[object, float]] = {}
+    for family, panel in panels.items():
+        for os_name, yearly in panel.items():
+            series[f"{family.value}/{os_name}"] = {
+                year: float(count) for year, count in yearly.items()
+            }
+    return FigureReport(
+        figure_id="Figure 2",
+        title="Temporal distribution of vulnerability publication data",
+        series=series,
+    )
+
+
+def figure3(
+    dataset: VulnerabilityDataset,
+    configurations: Mapping[str, Sequence[str]] = FIGURE3_CONFIGURATIONS,
+) -> FigureReport:
+    """History vs observed common vulnerabilities for the replica configurations."""
+    analysis = PeriodAnalysis(dataset)
+    history: Dict[object, float] = {}
+    observed: Dict[object, float] = {}
+    for evaluation in analysis.evaluate_paper_configurations(configurations):
+        history[evaluation.name] = float(evaluation.history_count)
+        observed[evaluation.name] = float(evaluation.observed_count)
+    return FigureReport(
+        figure_id="Figure 3",
+        title="Shared vulnerabilities of several OS configurations (history vs observed)",
+        series={"History": history, "Observed": observed},
+    )

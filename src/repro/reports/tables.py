@@ -1,0 +1,254 @@
+"""Recompute and render the paper's tables from a dataset.
+
+Every function takes a :class:`~repro.analysis.dataset.VulnerabilityDataset`
+and returns a :class:`TableReport` carrying both the structured rows and the
+rendered text, so benchmarks can print the same rows the paper reports and
+tests can assert on the structured data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.ksets import KSetAnalysis
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.parts import CLASS_ORDER, class_distribution, class_percentages, shared_by_part
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.releases import ReleaseDiversityAnalysis
+from repro.core.constants import OS_NAMES, TABLE5_OSES
+from repro.core.enums import ComponentClass, ServerConfiguration, ValidityStatus
+from repro.reports.export import render_table
+
+
+@dataclass(frozen=True)
+class TableReport:
+    """A reproduced table: identifier, column headers, rows and rendered text."""
+
+    table_id: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[object, ...], ...]
+
+    @property
+    def text(self) -> str:
+        return render_table(self.headers, self.rows, title=f"{self.table_id}: {self.title}")
+
+    def row_map(self) -> Dict[object, Tuple[object, ...]]:
+        """Rows keyed by their first column (convenient for lookups in tests)."""
+        return {row[0]: row for row in self.rows}
+
+
+# ---------------------------------------------------------------------------
+# Table I -- distribution of OS vulnerabilities in NVD
+# ---------------------------------------------------------------------------
+
+
+def table1(dataset: VulnerabilityDataset, os_names: Sequence[str] = OS_NAMES) -> TableReport:
+    """Valid / Unknown / Unspecified / Disputed counts per OS."""
+    summary = dataset.validity_summary()
+    rows: List[Tuple[object, ...]] = []
+    for name in os_names:
+        counts = summary.per_os.get(name, {})
+        rows.append(
+            (
+                name,
+                counts.get(ValidityStatus.VALID, 0),
+                counts.get(ValidityStatus.UNKNOWN, 0),
+                counts.get(ValidityStatus.UNSPECIFIED, 0),
+                counts.get(ValidityStatus.DISPUTED, 0),
+            )
+        )
+    rows.append(
+        (
+            "# distinct vuln.",
+            summary.distinct.get(ValidityStatus.VALID, 0),
+            summary.distinct.get(ValidityStatus.UNKNOWN, 0),
+            summary.distinct.get(ValidityStatus.UNSPECIFIED, 0),
+            summary.distinct.get(ValidityStatus.DISPUTED, 0),
+        )
+    )
+    return TableReport(
+        table_id="Table I",
+        title="Distribution of OS vulnerabilities in NVD",
+        headers=("OS", "Valid", "Unknown", "Unspecified", "Disputed"),
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table II -- vulnerabilities per OS component class
+# ---------------------------------------------------------------------------
+
+
+def table2(dataset: VulnerabilityDataset, os_names: Sequence[str] = OS_NAMES) -> TableReport:
+    """Driver / Kernel / System Software / Application counts per OS."""
+    distribution = class_distribution(dataset, os_names)
+    percentages = class_percentages(dataset)
+    rows: List[Tuple[object, ...]] = []
+    for name in os_names:
+        counts = distribution[name]
+        rows.append(
+            (
+                name,
+                counts[ComponentClass.DRIVER],
+                counts[ComponentClass.KERNEL],
+                counts[ComponentClass.SYSTEM_SOFTWARE],
+                counts[ComponentClass.APPLICATION],
+                sum(counts.values()),
+            )
+        )
+    rows.append(
+        (
+            "% Total",
+            round(percentages[ComponentClass.DRIVER], 1),
+            round(percentages[ComponentClass.KERNEL], 1),
+            round(percentages[ComponentClass.SYSTEM_SOFTWARE], 1),
+            round(percentages[ComponentClass.APPLICATION], 1),
+            "",
+        )
+    )
+    return TableReport(
+        table_id="Table II",
+        title="Vulnerabilities per OS component class",
+        headers=("OS", "Driver", "Kernel", "Sys. Soft.", "App.", "Total"),
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table III -- shared vulnerabilities per OS pair under the three filters
+# ---------------------------------------------------------------------------
+
+
+def table3(dataset: VulnerabilityDataset, os_names: Sequence[str] = OS_NAMES) -> TableReport:
+    """v(A), v(B) and v(AB) under All / No Applications / No App. and No Local."""
+    analysis = PairAnalysis(dataset, os_names)
+    full = analysis.table()
+    rows: List[Tuple[object, ...]] = []
+    for (os_a, os_b), per_configuration in full.items():
+        fat = per_configuration[ServerConfiguration.FAT]
+        thin = per_configuration[ServerConfiguration.THIN]
+        isolated = per_configuration[ServerConfiguration.ISOLATED_THIN]
+        rows.append(
+            (
+                f"{os_a}-{os_b}",
+                fat.count_a,
+                fat.count_b,
+                fat.shared,
+                thin.count_a,
+                thin.count_b,
+                thin.shared,
+                isolated.count_a,
+                isolated.count_b,
+                isolated.shared,
+            )
+        )
+    return TableReport(
+        table_id="Table III",
+        title="Shared vulnerabilities for every OS pair (1994 to Sept. 2010)",
+        headers=(
+            "Pair (A-B)",
+            "all v(A)",
+            "all v(B)",
+            "all v(AB)",
+            "noapp v(A)",
+            "noapp v(B)",
+            "noapp v(AB)",
+            "isol v(A)",
+            "isol v(B)",
+            "isol v(AB)",
+        ),
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table IV -- shared vulnerabilities on isolated thin servers, by part
+# ---------------------------------------------------------------------------
+
+
+def table4(dataset: VulnerabilityDataset, os_names: Sequence[str] = OS_NAMES) -> TableReport:
+    """Driver / Kernel / System Software breakdown of isolated-thin shared vulns."""
+    breakdown = shared_by_part(dataset, ServerConfiguration.ISOLATED_THIN, os_names)
+    rows: List[Tuple[object, ...]] = []
+    for (os_a, os_b), parts in breakdown.items():
+        total = sum(parts.values())
+        rows.append(
+            (
+                f"{os_a}-{os_b}",
+                parts[ComponentClass.DRIVER],
+                parts[ComponentClass.KERNEL],
+                parts[ComponentClass.SYSTEM_SOFTWARE],
+                total,
+            )
+        )
+    return TableReport(
+        table_id="Table IV",
+        title="Common vulnerabilities on Isolated Thin Servers",
+        headers=("OS Pair", "Driver", "Kernel", "Sys. Soft.", "Total"),
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table V -- history vs observed period, isolated thin servers
+# ---------------------------------------------------------------------------
+
+
+def table5(
+    dataset: VulnerabilityDataset, os_names: Sequence[str] = TABLE5_OSES
+) -> TableReport:
+    """History (1994-2005) and observed (2006-2010) shared counts per pair."""
+    analysis = PeriodAnalysis(dataset)
+    table = analysis.pair_table(os_names)
+    rows: List[Tuple[object, ...]] = []
+    for (os_a, os_b), (history, observed) in table.items():
+        rows.append((f"{os_a}-{os_b}", history, observed))
+    return TableReport(
+        table_id="Table V",
+        title="History/observed period results for Isolated Thin Servers",
+        headers=("OS Pair", "History 1994-2005", "Observed 2006-2010"),
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table VI -- shared vulnerabilities between OS releases
+# ---------------------------------------------------------------------------
+
+
+def table6(dataset: VulnerabilityDataset) -> TableReport:
+    """Debian / RedHat release-level shared vulnerability counts."""
+    analysis = ReleaseDiversityAnalysis(dataset)
+    rows: List[Tuple[object, ...]] = []
+    for result in analysis.table6():
+        (os_a, version_a), (os_b, version_b) = result.release_a, result.release_b
+        rows.append((f"{os_a}{version_a}-{os_b}{version_b}", result.shared))
+    return TableReport(
+        table_id="Table VI",
+        title="Common vulnerabilities between OS releases",
+        headers=("OS Versions", "Total"),
+        rows=tuple(rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section IV-B -- k-set summary
+# ---------------------------------------------------------------------------
+
+
+def ksets_summary(dataset: VulnerabilityDataset, ks: Sequence[int] = (3, 4, 5, 6)) -> TableReport:
+    """Vulnerabilities shared by at least k OSes, plus the widest CVEs."""
+    analysis = KSetAnalysis(dataset)
+    counts = analysis.summary(ks)
+    rows: List[Tuple[object, ...]] = [(f">= {k} OSes", count) for k, count in counts.items()]
+    for wide in analysis.widest(3):
+        rows.append((wide.cve_id, wide.breadth))
+    return TableReport(
+        table_id="Section IV-B",
+        title="Vulnerabilities shared by larger OS groups",
+        headers=("Group / CVE", "Count / Breadth"),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,24 @@
+"""Synthetic, calibrated NVD corpus.
+
+This environment has no network access, so the real NVD data feeds the paper
+mined cannot be downloaded.  This subpackage builds the closest synthetic
+equivalent: a deterministic corpus of CVE-like entries whose aggregate
+statistics are calibrated to the numbers the paper publishes (Tables I-VI,
+the temporal series of Figure 2, the replica-set evaluation of Figure 3, the
+k-set counts of Section IV-B and the three named multi-OS CVEs), and which is
+serialised through the same NVD feed formats the real collector would parse.
+
+The analysis layer (:mod:`repro.analysis`) never reads the calibration
+targets; every table and figure is recomputed from the generated corpus.
+"""
+
+from repro.synthetic.calibration import PaperCalibration
+from repro.synthetic.corpus import SyntheticCorpus, build_corpus
+from repro.synthetic.generator import CorpusGenerator
+
+__all__ = [
+    "PaperCalibration",
+    "CorpusGenerator",
+    "SyntheticCorpus",
+    "build_corpus",
+]

@@ -1,0 +1,513 @@
+"""Calibration targets: the paper's published aggregate statistics.
+
+Every number in this module is transcribed from the paper (Garcia et al.,
+DSN 2011) and is used *only* by the synthetic-corpus generator
+(:mod:`repro.synthetic.generator`) and by the benchmark harness when it
+compares recomputed results against the paper.  The analysis code never reads
+these targets.
+
+Conventions
+-----------
+* OS names use the canonical catalogue spelling of
+  :mod:`repro.core.constants` (``Windows2000`` etc.).
+* Pair keys are frozensets of two OS names.
+* Component-class tuples are ordered ``(Driver, Kernel, System Software,
+  Application)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+from repro.core.constants import OS_NAMES
+
+Pair = FrozenSet[str]
+
+
+def pair(a: str, b: str) -> Pair:
+    """Convenience constructor for an unordered OS pair key."""
+    if a == b:
+        raise ValueError("a pair requires two distinct operating systems")
+    return frozenset((a, b))
+
+
+# ---------------------------------------------------------------------------
+# Table I -- distribution of OS vulnerabilities in NVD
+# (valid, unknown, unspecified, disputed) per OS.
+# ---------------------------------------------------------------------------
+
+TABLE1: Mapping[str, Tuple[int, int, int, int]] = {
+    "OpenBSD": (142, 1, 1, 1),
+    "NetBSD": (126, 0, 1, 2),
+    "FreeBSD": (258, 0, 0, 2),
+    "OpenSolaris": (31, 0, 40, 0),
+    "Solaris": (400, 39, 109, 0),
+    "Debian": (201, 3, 1, 0),
+    "Ubuntu": (87, 2, 1, 0),
+    "RedHat": (369, 12, 8, 1),
+    "Windows2000": (481, 7, 27, 5),
+    "Windows2003": (343, 4, 30, 3),
+    "Windows2008": (118, 0, 3, 0),
+}
+
+#: Distinct counts reported in the last row of Table I.
+TABLE1_DISTINCT: Mapping[str, int] = {
+    "valid": 1887,
+    "unknown": 60,
+    "unspecified": 165,
+    "disputed": 8,
+}
+
+# ---------------------------------------------------------------------------
+# Table II -- vulnerabilities per OS component class
+# (Driver, Kernel, System Software, Application) per OS.
+# ---------------------------------------------------------------------------
+
+TABLE2: Mapping[str, Tuple[int, int, int, int]] = {
+    "OpenBSD": (2, 75, 33, 32),
+    "NetBSD": (9, 59, 32, 26),
+    "FreeBSD": (4, 147, 54, 53),
+    "OpenSolaris": (0, 15, 9, 7),
+    "Solaris": (2, 156, 114, 128),
+    "Debian": (1, 24, 34, 142),
+    "Ubuntu": (2, 22, 8, 55),
+    "RedHat": (5, 89, 93, 182),
+    "Windows2000": (3, 143, 132, 203),
+    "Windows2003": (1, 95, 71, 176),
+    "Windows2008": (0, 42, 14, 62),
+}
+
+#: Percentage of each class over the whole data set (last row of Table II).
+TABLE2_PERCENTAGES: Tuple[float, float, float, float] = (1.4, 35.5, 23.2, 39.9)
+
+# ---------------------------------------------------------------------------
+# Table III -- per-OS totals under the three filters.
+# (all, no-applications, no-applications-and-no-local) per OS.
+# ---------------------------------------------------------------------------
+
+TABLE3_OS_TOTALS: Mapping[str, Tuple[int, int, int]] = {
+    "OpenBSD": (142, 110, 60),
+    "NetBSD": (126, 100, 41),
+    "FreeBSD": (258, 205, 87),
+    "OpenSolaris": (31, 24, 6),
+    "Solaris": (400, 272, 103),
+    "Debian": (201, 59, 25),
+    "Ubuntu": (87, 32, 10),
+    "RedHat": (369, 187, 58),
+    "Windows2000": (481, 278, 178),
+    "Windows2003": (343, 167, 109),
+    "Windows2008": (118, 56, 26),
+}
+
+# ---------------------------------------------------------------------------
+# Table III -- shared vulnerabilities for every OS pair under the three
+# filters: (all, no-applications, no-applications-and-no-local).
+# ---------------------------------------------------------------------------
+
+_TABLE3_ROWS: Sequence[Tuple[str, str, int, int, int]] = (
+    ("OpenBSD", "NetBSD", 40, 32, 16),
+    ("OpenBSD", "FreeBSD", 53, 48, 32),
+    ("OpenBSD", "OpenSolaris", 1, 1, 0),
+    ("OpenBSD", "Solaris", 12, 10, 6),
+    ("OpenBSD", "Debian", 2, 2, 0),
+    ("OpenBSD", "Ubuntu", 3, 1, 0),
+    ("OpenBSD", "RedHat", 10, 5, 4),
+    ("OpenBSD", "Windows2000", 3, 3, 3),
+    ("OpenBSD", "Windows2003", 2, 2, 2),
+    ("OpenBSD", "Windows2008", 1, 1, 1),
+    ("NetBSD", "FreeBSD", 49, 39, 24),
+    ("NetBSD", "OpenSolaris", 0, 0, 0),
+    ("NetBSD", "Solaris", 15, 12, 8),
+    ("NetBSD", "Debian", 3, 2, 2),
+    ("NetBSD", "Ubuntu", 0, 0, 0),
+    ("NetBSD", "RedHat", 7, 4, 2),
+    ("NetBSD", "Windows2000", 3, 3, 3),
+    ("NetBSD", "Windows2003", 1, 1, 1),
+    ("NetBSD", "Windows2008", 1, 1, 1),
+    ("FreeBSD", "OpenSolaris", 0, 0, 0),
+    ("FreeBSD", "Solaris", 21, 15, 8),
+    ("FreeBSD", "Debian", 7, 4, 1),
+    ("FreeBSD", "Ubuntu", 3, 3, 0),
+    ("FreeBSD", "RedHat", 20, 13, 5),
+    ("FreeBSD", "Windows2000", 4, 4, 4),
+    ("FreeBSD", "Windows2003", 2, 2, 2),
+    ("FreeBSD", "Windows2008", 1, 1, 1),
+    ("OpenSolaris", "Solaris", 27, 22, 6),
+    ("OpenSolaris", "Debian", 1, 1, 0),
+    ("OpenSolaris", "Ubuntu", 1, 1, 0),
+    ("OpenSolaris", "RedHat", 1, 1, 0),
+    ("OpenSolaris", "Windows2000", 0, 0, 0),
+    ("OpenSolaris", "Windows2003", 0, 0, 0),
+    ("OpenSolaris", "Windows2008", 0, 0, 0),
+    ("Solaris", "Debian", 4, 4, 2),
+    ("Solaris", "Ubuntu", 2, 2, 0),
+    ("Solaris", "RedHat", 13, 8, 4),
+    ("Solaris", "Windows2000", 9, 3, 3),
+    ("Solaris", "Windows2003", 7, 1, 1),
+    ("Solaris", "Windows2008", 0, 0, 0),
+    ("Debian", "Ubuntu", 12, 6, 2),
+    ("Debian", "RedHat", 61, 26, 11),
+    ("Debian", "Windows2000", 1, 1, 1),
+    ("Debian", "Windows2003", 0, 0, 0),
+    ("Debian", "Windows2008", 0, 0, 0),
+    ("Ubuntu", "RedHat", 25, 8, 1),
+    ("Ubuntu", "Windows2000", 1, 1, 1),
+    ("Ubuntu", "Windows2003", 0, 0, 0),
+    ("Ubuntu", "Windows2008", 0, 0, 0),
+    ("RedHat", "Windows2000", 2, 1, 1),
+    ("RedHat", "Windows2003", 1, 0, 0),
+    ("RedHat", "Windows2008", 0, 0, 0),
+    ("Windows2000", "Windows2003", 253, 116, 81),
+    ("Windows2000", "Windows2008", 70, 27, 14),
+    ("Windows2003", "Windows2008", 95, 39, 18),
+)
+
+TABLE3_PAIRS: Mapping[Pair, Tuple[int, int, int]] = {
+    pair(a, b): (all_count, noapp, nolocal) for a, b, all_count, noapp, nolocal in _TABLE3_ROWS
+}
+
+# ---------------------------------------------------------------------------
+# Table IV -- shared vulnerabilities on Isolated Thin Servers, broken down by
+# OS part: (Driver, Kernel, System Software).  Pairs not listed share zero.
+# ---------------------------------------------------------------------------
+
+_TABLE4_ROWS: Sequence[Tuple[str, str, int, int, int]] = (
+    ("Windows2000", "Windows2003", 0, 40, 41),
+    ("OpenBSD", "FreeBSD", 1, 14, 17),
+    ("NetBSD", "FreeBSD", 2, 13, 9),
+    ("Windows2003", "Windows2008", 0, 10, 8),
+    ("OpenBSD", "NetBSD", 1, 8, 7),
+    ("Windows2000", "Windows2008", 0, 8, 6),
+    ("Debian", "RedHat", 0, 5, 6),
+    ("FreeBSD", "Solaris", 0, 5, 3),
+    ("NetBSD", "Solaris", 0, 4, 4),
+    ("OpenBSD", "Solaris", 0, 5, 1),
+    ("OpenSolaris", "Solaris", 0, 3, 3),
+    ("FreeBSD", "RedHat", 0, 1, 4),
+    ("FreeBSD", "Windows2000", 1, 3, 0),
+    ("OpenBSD", "RedHat", 0, 1, 3),
+    ("Solaris", "RedHat", 0, 3, 1),
+    ("NetBSD", "Windows2000", 1, 2, 0),
+    ("OpenBSD", "Windows2000", 0, 3, 0),
+    ("Solaris", "Windows2000", 0, 3, 0),
+    ("Solaris", "Debian", 0, 1, 1),
+    ("OpenBSD", "Windows2003", 0, 2, 0),
+    ("FreeBSD", "Windows2003", 0, 2, 0),
+    ("Debian", "Ubuntu", 0, 0, 2),
+    ("NetBSD", "Debian", 0, 0, 2),
+    ("NetBSD", "RedHat", 0, 0, 2),
+    ("NetBSD", "Windows2003", 0, 1, 0),
+    ("NetBSD", "Windows2008", 0, 1, 0),
+    ("OpenBSD", "Windows2008", 0, 1, 0),
+    ("FreeBSD", "Windows2008", 0, 1, 0),
+    ("Solaris", "Windows2003", 0, 1, 0),
+    ("FreeBSD", "Debian", 0, 0, 1),
+    ("Debian", "Windows2000", 0, 0, 1),
+    ("Ubuntu", "RedHat", 0, 0, 1),
+    ("Ubuntu", "Windows2000", 0, 0, 1),
+    ("RedHat", "Windows2000", 0, 0, 1),
+)
+
+TABLE4_PAIRS: Mapping[Pair, Tuple[int, int, int]] = {
+    pair(a, b): (driver, kernel, syssoft) for a, b, driver, kernel, syssoft in _TABLE4_ROWS
+}
+
+# ---------------------------------------------------------------------------
+# Table V -- history (1994-2005) vs observed (2006-2010) shared
+# vulnerabilities for Isolated Thin Servers, eight OSes.
+# Values are (history, observed) per pair.
+# ---------------------------------------------------------------------------
+
+_TABLE5_ROWS: Sequence[Tuple[str, str, int, int]] = (
+    ("OpenBSD", "NetBSD", 9, 7),
+    ("OpenBSD", "FreeBSD", 25, 7),
+    ("OpenBSD", "Solaris", 6, 0),
+    ("OpenBSD", "Debian", 0, 0),
+    ("OpenBSD", "RedHat", 4, 0),
+    ("OpenBSD", "Windows2000", 2, 1),
+    ("OpenBSD", "Windows2003", 1, 1),
+    ("NetBSD", "FreeBSD", 15, 9),
+    ("NetBSD", "Solaris", 8, 0),
+    ("NetBSD", "Debian", 2, 0),
+    ("NetBSD", "RedHat", 2, 0),
+    ("NetBSD", "Windows2000", 2, 1),
+    ("NetBSD", "Windows2003", 0, 1),
+    ("FreeBSD", "Solaris", 8, 0),
+    ("FreeBSD", "Debian", 1, 0),
+    ("FreeBSD", "RedHat", 5, 0),
+    ("FreeBSD", "Windows2000", 3, 1),
+    ("FreeBSD", "Windows2003", 1, 1),
+    ("Solaris", "Debian", 2, 0),
+    ("Solaris", "RedHat", 3, 1),
+    ("Solaris", "Windows2000", 3, 0),
+    ("Solaris", "Windows2003", 1, 0),
+    ("Debian", "RedHat", 10, 1),
+    ("Debian", "Windows2000", 0, 1),
+    ("Debian", "Windows2003", 0, 0),
+    ("RedHat", "Windows2000", 0, 1),
+    ("RedHat", "Windows2003", 0, 0),
+    ("Windows2000", "Windows2003", 35, 46),
+)
+
+TABLE5_PAIRS: Mapping[Pair, Tuple[int, int]] = {
+    pair(a, b): (history, observed) for a, b, history, observed in _TABLE5_ROWS
+}
+
+#: Per-OS split of Isolated-Thin-Server vulnerabilities between history and
+#: observed periods, for the single-OS baseline of Figure 3.  Only Debian's
+#: split is given explicitly in the paper (16 history / 9 observed); the other
+#: entries are derived from the per-OS remote non-application totals and the
+#: family temporal trends of Figure 2 and are used only to shape year
+#: assignment.
+TABLE5_OS_SPLIT: Mapping[str, Tuple[int, int]] = {
+    "OpenBSD": (48, 12),
+    "NetBSD": (31, 10),
+    "FreeBSD": (62, 25),
+    "OpenSolaris": (0, 6),
+    "Solaris": (70, 33),
+    "Debian": (16, 9),
+    "Ubuntu": (4, 6),
+    "RedHat": (42, 16),
+    "Windows2000": (120, 58),
+    "Windows2003": (48, 61),
+    "Windows2008": (0, 26),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 3 -- history vs observed shared vulnerabilities for the evaluated
+# replica configurations (values read off the bar chart).
+# ---------------------------------------------------------------------------
+
+FIGURE3: Mapping[str, Tuple[int, int]] = {
+    "Debian": (16, 9),
+    "Set1": (11, 1),
+    "Set2": (12, 1),
+    "Set3": (26, 2),
+    "Set4": (9, 2),
+}
+
+# ---------------------------------------------------------------------------
+# Table VI -- shared vulnerabilities between (OS, release) pairs for Debian
+# and RedHat releases, Isolated Thin Server configuration.
+# ---------------------------------------------------------------------------
+
+TABLE6_RELEASES: Mapping[str, Tuple[Tuple[str, int], ...]] = {
+    "Debian": (("2.1", 1999), ("3.0", 2002), ("4.0", 2007)),
+    "RedHat": (("6.2*", 2000), ("4.0", 2005), ("5.0", 2007)),
+}
+
+TABLE6: Mapping[Tuple[Tuple[str, str], Tuple[str, str]], int] = {
+    (("Debian", "2.1"), ("Debian", "3.0")): 0,
+    (("Debian", "2.1"), ("Debian", "4.0")): 0,
+    (("Debian", "3.0"), ("Debian", "4.0")): 1,
+    (("RedHat", "6.2*"), ("RedHat", "4.0")): 0,
+    (("RedHat", "6.2*"), ("RedHat", "5.0")): 0,
+    (("RedHat", "4.0"), ("RedHat", "5.0")): 1,
+    (("Debian", "2.1"), ("RedHat", "6.2*")): 0,
+    (("Debian", "2.1"), ("RedHat", "4.0")): 0,
+    (("Debian", "2.1"), ("RedHat", "5.0")): 0,
+    (("Debian", "3.0"), ("RedHat", "6.2*")): 0,
+    (("Debian", "3.0"), ("RedHat", "4.0")): 0,
+    (("Debian", "3.0"), ("RedHat", "5.0")): 0,
+    (("Debian", "4.0"), ("RedHat", "6.2*")): 0,
+    (("Debian", "4.0"), ("RedHat", "4.0")): 1,
+    (("Debian", "4.0"), ("RedHat", "5.0")): 1,
+}
+
+# ---------------------------------------------------------------------------
+# Section IV-B -- vulnerabilities shared by larger OS groups, and the three
+# named multi-OS CVEs.
+# ---------------------------------------------------------------------------
+
+#: Number of vulnerabilities affecting at least k operating systems.
+KSET_TARGETS: Mapping[int, int] = {3: 285, 4: 102, 5: 9}
+
+#: The three named multi-OS vulnerabilities and the OS sets they are given in
+#: the synthetic corpus.  The paper names the CVEs and the group sizes (six,
+#: six and nine operating systems) but not the exact memberships.  The
+#: memberships below are chosen to be (a) plausible for DNS, DHCP and TCP
+#: implementations and (b) consistent with the published per-pair counts:
+#: these CVEs are remote, non-application vulnerabilities, so their members
+#: must form cliques of the non-zero cells of the *Isolated Thin Server*
+#: columns of Tables III/IV.  Those columns admit no clique larger than six
+#: among the 11 studied distributions, so the memberships are capped at
+#: six/five/four OSes; the remaining platforms the paper alludes to are
+#: assumed to fall outside the 11-OS study set.  EXPERIMENTS.md records this
+#: deviation.
+SPECIAL_CVES: Mapping[str, Tuple[str, Tuple[str, ...], str, int]] = {
+    # cve_id: (component class name, affected OSes, short topic, year)
+    # The DNS and DHCP daemons ship with the distributions but are not needed
+    # for basic operation, so they are classified as Application (they are
+    # visible in the Fat Server analysis and the k-set study, but filtered out
+    # of the Thin/Isolated-Thin tables, which keeps Tables IV/V consistent).
+    "CVE-2008-1447": (
+        "Application",
+        ("OpenBSD", "FreeBSD", "Solaris", "Debian", "Ubuntu", "RedHat"),
+        "DNS protocol cache poisoning due to insufficient transaction ID randomness",
+        2008,
+    ),
+    "CVE-2007-5365": (
+        "Application",
+        ("OpenBSD", "NetBSD", "FreeBSD", "Solaris", "Debian", "RedHat"),
+        "DHCP daemon stack-based buffer overflow in option handling",
+        2007,
+    ),
+    "CVE-2008-4609": (
+        "Kernel",
+        (
+            "OpenBSD",
+            "NetBSD",
+            "FreeBSD",
+            "Windows2000",
+            "Windows2003",
+        ),
+        "TCP state-table exhaustion denial of service in the TCP design",
+        2008,
+    ),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 2 -- temporal shape of vulnerability publication per OS.  The values
+# are fractional weights per year (they need not sum to one; the generator
+# normalises them).  They approximate the curves of Figure 2: BSD and Linux
+# peak early-to-mid 2000s and decline, Windows 2000/2003 peak around
+# 2002-2005, recent OSes only have recent years.
+# ---------------------------------------------------------------------------
+
+YEARS: Tuple[int, ...] = tuple(range(1994, 2011))
+
+FIGURE2_YEAR_WEIGHTS: Mapping[str, Mapping[int, float]] = {
+    "OpenBSD": {1996: 2, 1997: 4, 1998: 6, 1999: 10, 2000: 14, 2001: 16, 2002: 20,
+                2003: 14, 2004: 12, 2005: 10, 2006: 8, 2007: 7, 2008: 6, 2009: 5, 2010: 4},
+    "NetBSD": {1996: 2, 1997: 3, 1998: 5, 1999: 8, 2000: 10, 2001: 12, 2002: 14,
+               2003: 12, 2004: 10, 2005: 12, 2006: 10, 2007: 8, 2008: 6, 2009: 5, 2010: 4},
+    "FreeBSD": {1996: 4, 1997: 8, 1998: 10, 1999: 14, 2000: 22, 2001: 24, 2002: 30,
+                2003: 24, 2004: 22, 2005: 24, 2006: 20, 2007: 16, 2008: 14, 2009: 12, 2010: 8},
+    "OpenSolaris": {2008: 10, 2009: 14, 2010: 7},
+    "Solaris": {1994: 4, 1995: 8, 1996: 10, 1997: 12, 1998: 14, 1999: 18, 2000: 20,
+                2001: 22, 2002: 26, 2003: 28, 2004: 30, 2005: 32, 2006: 36, 2007: 48,
+                2008: 40, 2009: 32, 2010: 20},
+    "Debian": {1997: 4, 1998: 8, 1999: 12, 2000: 16, 2001: 20, 2002: 24, 2003: 22,
+               2004: 26, 2005: 28, 2006: 16, 2007: 10, 2008: 8, 2009: 5, 2010: 2},
+    "Ubuntu": {2005: 10, 2006: 20, 2007: 18, 2008: 16, 2009: 14, 2010: 9},
+    "RedHat": {1997: 6, 1998: 10, 1999: 18, 2000: 30, 2001: 34, 2002: 40, 2003: 34,
+               2004: 36, 2005: 38, 2006: 30, 2007: 26, 2008: 24, 2009: 22, 2010: 21},
+    "Windows2000": {1997: 2, 1998: 3, 1999: 10, 2000: 40, 2001: 44, 2002: 56, 2003: 48,
+                    2004: 52, 2005: 56, 2006: 50, 2007: 40, 2008: 36, 2009: 28, 2010: 16},
+    "Windows2003": {2003: 20, 2004: 36, 2005: 44, 2006: 48, 2007: 44, 2008: 56,
+                    2009: 52, 2010: 43},
+    "Windows2008": {2008: 30, 2009: 48, 2010: 40},
+}
+
+# ---------------------------------------------------------------------------
+# Summary findings (Section IV-E) used as regression targets by the
+# benchmark harness.
+# ---------------------------------------------------------------------------
+
+SUMMARY_FINDINGS: Mapping[str, float] = {
+    # Average reduction of shared vulnerabilities from Fat Server to Isolated
+    # Thin Server, over OS pairs (percent).
+    "fat_to_isolated_reduction_pct": 56.0,
+    # Fraction of the 55 pairs with at most one shared vulnerability under the
+    # Isolated Thin Server configuration (percent).
+    "pairs_with_at_most_one_pct": 50.0,
+    # Driver share of all reported OS vulnerabilities (percent, upper bound).
+    "driver_share_pct": 1.5,
+}
+
+
+@dataclass(frozen=True)
+class PaperCalibration:
+    """Bundle of all calibration targets, with validation helpers.
+
+    A frozen dataclass so a calibration instance can be shared freely between
+    the generator, tests and benchmarks.
+    """
+
+    table1: Mapping[str, Tuple[int, int, int, int]] = field(default_factory=lambda: dict(TABLE1))
+    table2: Mapping[str, Tuple[int, int, int, int]] = field(default_factory=lambda: dict(TABLE2))
+    table3_os_totals: Mapping[str, Tuple[int, int, int]] = field(
+        default_factory=lambda: dict(TABLE3_OS_TOTALS)
+    )
+    table3_pairs: Mapping[Pair, Tuple[int, int, int]] = field(
+        default_factory=lambda: dict(TABLE3_PAIRS)
+    )
+    table4_pairs: Mapping[Pair, Tuple[int, int, int]] = field(
+        default_factory=lambda: dict(TABLE4_PAIRS)
+    )
+    table5_pairs: Mapping[Pair, Tuple[int, int]] = field(
+        default_factory=lambda: dict(TABLE5_PAIRS)
+    )
+    table6: Mapping[Tuple[Tuple[str, str], Tuple[str, str]], int] = field(
+        default_factory=lambda: dict(TABLE6)
+    )
+    figure2_weights: Mapping[str, Mapping[int, float]] = field(
+        default_factory=lambda: {k: dict(v) for k, v in FIGURE2_YEAR_WEIGHTS.items()}
+    )
+    figure3: Mapping[str, Tuple[int, int]] = field(default_factory=lambda: dict(FIGURE3))
+    kset_targets: Mapping[int, int] = field(default_factory=lambda: dict(KSET_TARGETS))
+    special_cves: Mapping[str, Tuple[str, Tuple[str, ...], str, int]] = field(
+        default_factory=lambda: dict(SPECIAL_CVES)
+    )
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal consistency of the transcription.
+
+        These checks reproduce consistency facts that hold in the paper, e.g.
+        that the Table II class counts sum to the Table I valid counts and
+        that the Table IV part counts sum to the Table III isolated-thin pair
+        counts.  A failed check indicates a transcription error, not a
+        modelling limitation.
+        """
+        for os_name in OS_NAMES:
+            valid = self.table1[os_name][0]
+            class_total = sum(self.table2[os_name])
+            if valid != class_total:
+                raise ValueError(
+                    f"Table I/II mismatch for {os_name}: {valid} valid vs "
+                    f"{class_total} classified"
+                )
+            all_total, noapp, nolocal = self.table3_os_totals[os_name]
+            if all_total != valid:
+                raise ValueError(f"Table I/III mismatch for {os_name}")
+            apps = self.table2[os_name][3]
+            if noapp != valid - apps:
+                raise ValueError(f"Table II/III no-application mismatch for {os_name}")
+            if not 0 <= nolocal <= noapp:
+                raise ValueError(f"Table III filter ordering violated for {os_name}")
+        for key, (all_count, noapp, nolocal) in self.table3_pairs.items():
+            if not all_count >= noapp >= nolocal >= 0:
+                raise ValueError(f"Table III pair {sorted(key)} is not monotone")
+        for key, parts in self.table4_pairs.items():
+            expected = self.table3_pairs[key][2]
+            if sum(parts) != expected:
+                raise ValueError(
+                    f"Table III/IV mismatch for {sorted(key)}: {sum(parts)} != {expected}"
+                )
+        for key, (history, observed) in self.table5_pairs.items():
+            expected = self.table3_pairs[key][2]
+            if history + observed != expected:
+                raise ValueError(
+                    f"Table III/V mismatch for {sorted(key)}: "
+                    f"{history}+{observed} != {expected}"
+                )
+
+    # -- convenience accessors ----------------------------------------------
+
+    def pair_target(self, a: str, b: str) -> Tuple[int, int, int]:
+        """Shared-vulnerability targets (all, no-app, no-app-no-local) for a pair."""
+        return self.table3_pairs.get(pair(a, b), (0, 0, 0))
+
+    def pair_parts(self, a: str, b: str) -> Tuple[int, int, int]:
+        """Isolated-thin shared counts per part (driver, kernel, syssoft)."""
+        return self.table4_pairs.get(pair(a, b), (0, 0, 0))
+
+    def pair_periods(self, a: str, b: str) -> Tuple[int, int]:
+        """(history, observed) isolated-thin shared counts, when available."""
+        return self.table5_pairs.get(pair(a, b), (-1, -1))
+
+    def all_pairs(self) -> Dict[Pair, Tuple[int, int, int]]:
+        return dict(self.table3_pairs)

@@ -1,0 +1,113 @@
+"""The packaged synthetic corpus and convenience builders.
+
+A :class:`SyntheticCorpus` holds the generated entries plus the generator
+diagnostics, and knows how to serialise itself into NVD-style XML/JSON data
+feeds (so the full collection pipeline can be exercised end to end) and into
+the in-memory dataset consumed by :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.models import VulnerabilityEntry
+from repro.nvd.cpe import format_cpe_uri
+from repro.nvd.cvss import format_cvss_vector
+from repro.nvd.feed_parser import RawFeedEntry
+from repro.nvd.feed_writer import write_yearly_feeds
+from repro.nvd.json_feed import dump_json_feed
+from repro.synthetic.calibration import PaperCalibration
+from repro.synthetic.generator import CorpusGenerator
+
+
+@dataclass
+class SyntheticCorpus:
+    """A generated vulnerability corpus calibrated to the paper."""
+
+    entries: List[VulnerabilityEntry]
+    calibration: PaperCalibration
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def valid_entries(self) -> List[VulnerabilityEntry]:
+        """Entries that survive the manual validity filtering (Table I)."""
+        return [entry for entry in self.entries if entry.is_valid]
+
+    @property
+    def excluded_entries(self) -> List[VulnerabilityEntry]:
+        return [entry for entry in self.entries if not entry.is_valid]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, cve_id: str) -> VulnerabilityEntry:
+        """Look up an entry by CVE identifier."""
+        for candidate in self.entries:
+            if candidate.cve_id == cve_id:
+                return candidate
+        raise KeyError(f"no entry with id {cve_id!r}")
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_raw_feed_entries(self) -> List[RawFeedEntry]:
+        """Convert the corpus into raw feed entries (for the XML/JSON writers)."""
+        raw: List[RawFeedEntry] = []
+        for entry in self.entries:
+            raw.append(
+                RawFeedEntry(
+                    cve_id=entry.cve_id,
+                    published=entry.published,
+                    summary=entry.summary,
+                    cvss_vector=format_cvss_vector(entry.cvss),
+                    cpe_uris=tuple(format_cpe_uri(cpe) for cpe in entry.raw_cpes),
+                )
+            )
+        return raw
+
+    def write_xml_feeds(self, directory: Union[str, Path]) -> List[Path]:
+        """Write the corpus as per-year NVD-style XML feeds."""
+        return write_yearly_feeds(self.to_raw_feed_entries(), directory)
+
+    def write_json_feed(self, path: Union[str, Path]) -> Path:
+        """Write the corpus as a single NVD-style JSON feed."""
+        return dump_json_feed(self.to_raw_feed_entries(), path)
+
+
+def build_corpus(
+    seed: int = 20110627,
+    calibration: Optional[PaperCalibration] = None,
+    kset_targets: Optional[Mapping[int, int]] = None,
+    include_invalid: bool = True,
+) -> SyntheticCorpus:
+    """Build the calibrated synthetic corpus.
+
+    The construction is deterministic for a given ``seed``; the default seed
+    is the paper's presentation date and is used throughout the tests,
+    examples and benchmarks so that everyone sees the same corpus.
+    """
+    generator = CorpusGenerator(
+        calibration=calibration,
+        kset_targets=kset_targets,
+        seed=seed,
+        include_invalid=include_invalid,
+    )
+    entries = generator.generate()
+    stats = dict(generator.stats)
+    if generator.solver_result is not None:
+        stats.update({f"solver_{k}": v for k, v in generator.solver_result.stats.items()})
+    return SyntheticCorpus(
+        entries=entries,
+        calibration=generator.calibration,
+        stats=stats,
+    )
+
+
+@functools.lru_cache(maxsize=2)
+def default_corpus(seed: int = 20110627) -> SyntheticCorpus:
+    """A cached copy of the default corpus (shared by tests and benchmarks)."""
+    return build_corpus(seed=seed)

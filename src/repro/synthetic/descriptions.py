@@ -1,0 +1,142 @@
+"""Templated CVE description text for the synthetic corpus.
+
+The paper classifies vulnerabilities into component classes by reading the
+NVD description of each entry (Section III-B).  The synthetic corpus
+generates descriptions from the templates below so that the keyword-rule
+classifier in :mod:`repro.classify.rules` -- a faithful automation of that
+manual step -- recovers the intended class.  A small fraction of templates
+are deliberately ambiguous, to exercise the classifier's fallback logic and
+the manual-override mechanism in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+from repro.core.enums import AccessVector, ComponentClass
+
+#: Subject phrases per component class.  Each phrase contains at least one of
+#: the keywords the rule classifier looks for.
+_SUBJECTS: Mapping[ComponentClass, Tuple[str, ...]] = {
+    ComponentClass.KERNEL: (
+        "the TCP/IP stack",
+        "the IPv6 protocol implementation in the kernel",
+        "the kernel virtual memory subsystem",
+        "the UFS file system implementation",
+        "the process scheduler",
+        "the system call handler",
+        "kernel task management",
+        "the loopback network interface handling in the kernel",
+        "the signal delivery code in the kernel",
+        "the ICMP error handling in the network stack",
+        "the kernel core dump facility",
+        "the page fault handler on x86 processors",
+    ),
+    ComponentClass.DRIVER: (
+        "the wireless network card driver",
+        "the wired ethernet adapter driver",
+        "the video graphics card driver",
+        "the USB web cam driver",
+        "the audio card driver",
+        "the Universal Plug and Play device driver",
+        "the bluetooth adapter driver",
+    ),
+    ComponentClass.SYSTEM_SOFTWARE: (
+        "the login service",
+        "the default command shell",
+        "the system cron daemon",
+        "the syslog daemon",
+        "the DHCP client daemon installed by default",
+        "the DNS resolver library shipped with the base system",
+        "the telnet daemon in the base system",
+        "the ftp daemon provided with the distribution",
+        "the printing subsystem daemon",
+        "the PAM authentication modules",
+        "the network configuration utility",
+        "the default mail transfer agent of the base system",
+    ),
+    ComponentClass.APPLICATION: (
+        "the bundled web browser application",
+        "the database management system shipped with the distribution",
+        "the instant messenger client",
+        "the text editor application",
+        "the email client application",
+        "the FTP client application",
+        "the media player application",
+        "the Java virtual machine package",
+        "the antivirus product",
+        "the Kerberos administration application",
+        "the LDAP directory server package",
+        "the office word processor application",
+    ),
+}
+
+#: Flaw phrases; the second element states whether the flaw is typically
+#: remotely reachable, used only to make descriptions read sensibly.
+_FLAWS: Sequence[Tuple[str, bool]] = (
+    ("a buffer overflow that allows attackers to execute arbitrary code", True),
+    ("an integer overflow leading to memory corruption", True),
+    ("a format string error that allows code execution", True),
+    ("a NULL pointer dereference causing a denial of service", False),
+    ("a race condition that allows privilege escalation", False),
+    ("improper input validation that allows a denial of service", True),
+    ("a use-after-free error that allows code execution", True),
+    ("an information disclosure of sensitive memory contents", True),
+    ("a directory traversal that allows access to restricted files", True),
+    ("missing access checks that allow local privilege escalation", False),
+)
+
+_REMOTE_CLAUSE = "Remote attackers can exploit this issue via crafted network packets."
+_ADJACENT_CLAUSE = "Attackers on the local network segment can exploit this issue."
+_LOCAL_CLAUSE = "Local users can exploit this issue to gain elevated privileges."
+
+
+def describe(
+    component_class: ComponentClass,
+    access_vector: AccessVector,
+    os_names: Sequence[str],
+    salt: int,
+) -> str:
+    """Deterministically build a CVE-style description.
+
+    ``salt`` selects among the templates so that different entries with the
+    same attributes still get varied text.
+    """
+    subjects = _SUBJECTS[component_class]
+    subject = subjects[salt % len(subjects)]
+    flaw, _ = _FLAWS[(salt // len(subjects)) % len(_FLAWS)]
+    if access_vector is AccessVector.NETWORK:
+        clause = _REMOTE_CLAUSE
+    elif access_vector is AccessVector.ADJACENT_NETWORK:
+        clause = _ADJACENT_CLAUSE
+    else:
+        clause = _LOCAL_CLAUSE
+    platform = ", ".join(sorted(os_names))
+    return (
+        f"{subject.capitalize()} in {platform} contains {flaw}. {clause}"
+    )
+
+
+def describe_invalid(kind: str, os_names: Sequence[str], salt: int) -> str:
+    """Description text for entries excluded from the study.
+
+    ``kind`` is one of ``unknown``, ``unspecified`` or ``disputed``; the text
+    contains the same markers the paper's manual filtering keyed on.
+    """
+    platform = ", ".join(sorted(os_names))
+    if kind == "unknown":
+        return (
+            f"Unknown vulnerability in {platform} mentioned in a vendor patch, "
+            "with unknown impact and attack vectors."
+        )
+    if kind == "unspecified":
+        return (
+            f"Unspecified vulnerability in {platform} has unspecified impact and "
+            "attack vectors, as referenced by a vendor advisory."
+        )
+    if kind == "disputed":
+        return (
+            f"** DISPUTED ** A reported issue in {platform} allows a denial of "
+            "service; the vendor disputes that this is a vulnerability."
+        )
+    raise ValueError(f"unknown invalid-entry kind: {kind!r}")

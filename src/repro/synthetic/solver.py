@@ -1,0 +1,309 @@
+"""Constructive solver for the affected-OS-set structure of the corpus.
+
+The paper publishes per-OS vulnerability totals (Table I) and per-pair shared
+counts (Table III), plus the number of vulnerabilities shared by three, four
+and five OSes and three named CVEs shared by six and nine OSes
+(Section IV-B).  It does *not* publish the affected-OS set of every
+vulnerability, so the synthetic corpus has to reconstruct a multiset of OS
+subsets that is consistent with the published aggregates.
+
+The solver works in four phases:
+
+1. subtract the contribution of the three named multi-OS CVEs from the pair
+   targets;
+2. greedily place k-OS groups (k = 5, 4, 3) to approach the paper's
+   higher-order sharing counts, always choosing the k-clique whose minimum
+   remaining pair budget is largest (so no pair target is overdrawn);
+3. repair per-OS feasibility: if the pairwise structure would overshoot an
+   OS's total vulnerability count, merge pair triangles into triples (this
+   keeps every pair count intact while reducing each member's total by one);
+4. emit the remaining pair budgets as exactly-two-OS vulnerabilities and fill
+   each OS up to its Table I total with single-OS vulnerabilities.
+
+All choices are deterministic, so the corpus is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.constants import OS_NAMES
+from repro.core.exceptions import CalibrationError
+from repro.synthetic.calibration import PaperCalibration, Pair, pair
+
+OSSet = FrozenSet[str]
+
+
+@dataclass
+class SolverResult:
+    """Output of the overlap solver."""
+
+    #: Named multi-OS CVEs (cve_id -> affected OS set), placed first.
+    special_groups: Dict[str, OSSet]
+    #: Multi-OS (k >= 3) groups produced by the greedy/repair phases.
+    groups: List[OSSet]
+    #: Remaining exactly-two-OS vulnerabilities: pair -> count.
+    pair_counts: Dict[Pair, int]
+    #: Single-OS vulnerabilities per OS.
+    singleton_counts: Dict[str, int]
+    #: Diagnostics (targets met / shortfalls).
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived views ------------------------------------------------------
+
+    def implied_os_totals(self) -> Dict[str, int]:
+        """Number of distinct vulnerabilities per OS implied by the structure."""
+        totals = {name: 0 for name in OS_NAMES}
+        for group in self.special_groups.values():
+            for name in group:
+                totals[name] += 1
+        for group in self.groups:
+            for name in group:
+                totals[name] += 1
+        for key, count in self.pair_counts.items():
+            for name in key:
+                totals[name] += count
+        for name, count in self.singleton_counts.items():
+            totals[name] += count
+        return totals
+
+    def implied_pair_totals(self) -> Dict[Pair, int]:
+        """Shared-vulnerability count per OS pair implied by the structure."""
+        totals: Dict[Pair, int] = {}
+        for group in list(self.special_groups.values()) + list(self.groups):
+            for a, b in itertools.combinations(sorted(group), 2):
+                key = pair(a, b)
+                totals[key] = totals.get(key, 0) + 1
+        for key, count in self.pair_counts.items():
+            if count:
+                totals[key] = totals.get(key, 0) + count
+        return totals
+
+    def total_distinct(self) -> int:
+        """Total number of distinct vulnerabilities in the structure."""
+        return (
+            len(self.special_groups)
+            + len(self.groups)
+            + sum(self.pair_counts.values())
+            + sum(self.singleton_counts.values())
+        )
+
+    def all_groups(self) -> List[OSSet]:
+        """Every affected-OS set, expanded (one element per vulnerability)."""
+        out: List[OSSet] = list(self.special_groups.values())
+        out.extend(self.groups)
+        for key, count in sorted(self.pair_counts.items(), key=lambda kv: sorted(kv[0])):
+            out.extend([key] * count)
+        for name in OS_NAMES:
+            out.extend([frozenset((name,))] * self.singleton_counts.get(name, 0))
+        return out
+
+
+class OverlapSolver:
+    """Builds the affected-OS-set multiset from the calibration targets."""
+
+    def __init__(
+        self,
+        calibration: Optional[PaperCalibration] = None,
+        kset_targets: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self.calibration = calibration or PaperCalibration()
+        self.calibration.validate()
+        targets = dict(kset_targets or self.calibration.kset_targets)
+        self._ge3 = targets.get(3, 0)
+        self._ge4 = targets.get(4, 0)
+        self._ge5 = targets.get(5, 0)
+        if not self._ge3 >= self._ge4 >= self._ge5 >= 0:
+            raise CalibrationError("k-set targets must be monotonically decreasing in k")
+
+    # -- public API ----------------------------------------------------------
+
+    def solve(self) -> SolverResult:
+        calibration = self.calibration
+        pair_rem: Dict[Pair, int] = {
+            key: counts[0] for key, counts in calibration.table3_pairs.items()
+        }
+        valid_totals = {name: calibration.table1[name][0] for name in OS_NAMES}
+
+        special_groups = {
+            cve_id: frozenset(oses)
+            for cve_id, (_cls, oses, _topic, _year) in calibration.special_cves.items()
+        }
+        self._subtract_groups(pair_rem, special_groups.values())
+
+        specials_ge = {k: sum(1 for g in special_groups.values() if len(g) >= k) for k in (3, 4, 5)}
+        exact5 = max(0, self._ge5 - specials_ge[5])
+        exact4 = max(0, (self._ge4 - specials_ge[4]) - exact5)
+        exact3 = max(0, (self._ge3 - specials_ge[3]) - exact5 - exact4)
+
+        groups: List[OSSet] = []
+        shortfalls: Dict[int, int] = {}
+        for size, count in ((5, exact5), (4, exact4), (3, exact3)):
+            placed = self._place_groups(pair_rem, size, count, groups)
+            shortfalls[size] = count - placed
+
+        repaired = self._repair_totals(pair_rem, valid_totals, special_groups, groups)
+
+        singleton_counts = self._singleton_counts(
+            pair_rem, valid_totals, special_groups, groups
+        )
+
+        result = SolverResult(
+            special_groups=special_groups,
+            groups=groups,
+            pair_counts={key: count for key, count in pair_rem.items() if count > 0},
+            singleton_counts=singleton_counts,
+            stats={
+                "shortfall_3": float(shortfalls[3]),
+                "shortfall_4": float(shortfalls[4]),
+                "shortfall_5": float(shortfalls[5]),
+                "repair_triples": float(repaired),
+                "distinct": float(0),  # filled below
+            },
+        )
+        result.stats["distinct"] = float(result.total_distinct())
+        self._check(result)
+        return result
+
+    # -- phases --------------------------------------------------------------
+
+    @staticmethod
+    def _subtract_groups(pair_rem: Dict[Pair, int], groups) -> None:
+        for group in groups:
+            for a, b in itertools.combinations(sorted(group), 2):
+                key = pair(a, b)
+                if key in pair_rem and pair_rem[key] > 0:
+                    pair_rem[key] -= 1
+
+    def _place_groups(
+        self,
+        pair_rem: Dict[Pair, int],
+        size: int,
+        count: int,
+        groups: List[OSSet],
+    ) -> int:
+        """Greedily place ``count`` groups of ``size`` OSes; return how many fit."""
+        placed = 0
+        candidates = [frozenset(c) for c in itertools.combinations(OS_NAMES, size)]
+        for _ in range(count):
+            best: Optional[OSSet] = None
+            best_key: Tuple[int, int, Tuple[str, ...]] = (-1, -1, ())
+            for candidate in candidates:
+                budgets = [
+                    pair_rem.get(pair(a, b), 0)
+                    for a, b in itertools.combinations(sorted(candidate), 2)
+                ]
+                minimum = min(budgets)
+                if minimum < 1:
+                    continue
+                key = (minimum, sum(budgets), tuple(sorted(candidate)))
+                if key > best_key:
+                    best_key = key
+                    best = candidate
+            if best is None:
+                break
+            for a, b in itertools.combinations(sorted(best), 2):
+                pair_rem[pair(a, b)] -= 1
+            groups.append(best)
+            placed += 1
+        return placed
+
+    def _repair_totals(
+        self,
+        pair_rem: Dict[Pair, int],
+        valid_totals: Mapping[str, int],
+        special_groups: Mapping[str, OSSet],
+        groups: List[OSSet],
+    ) -> int:
+        """Merge pair triangles into triples until no OS total is overdrawn."""
+
+        def implied(name: str) -> int:
+            total = sum(1 for g in special_groups.values() if name in g)
+            total += sum(1 for g in groups if name in g)
+            total += sum(count for key, count in pair_rem.items() if name in key)
+            return total
+
+        repaired = 0
+        for _ in range(10_000):  # hard bound; each iteration makes progress
+            overdrawn = [
+                name for name in OS_NAMES if implied(name) > valid_totals[name]
+            ]
+            if not overdrawn:
+                break
+            name = max(overdrawn, key=lambda n: implied(n) - valid_totals[n])
+            triangle = self._find_triangle(pair_rem, name)
+            if triangle is None:
+                raise CalibrationError(
+                    f"cannot repair OS total for {name}: no pair triangle available"
+                )
+            for a, b in itertools.combinations(sorted(triangle), 2):
+                pair_rem[pair(a, b)] -= 1
+            groups.append(triangle)
+            repaired += 1
+        else:  # pragma: no cover - defensive
+            raise CalibrationError("feasibility repair did not converge")
+        return repaired
+
+    @staticmethod
+    def _find_triangle(pair_rem: Dict[Pair, int], name: str) -> Optional[OSSet]:
+        """A triangle of positive pair budgets containing ``name``, if any.
+
+        Prefers the triangle whose minimum budget is largest, so repair never
+        starves a small pair target.
+        """
+        best: Optional[OSSet] = None
+        best_key: Tuple[int, Tuple[str, ...]] = (-1, ())
+        others = [n for n in OS_NAMES if n != name]
+        for a, b in itertools.combinations(others, 2):
+            budgets = (
+                pair_rem.get(pair(name, a), 0),
+                pair_rem.get(pair(name, b), 0),
+                pair_rem.get(pair(a, b), 0),
+            )
+            minimum = min(budgets)
+            if minimum < 1:
+                continue
+            key = (minimum, tuple(sorted((name, a, b))))
+            if key > best_key:
+                best_key = key
+                best = frozenset((name, a, b))
+        return best
+
+    @staticmethod
+    def _singleton_counts(
+        pair_rem: Mapping[Pair, int],
+        valid_totals: Mapping[str, int],
+        special_groups: Mapping[str, OSSet],
+        groups: Sequence[OSSet],
+    ) -> Dict[str, int]:
+        singles: Dict[str, int] = {}
+        for name in OS_NAMES:
+            implied = sum(1 for g in special_groups.values() if name in g)
+            implied += sum(1 for g in groups if name in g)
+            implied += sum(count for key, count in pair_rem.items() if name in key)
+            singles[name] = valid_totals[name] - implied
+        return singles
+
+    def _check(self, result: SolverResult) -> None:
+        """Post-conditions: per-OS totals exact, pair totals exact, no negatives."""
+        calibration = self.calibration
+        totals = result.implied_os_totals()
+        for name in OS_NAMES:
+            expected = calibration.table1[name][0]
+            if totals[name] != expected:
+                raise CalibrationError(
+                    f"solver produced {totals[name]} vulnerabilities for {name}, "
+                    f"expected {expected}"
+                )
+            if result.singleton_counts[name] < 0:
+                raise CalibrationError(f"negative singleton count for {name}")
+        pair_totals = result.implied_pair_totals()
+        for key, (target, _noapp, _nolocal) in calibration.table3_pairs.items():
+            actual = pair_totals.get(key, 0)
+            if actual != target:
+                raise CalibrationError(
+                    f"solver produced {actual} shared vulnerabilities for "
+                    f"{sorted(key)}, expected {target}"
+                )

@@ -1,0 +1,129 @@
+"""Tests for the discovery-model fitting and the sensitivity/ablation analyses."""
+
+import pytest
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.discovery import DiscoveryModelAnalysis, ModelFit, _r_squared
+from repro.analysis.sensitivity import SensitivityAnalysis
+from repro.core.constants import TABLE5_OSES
+from tests.conftest import make_entry
+
+import numpy as np
+
+
+class TestRSquared:
+    def test_perfect_fit(self):
+        observed = np.array([1.0, 2.0, 3.0])
+        assert _r_squared(observed, observed) == 1.0
+
+    def test_mean_prediction_scores_zero(self):
+        observed = np.array([1.0, 2.0, 3.0])
+        predicted = np.full(3, observed.mean())
+        assert _r_squared(observed, predicted) == pytest.approx(0.0)
+
+    def test_constant_series(self):
+        observed = np.array([5.0, 5.0, 5.0])
+        assert _r_squared(observed, observed) == 1.0
+        assert _r_squared(observed, observed + 1.0) == 0.0
+
+
+class TestDiscoveryModels:
+    @pytest.fixture(scope="class")
+    def analysis(self, valid_dataset):
+        return DiscoveryModelAnalysis(valid_dataset)
+
+    def test_cumulative_series_is_monotone(self, analysis):
+        years, cumulative = analysis.cumulative_series("Solaris")
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == 400  # Solaris total from Table I
+
+    def test_cumulative_series_trims_leading_zeros(self, analysis):
+        years, cumulative = analysis.cumulative_series("Windows2008")
+        assert years[0] >= 2007
+        assert cumulative[0] > 0
+
+    def test_linear_fit_reasonable(self, analysis):
+        fit = analysis.fit_linear("Windows2000")
+        assert fit.model == "linear"
+        assert fit.r_squared > 0.8
+        assert fit.parameters[1] > 0  # positive slope
+
+    def test_logistic_fit_reasonable(self, analysis):
+        fit = analysis.fit_logistic("Windows2000")
+        assert fit.model == "logistic"
+        assert fit.r_squared > 0.8
+        # The saturation estimate is at least the observed total.
+        assert fit.parameters[1] >= 400
+
+    def test_predict_matches_predictions(self, analysis):
+        fit = analysis.fit_linear("Debian")
+        assert fit.predict(0.0) == pytest.approx(fit.predictions[0])
+
+    def test_fit_requires_enough_data(self):
+        tiny = VulnerabilityDataset([make_entry(cve_id="CVE-2005-0001", oses=("Debian",))])
+        with pytest.raises(ValueError):
+            DiscoveryModelAnalysis(tiny, 2005, 2005).fit_linear("Debian")
+        with pytest.raises(ValueError):
+            DiscoveryModelAnalysis(tiny, 2005, 2007).fit_logistic("Debian")
+
+    def test_compare_models_returns_both(self, analysis):
+        fits = analysis.compare_models("RedHat")
+        assert set(fits) == {"linear", "logistic"}
+        assert all(isinstance(fit, ModelFit) for fit in fits.values())
+
+    def test_best_model_per_os_covers_major_oses(self, analysis):
+        winners = analysis.best_model_per_os(TABLE5_OSES)
+        assert set(winners) == set(TABLE5_OSES)
+        assert set(winners.values()) <= {"linear", "logistic"}
+
+    def test_saturation_estimates_bounded_below_by_observed(self, analysis, valid_dataset):
+        estimates = analysis.saturation_estimates(("Solaris", "Windows2000"))
+        assert estimates["Solaris"] >= valid_dataset.count_for("Solaris") * 0.5
+        assert estimates["Windows2000"] >= valid_dataset.count_for("Windows2000") * 0.5
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def sensitivity(self, dataset):
+        return SensitivityAnalysis(dataset)
+
+    def test_validity_filter_ablation(self, sensitivity):
+        result = sensitivity.validity_filter_ablation()
+        assert 0.0 <= result.baseline <= 100.0
+        assert 0.0 <= result.variant <= 100.0
+        # Adding ~230 extra (mostly single-OS) entries cannot increase the
+        # share of pairs with at most one common vulnerability by much.
+        assert result.variant <= result.baseline + 5.0
+
+    def test_configuration_ablation_shows_filter_value(self, sensitivity):
+        results = {result.name: result for result in sensitivity.configuration_ablation()}
+        assert len(results) == 2
+        for result in results.values():
+            # The Isolated Thin profile (baseline) always yields at least as
+            # many low-sharing pairs as the fatter profiles.
+            assert result.baseline >= result.variant
+
+    def test_split_year_sensitivity_recommendations_are_stable(self, sensitivity):
+        recommendations = sensitivity.split_year_sensitivity((2004, 2005, 2006))
+        assert set(recommendations) == {2004, 2005, 2006}
+        for group in recommendations.values():
+            assert len(group) == 4
+            # Windows and Solaris cross-family members keep appearing.
+            assert "Windows2003" in group or "Windows2000" in group
+
+    def test_seed_sensitivity_reduction_stable(self, sensitivity):
+        values = sensitivity.seed_sensitivity(seeds=(1, 2), statistic="reduction")
+        assert set(values) == {1, 2}
+        for value in values.values():
+            assert 45.0 <= value <= 70.0
+
+    def test_seed_sensitivity_unknown_statistic(self, sensitivity):
+        with pytest.raises(ValueError):
+            sensitivity.seed_sensitivity(seeds=(1,), statistic="bogus")
+
+    def test_leave_one_os_out(self, sensitivity):
+        recommendations = sensitivity.leave_one_os_out()
+        assert set(recommendations) == set(TABLE5_OSES)
+        for excluded, group in recommendations.items():
+            assert excluded not in group
+            assert len(group) == 4

@@ -1,0 +1,125 @@
+"""Tests for the pairwise analysis (Table III) and part breakdowns (Tables II/IV)."""
+
+import pytest
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.parts import (
+    class_distribution,
+    class_percentages,
+    family_class_totals,
+    shared_by_part,
+)
+from repro.core.enums import AccessVector, ComponentClass, OSFamily, ServerConfiguration
+from tests.conftest import make_entry
+
+
+@pytest.fixture()
+def pair_dataset():
+    entries = [
+        make_entry(cve_id="CVE-2003-0001", oses=("Debian", "RedHat"),
+                   component_class=ComponentClass.KERNEL),
+        make_entry(cve_id="CVE-2004-0002", oses=("Debian", "RedHat"),
+                   component_class=ComponentClass.APPLICATION),
+        make_entry(cve_id="CVE-2005-0003", oses=("Debian", "RedHat"),
+                   component_class=ComponentClass.SYSTEM_SOFTWARE, access=AccessVector.LOCAL),
+        make_entry(cve_id="CVE-2005-0004", oses=("Debian",),
+                   component_class=ComponentClass.KERNEL),
+        make_entry(cve_id="CVE-2006-0005", oses=("RedHat",),
+                   component_class=ComponentClass.DRIVER),
+    ]
+    return VulnerabilityDataset(entries)
+
+
+class TestPairAnalysis:
+    def test_analyze_pair_counts(self, pair_dataset):
+        analysis = PairAnalysis(pair_dataset, ("Debian", "RedHat"))
+        fat = analysis.analyze_pair("Debian", "RedHat", ServerConfiguration.FAT)
+        assert (fat.count_a, fat.count_b, fat.shared) == (4, 4, 3)
+        thin = analysis.analyze_pair("Debian", "RedHat", ServerConfiguration.THIN)
+        assert thin.shared == 2
+        isolated = analysis.analyze_pair("Debian", "RedHat", ServerConfiguration.ISOLATED_THIN)
+        assert isolated.shared == 1
+
+    def test_table_contains_every_pair_and_configuration(self, pair_dataset):
+        analysis = PairAnalysis(pair_dataset, ("Debian", "RedHat"))
+        table = analysis.table()
+        assert set(table) == {("Debian", "RedHat")}
+        assert set(table[("Debian", "RedHat")]) == set(ServerConfiguration)
+
+    def test_55_pairs_on_full_catalog(self, valid_dataset):
+        analysis = PairAnalysis(valid_dataset)
+        assert len(analysis.pairs()) == 55
+
+    def test_shared_fraction(self, pair_dataset):
+        analysis = PairAnalysis(pair_dataset, ("Debian", "RedHat"))
+        result = analysis.analyze_pair("Debian", "RedHat", ServerConfiguration.FAT)
+        assert result.shared_fraction == pytest.approx(3 / 4)
+
+    def test_pairs_with_at_most(self, pair_dataset):
+        analysis = PairAnalysis(pair_dataset, ("Debian", "RedHat"))
+        assert analysis.pairs_with_at_most(1, ServerConfiguration.ISOLATED_THIN) == [
+            ("Debian", "RedHat")
+        ]
+        assert analysis.pairs_with_at_most(0, ServerConfiguration.ISOLATED_THIN) == []
+
+    def test_reduction_between(self, pair_dataset):
+        analysis = PairAnalysis(pair_dataset, ("Debian", "RedHat"))
+        reduction = analysis.reduction_between(
+            ServerConfiguration.FAT, ServerConfiguration.ISOLATED_THIN
+        )
+        assert reduction == pytest.approx(100.0 * (3 - 1) / 3)
+
+    def test_reduction_on_corpus_matches_paper_ballpark(self, valid_dataset):
+        analysis = PairAnalysis(valid_dataset)
+        reduction = analysis.reduction_between(
+            ServerConfiguration.FAT, ServerConfiguration.ISOLATED_THIN
+        )
+        # The paper reports a 56% average reduction (finding 1).
+        assert 45.0 <= reduction <= 70.0
+
+    def test_more_than_half_of_pairs_share_at_most_one(self, valid_dataset):
+        analysis = PairAnalysis(valid_dataset)
+        low = analysis.pairs_with_at_most(1, ServerConfiguration.ISOLATED_THIN)
+        assert len(low) > len(analysis.pairs()) / 2
+
+
+class TestParts:
+    def test_class_distribution(self, pair_dataset):
+        distribution = class_distribution(pair_dataset, ("Debian", "RedHat"))
+        assert distribution["Debian"][ComponentClass.KERNEL] == 2
+        assert distribution["RedHat"][ComponentClass.DRIVER] == 1
+
+    def test_class_percentages_sum_to_100(self, valid_dataset):
+        percentages = class_percentages(valid_dataset)
+        assert sum(percentages.values()) == pytest.approx(100.0, abs=0.01)
+
+    def test_class_percentages_empty_dataset(self):
+        empty = VulnerabilityDataset([])
+        assert set(class_percentages(empty).values()) == {0.0}
+
+    def test_driver_share_is_small_on_corpus(self, valid_dataset):
+        percentages = class_percentages(valid_dataset)
+        assert percentages[ComponentClass.DRIVER] < 2.0
+
+    def test_shared_by_part(self, pair_dataset):
+        breakdown = shared_by_part(pair_dataset, os_names=("Debian", "RedHat"))
+        parts = breakdown[("Debian", "RedHat")]
+        assert parts[ComponentClass.KERNEL] == 1
+        assert parts[ComponentClass.SYSTEM_SOFTWARE] == 0
+        assert ComponentClass.APPLICATION not in parts
+
+    def test_shared_by_part_orders_by_total(self, valid_dataset):
+        breakdown = shared_by_part(valid_dataset)
+        totals = [sum(parts.values()) for parts in breakdown.values()]
+        assert totals == sorted(totals, reverse=True)
+        # Windows 2000/2003 is the heaviest pair in the paper and here.
+        assert list(breakdown)[0] == ("Windows2000", "Windows2003")
+
+    def test_family_class_totals(self, valid_dataset):
+        totals = family_class_totals(valid_dataset)
+        # Kernel dominates in the BSD family, Applications in Linux/Windows
+        # (the observation the paper draws from Table II).
+        assert totals["BSD"][ComponentClass.KERNEL] > totals["BSD"][ComponentClass.APPLICATION]
+        assert totals["Linux"][ComponentClass.APPLICATION] > totals["Linux"][ComponentClass.KERNEL]
+        assert totals["Windows"][ComponentClass.APPLICATION] > totals["Windows"][ComponentClass.KERNEL]

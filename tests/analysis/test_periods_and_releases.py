@@ -1,0 +1,180 @@
+"""Tests for the history/observed analysis (Table V, Figure 3) and Table VI."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.releases import ReleaseDiversityAnalysis
+from repro.core.constants import TABLE5_OSES
+from repro.core.enums import AccessVector, ComponentClass
+from tests.conftest import make_entry
+
+
+@pytest.fixture()
+def period_dataset():
+    entries = [
+        make_entry(cve_id="CVE-2000-0001", oses=("Debian", "RedHat"), year=2000),
+        make_entry(cve_id="CVE-2004-0002", oses=("Debian", "RedHat"), year=2004),
+        make_entry(cve_id="CVE-2008-0003", oses=("Debian", "RedHat"), year=2008),
+        make_entry(cve_id="CVE-2007-0004", oses=("Debian",), year=2007),
+        make_entry(cve_id="CVE-2009-0005", oses=("Debian",), year=2009,
+                   component_class=ComponentClass.APPLICATION),
+        make_entry(cve_id="CVE-2003-0006", oses=("OpenBSD", "Windows2003"), year=2003,
+                   access=AccessVector.LOCAL),
+    ]
+    return VulnerabilityDataset(entries)
+
+
+class TestPeriodAnalysis:
+    def test_split_sizes(self, period_dataset):
+        analysis = PeriodAnalysis(period_dataset)
+        history, observed = analysis.split_sizes()
+        # Isolated-thin filter removes the application and local entries.
+        assert history == 2
+        assert observed == 2
+
+    def test_pair_table(self, period_dataset):
+        analysis = PeriodAnalysis(period_dataset)
+        table = analysis.pair_table(("Debian", "RedHat"))
+        assert table[("Debian", "RedHat")] == (2, 1)
+
+    def test_os_counts(self, period_dataset):
+        analysis = PeriodAnalysis(period_dataset)
+        counts = analysis.os_counts(("Debian",))
+        assert counts["Debian"] == (2, 2)
+
+    def test_invalid_periods_rejected(self, period_dataset):
+        with pytest.raises(ValueError):
+            PeriodAnalysis(
+                period_dataset,
+                history_period=(dt.date(1994, 1, 1), dt.date(2007, 1, 1)),
+                observed_period=(dt.date(2006, 1, 1), dt.date(2010, 9, 30)),
+            )
+
+    def test_evaluate_single_os_configuration(self, period_dataset):
+        analysis = PeriodAnalysis(period_dataset)
+        evaluation = analysis.evaluate_configuration("Debian", ("Debian",))
+        assert evaluation.history_count == 2
+        assert evaluation.observed_count == 2
+
+    def test_evaluate_diverse_configuration(self, period_dataset):
+        analysis = PeriodAnalysis(period_dataset)
+        evaluation = analysis.evaluate_configuration("pair", ("Debian", "RedHat"))
+        assert evaluation.history_count == 2
+        assert evaluation.observed_count == 1
+        assert evaluation.improved_over_history
+
+    def test_history_and_observed_matrices(self, period_dataset):
+        analysis = PeriodAnalysis(period_dataset)
+        assert analysis.history_pair_matrix(("Debian", "RedHat"))[("Debian", "RedHat")] == 2
+        assert analysis.observed_pair_matrix(("Debian", "RedHat"))[("Debian", "RedHat")] == 1
+
+
+class TestPeriodAnalysisOnCorpus:
+    def test_history_has_roughly_two_thirds_of_the_data(self, valid_dataset):
+        from repro.core.constants import HISTORY_PERIOD, OBSERVED_PERIOD
+
+        history = valid_dataset.between(*HISTORY_PERIOD)
+        observed = valid_dataset.between(*OBSERVED_PERIOD)
+        fraction = len(history) / (len(history) + len(observed))
+        assert 0.55 <= fraction <= 0.8  # the paper says 2/3 vs 1/3
+
+    def test_table5_pairs_sum_to_isolated_counts(self, valid_dataset):
+        from repro.analysis.pairs import PairAnalysis
+        from repro.core.enums import ServerConfiguration
+
+        analysis = PeriodAnalysis(valid_dataset)
+        pair_analysis = PairAnalysis(valid_dataset, TABLE5_OSES)
+        isolated = pair_analysis.shared_matrix(ServerConfiguration.ISOLATED_THIN)
+        table = analysis.pair_table()
+        for pair, (history, observed) in table.items():
+            assert history + observed == isolated[pair]
+
+    def test_figure3_diverse_sets_beat_single_debian(self, valid_dataset):
+        analysis = PeriodAnalysis(valid_dataset)
+        evaluations = {e.name: e for e in analysis.evaluate_paper_configurations()}
+        debian = evaluations["Debian"]
+        for name in ("Set1", "Set2", "Set3"):
+            assert evaluations[name].observed_count < debian.observed_count
+
+    def test_figure3_debian_matches_paper(self, valid_dataset):
+        analysis = PeriodAnalysis(valid_dataset)
+        evaluations = {e.name: e for e in analysis.evaluate_paper_configurations()}
+        assert evaluations["Debian"].history_count == 16
+        assert evaluations["Debian"].observed_count == 9
+
+
+class TestReleaseDiversity:
+    @pytest.fixture()
+    def release_dataset(self):
+        entries = [
+            make_entry(cve_id="CVE-2003-0001", oses=("Debian",),
+                       versions={"Debian": ("3.0",)}),
+            make_entry(cve_id="CVE-2008-0002", oses=("Debian",),
+                       versions={"Debian": ("3.0", "4.0")}),
+            make_entry(cve_id="CVE-2008-0003", oses=("Debian", "RedHat"),
+                       versions={"Debian": ("4.0",), "RedHat": ("4.0", "5.0")}),
+            make_entry(cve_id="CVE-2000-0004", oses=("RedHat",),
+                       versions={"RedHat": ("6.2*",)}),
+        ]
+        return VulnerabilityDataset(entries)
+
+    def test_count_for_release(self, release_dataset):
+        analysis = ReleaseDiversityAnalysis(release_dataset)
+        assert analysis.count_for_release("Debian", "3.0") == 2
+        assert analysis.count_for_release("Debian", "4.0") == 2
+        assert analysis.count_for_release("RedHat", "6.2*") == 1
+
+    def test_shared_between_releases_same_os(self, release_dataset):
+        analysis = ReleaseDiversityAnalysis(release_dataset)
+        assert analysis.shared_between_releases(("Debian", "3.0"), ("Debian", "4.0")) == 1
+
+    def test_shared_between_releases_cross_os(self, release_dataset):
+        analysis = ReleaseDiversityAnalysis(release_dataset)
+        assert analysis.shared_between_releases(("Debian", "4.0"), ("RedHat", "5.0")) == 1
+        assert analysis.shared_between_releases(("Debian", "3.0"), ("RedHat", "6.2*")) == 0
+
+    def test_identical_releases_rejected(self, release_dataset):
+        analysis = ReleaseDiversityAnalysis(release_dataset)
+        with pytest.raises(ValueError):
+            analysis.shared_between_releases(("Debian", "4.0"), ("Debian", "4.0"))
+
+    def test_unknown_os_rejected(self, release_dataset):
+        analysis = ReleaseDiversityAnalysis(release_dataset)
+        with pytest.raises(KeyError):
+            analysis.release_pair_table({"TempleOS": ["1.0"], "Debian": ["4.0"]})
+
+    def test_release_pair_table_structure(self, release_dataset):
+        analysis = ReleaseDiversityAnalysis(release_dataset)
+        results = analysis.release_pair_table({"Debian": ["3.0", "4.0"], "RedHat": ["5.0"]})
+        assert len(results) == 3
+        same_os = [r for r in results if r.same_os]
+        assert len(same_os) == 1
+
+    def test_table6_on_corpus_matches_paper(self, valid_dataset):
+        analysis = ReleaseDiversityAnalysis(valid_dataset)
+        results = {
+            (r.release_a, r.release_b): r.shared for r in analysis.table6()
+        }
+        assert results[(("Debian", "3.0"), ("Debian", "4.0"))] == 1
+        assert results[(("Debian", "4.0"), ("RedHat", "4.0"))] == 1
+        assert results[(("Debian", "4.0"), ("RedHat", "5.0"))] == 1
+        assert results[(("Debian", "2.1"), ("RedHat", "6.2*"))] == 0
+        # Most release pairs share nothing (the paper's Section IV-D point).
+        zero_cells = sum(1 for value in results.values() if value == 0)
+        assert zero_cells >= 10
+
+    def test_disjoint_release_pairs(self, release_dataset):
+        analysis = ReleaseDiversityAnalysis(release_dataset)
+        disjoint = analysis.disjoint_release_pairs({"Debian": ["3.0"], "RedHat": ["6.2*"]})
+        assert disjoint == [(("Debian", "3.0"), ("RedHat", "6.2*"))]
+
+    def test_effective_diversity_gain(self, valid_dataset):
+        analysis = ReleaseDiversityAnalysis(valid_dataset)
+        distribution_level, release_level = analysis.effective_diversity_gain(
+            "Debian", "RedHat", {"Debian": ["2.1", "3.0", "4.0"], "RedHat": ["6.2*", "4.0", "5.0"]}
+        )
+        assert distribution_level >= 10  # Table III: 11 shared isolated-thin vulns
+        assert release_level == 0        # but specific release pairs share none

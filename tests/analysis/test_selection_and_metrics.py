@@ -1,0 +1,207 @@
+"""Tests for replica-set selection (Section IV-C) and the summary metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    driver_share,
+    fat_to_isolated_reduction,
+    pairs_with_at_most_one,
+    summary_findings,
+    top_four_os_groups,
+    widest_vulnerabilities,
+)
+from repro.analysis.periods import PeriodAnalysis
+from repro.analysis.selection import (
+    ReplicaSetSelector,
+    max_tolerated_faults,
+    replicas_needed,
+)
+from repro.core.constants import TABLE5_OSES
+from repro.core.exceptions import SelectionError
+
+
+class TestSizing:
+    @pytest.mark.parametrize("f,expected", [(0, 1), (1, 4), (2, 7), (3, 10), (4, 13)])
+    def test_replicas_needed_3f1(self, f, expected):
+        assert replicas_needed(f) == expected
+
+    @pytest.mark.parametrize("f,expected", [(1, 3), (2, 5), (3, 7)])
+    def test_replicas_needed_2f1(self, f, expected):
+        assert replicas_needed(f, "2f+1") == expected
+
+    def test_replicas_needed_rejects_negative(self):
+        with pytest.raises(SelectionError):
+            replicas_needed(-1)
+
+    def test_replicas_needed_rejects_unknown_model(self):
+        with pytest.raises(SelectionError):
+            replicas_needed(1, "5f+1")
+
+    @pytest.mark.parametrize("n,expected", [(1, 0), (4, 1), (7, 2), (11, 3)])
+    def test_max_tolerated_faults_3f1(self, n, expected):
+        assert max_tolerated_faults(n) == expected
+
+    def test_max_tolerated_faults_2f1(self):
+        assert max_tolerated_faults(7, "2f+1") == 3
+        assert max_tolerated_faults(0) == 0
+
+
+class TestSelectorWithExplicitMatrix:
+    MATRIX = {
+        ("A", "B"): 10,
+        ("A", "C"): 0,
+        ("A", "D"): 1,
+        ("B", "C"): 2,
+        ("B", "D"): 0,
+        ("C", "D"): 5,
+    }
+
+    def test_requires_dataset_or_matrix(self):
+        with pytest.raises(SelectionError):
+            ReplicaSetSelector()
+
+    def test_candidates_derived_from_matrix(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        assert selector.candidates == ("A", "B", "C", "D")
+
+    def test_shared_lookup_is_symmetric(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        assert selector.shared("B", "A") == 10
+        assert selector.shared("A", "C") == 0
+
+    def test_group_score(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        assert selector.group_score(("A", "B", "C")) == 12
+        assert selector.group_score(("A", "C", "D")) == 6
+
+    def test_exhaustive_finds_optimum(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        best = selector.exhaustive(3, top=1)[0]
+        assert set(best.os_names) == {"A", "B", "C"} or best.pairwise_shared <= 6
+        # The true optimum for n=3 is {A, B, D} with score 11? compute: A-B 10, A-D 1, B-D 0 = 11;
+        # {A,C,D}: 0+1+5=6; {B,C,D}: 2+0+5=7; {A,B,C}: 12.  So optimum is {A,C,D}.
+        assert set(best.os_names) == {"A", "C", "D"}
+        assert best.pairwise_shared == 6
+
+    def test_exhaustive_top_k_ordering(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        ranked = selector.exhaustive(3, top=4)
+        scores = [result.pairwise_shared for result in ranked]
+        assert scores == sorted(scores)
+
+    def test_greedy_reasonable(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        result = selector.greedy(3)
+        assert len(result.os_names) == 3
+        assert result.pairwise_shared <= 12
+
+    def test_greedy_with_seed(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        result = selector.greedy(2, seed_os="A")
+        assert "A" in result.os_names
+        assert result.pairwise_shared == 0  # A-C is the zero edge
+
+    def test_greedy_rejects_unknown_seed(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        with pytest.raises(SelectionError):
+            selector.greedy(2, seed_os="Z")
+
+    def test_graph_based_matches_exhaustive_on_small_instance(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        graph = selector.graph_based(3)
+        exhaustive = selector.exhaustive(3, top=1)[0]
+        assert graph.pairwise_shared == exhaustive.pairwise_shared
+
+    def test_size_validation(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        with pytest.raises(SelectionError):
+            selector.exhaustive(0)
+        with pytest.raises(SelectionError):
+            selector.exhaustive(5)
+
+    def test_single_os_groups(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        assert selector.exhaustive(1, top=1)[0].pairwise_shared == 0
+        assert len(selector.greedy(1).os_names) == 1
+        assert len(selector.graph_based(1).os_names) == 1
+
+
+class TestSelectorOnCorpus:
+    def test_history_selection_reproduces_paper_sets(self, valid_dataset):
+        """Selecting on 1994-2005 data yields the paper's Set1/Set2 among the top."""
+        periods = PeriodAnalysis(valid_dataset)
+        selector = ReplicaSetSelector(
+            pair_matrix=periods.history_pair_matrix(), candidates=TABLE5_OSES
+        )
+        top = [set(result.os_names) for result in selector.exhaustive(4, top=3)]
+        assert {"Windows2003", "Solaris", "Debian", "OpenBSD"} in top
+        assert {"Windows2003", "Solaris", "Debian", "NetBSD"} in top
+
+    def test_best_group_has_few_shared_vulnerabilities(self, valid_dataset):
+        selector = ReplicaSetSelector(dataset=valid_dataset, candidates=TABLE5_OSES)
+        best = selector.exhaustive(4, top=1)[0]
+        worst = selector.rank_all(4)[-1]
+        # The most diverse group shares an order of magnitude fewer
+        # vulnerabilities than the least diverse one over the whole period.
+        assert best.pairwise_shared <= 12
+        assert worst.pairwise_shared >= 5 * best.pairwise_shared
+
+    def test_same_family_groups_are_ranked_worst(self, valid_dataset):
+        selector = ReplicaSetSelector(dataset=valid_dataset, candidates=TABLE5_OSES)
+        ranking = selector.rank_all(4)
+        worst = ranking[-1]
+        assert {"Windows2000", "Windows2003"} <= set(worst.os_names)
+
+    def test_strategies_agree_on_order_of_magnitude(self, valid_dataset):
+        selector = ReplicaSetSelector(dataset=valid_dataset, candidates=TABLE5_OSES)
+        exhaustive = selector.exhaustive(4, top=1)[0]
+        greedy = selector.greedy(4)
+        graph = selector.graph_based(4)
+        assert greedy.pairwise_shared <= exhaustive.pairwise_shared + 10
+        assert graph.pairwise_shared <= exhaustive.pairwise_shared + 10
+
+    def test_best_for_faults(self, valid_dataset):
+        selector = ReplicaSetSelector(dataset=valid_dataset, candidates=TABLE5_OSES)
+        result = selector.best_for_faults(1)
+        assert len(result.os_names) == 4
+        result_2f1 = selector.best_for_faults(2, quorum_model="2f+1", strategy="greedy")
+        assert len(result_2f1.os_names) == 5
+        with pytest.raises(SelectionError):
+            selector.best_for_faults(1, strategy="quantum")
+
+    def test_compromising_counts_at_most_pairwise_sum(self, valid_dataset):
+        selector = ReplicaSetSelector(dataset=valid_dataset, candidates=TABLE5_OSES)
+        result = selector.exhaustive(4, top=1)[0]
+        assert result.compromising <= result.pairwise_shared
+
+
+class TestSummaryMetrics:
+    def test_reduction_in_paper_ballpark(self, valid_dataset):
+        assert 45.0 <= fat_to_isolated_reduction(valid_dataset) <= 70.0
+
+    def test_pairs_with_at_most_one_over_half(self, valid_dataset):
+        assert pairs_with_at_most_one(valid_dataset) > 50.0
+
+    def test_driver_share_below_two_percent(self, valid_dataset):
+        assert driver_share(valid_dataset) < 2.0
+
+    def test_widest_vulnerabilities_include_named_cves(self, valid_dataset):
+        cve_ids = {cve for cve, _breadth in widest_vulnerabilities(valid_dataset, top=3)}
+        assert {"CVE-2008-1447", "CVE-2007-5365"} & cve_ids
+
+    def test_top_four_os_groups_history(self, valid_dataset):
+        groups = top_four_os_groups(valid_dataset, top=3, history_only=True)
+        assert len(groups) == 3
+        assert all(len(group) == 4 for group in groups)
+
+    def test_summary_findings_bundle(self, valid_dataset):
+        findings = summary_findings(valid_dataset)
+        as_dict = findings.as_dict()
+        assert set(as_dict) == {
+            "fat_to_isolated_reduction_pct",
+            "pairs_with_at_most_one_pct",
+            "top3_four_os_groups",
+            "widest_vulnerabilities",
+            "driver_share_pct",
+        }
+        assert findings.pairs_with_at_most_one_pct > 50.0

@@ -1,0 +1,121 @@
+"""Tests for validity and server-configuration filters."""
+
+import pytest
+
+from repro.classify.filters import (
+    ServerConfigurationFilter,
+    ValidityFilter,
+    configuration_filters,
+    fat_server,
+    isolated_thin_server,
+    thin_server,
+)
+from repro.core.enums import AccessVector, ComponentClass, ServerConfiguration, ValidityStatus
+from repro.synthetic.descriptions import describe_invalid
+from tests.conftest import make_entry
+
+
+class TestValidityFilter:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Unknown vulnerability in Solaris mentioned in a patch.", ValidityStatus.UNKNOWN),
+            ("Unspecified vulnerability in RedHat with unspecified vectors.", ValidityStatus.UNSPECIFIED),
+            ("** DISPUTED ** The vendor disagrees this is a flaw.", ValidityStatus.DISPUTED),
+            ("**DISPUTED** no spaces variant.", ValidityStatus.DISPUTED),
+            ("A buffer overflow in the kernel allows code execution.", ValidityStatus.VALID),
+        ],
+    )
+    def test_status_for_text(self, text, expected):
+        assert ValidityFilter().status_for_text(text) is expected
+
+    def test_disputed_wins_over_unknown(self):
+        text = "** DISPUTED ** Unknown vulnerability with unknown impact."
+        assert ValidityFilter().status_for_text(text) is ValidityStatus.DISPUTED
+
+    def test_synthetic_invalid_descriptions_are_detected(self):
+        validity_filter = ValidityFilter()
+        for kind, status in (
+            ("unknown", ValidityStatus.UNKNOWN),
+            ("unspecified", ValidityStatus.UNSPECIFIED),
+            ("disputed", ValidityStatus.DISPUTED),
+        ):
+            text = describe_invalid(kind, ["Solaris"], 3)
+            assert validity_filter.status_for_text(text) is status
+
+    def test_describe_invalid_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            describe_invalid("bogus", ["Solaris"], 0)
+
+    def test_split(self):
+        validity_filter = ValidityFilter()
+        entries = [
+            make_entry(cve_id="CVE-2001-0001", summary="A kernel buffer overflow."),
+            make_entry(cve_id="CVE-2001-0002",
+                       summary="Unknown vulnerability in the base system."),
+        ]
+        valid, excluded = validity_filter.split(entries)
+        assert [e.cve_id for e in valid] == ["CVE-2001-0001"]
+        assert [e.cve_id for e in excluded] == ["CVE-2001-0002"]
+        assert excluded[0].validity is ValidityStatus.UNKNOWN
+
+    def test_exclusion_counts(self):
+        validity_filter = ValidityFilter()
+        entries = [
+            make_entry(cve_id="CVE-2001-0001"),
+            make_entry(cve_id="CVE-2001-0002", summary="Unspecified vulnerability."),
+            make_entry(cve_id="CVE-2001-0003", summary="Unspecified vulnerability again."),
+        ]
+        counts = validity_filter.exclusion_counts(entries)
+        assert counts[ValidityStatus.VALID] == 1
+        assert counts[ValidityStatus.UNSPECIFIED] == 2
+
+
+class TestServerConfigurationFilter:
+    def test_fat_admits_everything_valid(self):
+        entry = make_entry(component_class=ComponentClass.APPLICATION, access=AccessVector.LOCAL)
+        assert fat_server().admits(entry)
+
+    def test_fat_rejects_invalid(self):
+        entry = make_entry(validity=ValidityStatus.DISPUTED)
+        assert not fat_server().admits(entry)
+
+    def test_thin_rejects_applications(self):
+        app = make_entry(component_class=ComponentClass.APPLICATION)
+        kernel = make_entry(component_class=ComponentClass.KERNEL, access=AccessVector.LOCAL)
+        assert not thin_server().admits(app)
+        assert thin_server().admits(kernel)
+
+    def test_isolated_thin_rejects_local(self):
+        local_kernel = make_entry(component_class=ComponentClass.KERNEL, access=AccessVector.LOCAL)
+        remote_kernel = make_entry(component_class=ComponentClass.KERNEL, access=AccessVector.NETWORK)
+        adjacent = make_entry(component_class=ComponentClass.KERNEL,
+                              access=AccessVector.ADJACENT_NETWORK)
+        assert not isolated_thin_server().admits(local_kernel)
+        assert isolated_thin_server().admits(remote_kernel)
+        assert isolated_thin_server().admits(adjacent)
+
+    def test_filter_is_callable_and_applies(self):
+        entries = [
+            make_entry(cve_id="CVE-2001-0001", component_class=ComponentClass.APPLICATION),
+            make_entry(cve_id="CVE-2001-0002", component_class=ComponentClass.KERNEL),
+        ]
+        thin = thin_server()
+        assert [e.cve_id for e in thin.apply(entries)] == ["CVE-2001-0002"]
+        assert thin(entries[1])
+
+    def test_configuration_filters_order(self):
+        configurations = [f.configuration for f in configuration_filters()]
+        assert configurations == [
+            ServerConfiguration.FAT,
+            ServerConfiguration.THIN,
+            ServerConfiguration.ISOLATED_THIN,
+        ]
+
+    def test_filters_are_monotone_on_the_corpus(self, valid_dataset):
+        """Fat ⊇ Thin ⊇ Isolated Thin for every OS (Table III structure)."""
+        fat = valid_dataset.filtered(ServerConfiguration.FAT)
+        thin = valid_dataset.filtered(ServerConfiguration.THIN)
+        isolated = valid_dataset.filtered(ServerConfiguration.ISOLATED_THIN)
+        for name in valid_dataset.os_names:
+            assert fat.count_for(name) >= thin.count_for(name) >= isolated.count_for(name)

@@ -1,0 +1,118 @@
+"""Tests for the keyword rules and the component classifier."""
+
+import pytest
+
+from repro.classify.classifier import ComponentClassifier
+from repro.classify.rules import DEFAULT_RULES, ClassificationRule
+from repro.core.enums import ComponentClass
+from repro.core.exceptions import ClassificationError
+from repro.synthetic import descriptions
+from repro.core.enums import AccessVector
+from tests.conftest import make_entry
+
+
+class TestRules:
+    def test_rules_are_sorted_by_priority_when_used(self):
+        priorities = [rule.priority for rule in sorted(DEFAULT_RULES, key=lambda r: r.priority)]
+        assert priorities == sorted(priorities)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("A bug in the wireless network card driver", ComponentClass.DRIVER),
+            ("The TCP/IP stack mishandles fragmented packets", ComponentClass.KERNEL),
+            ("The login service accepts empty passwords", ComponentClass.SYSTEM_SOFTWARE),
+            ("The bundled web browser mishandles javascript", ComponentClass.APPLICATION),
+            ("Buffer overflow in the Java virtual machine runtime", ComponentClass.APPLICATION),
+            ("Race condition in the UFS file system code", ComponentClass.KERNEL),
+            ("The print spooler daemon crashes on long names", ComponentClass.SYSTEM_SOFTWARE),
+        ],
+    )
+    def test_rule_examples(self, text, expected):
+        classifier = ComponentClassifier()
+        assert classifier.classify_text(text) is expected
+
+    def test_driver_rule_wins_over_kernel_keywords(self):
+        classifier = ComponentClassifier()
+        text = "The video graphics card driver in the kernel tree has a flaw"
+        assert classifier.classify_text(text) is ComponentClass.DRIVER
+
+    def test_unmatched_text_returns_none(self):
+        classifier = ComponentClassifier()
+        assert classifier.classify_text("An entirely unrelated sentence.") is None
+
+
+class TestClassifier:
+    def test_classify_uses_rules(self):
+        classifier = ComponentClassifier()
+        entry = make_entry(summary="A flaw in the TCP/IP stack allows a crash.",
+                           component_class=None)
+        assert classifier.classify(entry) is ComponentClass.KERNEL
+
+    def test_override_wins_over_rules(self):
+        classifier = ComponentClassifier(overrides={"CVE-2005-0001": ComponentClass.DRIVER})
+        entry = make_entry(summary="A flaw in the TCP/IP stack allows a crash.",
+                           component_class=None)
+        assert classifier.classify(entry) is ComponentClass.DRIVER
+        assert classifier.report.overridden == 1
+
+    def test_add_override(self):
+        classifier = ComponentClassifier()
+        classifier.add_override("CVE-2005-0001", ComponentClass.SYSTEM_SOFTWARE)
+        entry = make_entry(summary="unmatchable text", component_class=None)
+        assert classifier.classify(entry) is ComponentClass.SYSTEM_SOFTWARE
+
+    def test_fallback_used_when_nothing_matches(self):
+        classifier = ComponentClassifier()
+        entry = make_entry(summary="nothing relevant here", component_class=None)
+        assert classifier.classify(entry) is ComponentClass.APPLICATION
+        assert classifier.report.fallback_used == 1
+
+    def test_strict_mode_raises_when_nothing_matches(self):
+        classifier = ComponentClassifier(fallback=None)
+        entry = make_entry(summary="nothing relevant here", component_class=None)
+        with pytest.raises(ClassificationError):
+            classifier.classify(entry)
+
+    def test_classify_all_keep_existing(self):
+        classifier = ComponentClassifier()
+        pre_classified = make_entry(component_class=ComponentClass.DRIVER,
+                                    summary="The TCP/IP stack ...")
+        out = classifier.classify_all([pre_classified], keep_existing=True)
+        assert out[0].component_class is ComponentClass.DRIVER
+
+    def test_classify_all_reclassifies_by_default(self):
+        classifier = ComponentClassifier()
+        pre_classified = make_entry(component_class=ComponentClass.DRIVER,
+                                    summary="A bug in the TCP/IP stack")
+        out = classifier.classify_all([pre_classified])
+        assert out[0].component_class is ComponentClass.KERNEL
+
+    def test_class_distribution(self):
+        classifier = ComponentClassifier()
+        entries = [
+            make_entry(cve_id="CVE-2001-0001", component_class=ComponentClass.KERNEL),
+            make_entry(cve_id="CVE-2001-0002", component_class=ComponentClass.KERNEL),
+            make_entry(cve_id="CVE-2001-0003", component_class=ComponentClass.APPLICATION),
+        ]
+        histogram = classifier.class_distribution(entries)
+        assert histogram[ComponentClass.KERNEL] == 2
+        assert histogram[ComponentClass.APPLICATION] == 1
+        assert histogram[ComponentClass.DRIVER] == 0
+
+
+class TestSyntheticDescriptionsAreClassifiable:
+    """The generated descriptions must be recovered by the rule classifier.
+
+    This is the property that lets the ingest pipeline re-derive the paper's
+    hand classification from description text alone.
+    """
+
+    @pytest.mark.parametrize("component_class", list(ComponentClass))
+    def test_every_template_maps_back_to_its_class(self, component_class):
+        classifier = ComponentClassifier(fallback=None)
+        for salt in range(60):
+            text = descriptions.describe(
+                component_class, AccessVector.NETWORK, ["Debian", "OpenBSD"], salt
+            )
+            assert classifier.classify_text(text) is component_class, text

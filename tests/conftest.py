@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+The synthetic corpus takes a fraction of a second to build but is used by
+dozens of tests, so it is built once per session.  ``make_entry`` is a small
+factory for hand-crafted vulnerability entries used by the unit tests that
+need precise control over the data.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Iterable, Mapping, Optional, Tuple
+
+import pytest
+
+from repro.core.enums import AccessVector, ComponentClass, ValidityStatus
+from repro.core.models import CVSSVector, VulnerabilityEntry
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.synthetic.corpus import SyntheticCorpus, build_corpus
+
+
+def make_entry(
+    cve_id: str = "CVE-2005-0001",
+    oses: Iterable[str] = ("Debian",),
+    component_class: Optional[ComponentClass] = ComponentClass.KERNEL,
+    access: AccessVector = AccessVector.NETWORK,
+    year: int = 2005,
+    month: int = 6,
+    day: int = 15,
+    summary: str = "A flaw in the kernel allows remote attackers to crash the system.",
+    validity: ValidityStatus = ValidityStatus.VALID,
+    versions: Optional[Mapping[str, Tuple[str, ...]]] = None,
+) -> VulnerabilityEntry:
+    """Build a vulnerability entry with sensible defaults for tests."""
+    return VulnerabilityEntry(
+        cve_id=cve_id,
+        published=dt.date(year, month, day),
+        summary=summary,
+        cvss=CVSSVector(access_vector=access),
+        affected_os=frozenset(oses),
+        affected_versions=dict(versions or {}),
+        component_class=component_class,
+        validity=validity,
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus() -> SyntheticCorpus:
+    """The default calibrated synthetic corpus (shared across the session)."""
+    return build_corpus()
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus: SyntheticCorpus) -> VulnerabilityDataset:
+    """Dataset over the full corpus (valid + excluded entries)."""
+    return VulnerabilityDataset(corpus.entries)
+
+
+@pytest.fixture(scope="session")
+def valid_dataset(dataset: VulnerabilityDataset) -> VulnerabilityDataset:
+    """Dataset restricted to valid entries."""
+    return dataset.valid()
+
+
+@pytest.fixture()
+def entry_factory():
+    """Expose the entry factory as a fixture for convenience."""
+    return make_entry

@@ -1,0 +1,109 @@
+"""Tests for the OS catalogue and study periods."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.constants import (
+    FAMILY_MEMBERS,
+    FIGURE3_CONFIGURATIONS,
+    HISTORY_PERIOD,
+    OBSERVED_PERIOD,
+    OS_CATALOG,
+    OS_NAMES,
+    STUDY_PERIOD,
+    TABLE5_OSES,
+    canonical_os_name,
+    family_of,
+    get_os,
+)
+from repro.core.enums import OSFamily
+
+
+class TestCatalog:
+    def test_eleven_operating_systems(self):
+        assert len(OS_CATALOG) == 11
+        assert len(OS_NAMES) == 11
+
+    def test_families_partition_the_catalog(self):
+        members = [name for names in FAMILY_MEMBERS.values() for name in names]
+        assert sorted(members) == sorted(OS_NAMES)
+
+    def test_each_os_has_at_least_one_cpe_alias(self):
+        for os_obj in OS_CATALOG.values():
+            assert os_obj.cpe_aliases
+
+    def test_release_years_not_before_first_release(self):
+        for os_obj in OS_CATALOG.values():
+            for release in os_obj.releases:
+                assert release.year >= os_obj.first_release_year - 1
+
+    def test_debian_is_linux(self):
+        assert OS_CATALOG["Debian"].family is OSFamily.LINUX
+
+    def test_windows_family_members(self):
+        assert FAMILY_MEMBERS[OSFamily.WINDOWS] == (
+            "Windows2000",
+            "Windows2003",
+            "Windows2008",
+        )
+
+    def test_release_lookup(self):
+        debian = OS_CATALOG["Debian"]
+        assert debian.release("4.0").year == 2007
+        with pytest.raises(KeyError):
+            debian.release("99.9")
+
+
+class TestGetOS:
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("debian", "Debian"),
+            ("Win2000", "Windows2000"),
+            ("win2k", "Windows2000"),
+            ("windows 2003", "Windows2003"),
+            ("RHEL", "RedHat"),
+            ("FreeBSD", "FreeBSD"),
+        ],
+    )
+    def test_alias_resolution(self, alias, canonical):
+        assert get_os(alias).name == canonical
+        assert canonical_os_name(alias) == canonical
+
+    def test_unknown_os_raises(self):
+        with pytest.raises(KeyError):
+            get_os("TempleOS")
+
+    def test_family_of(self):
+        assert family_of("OpenBSD") is OSFamily.BSD
+        assert family_of("Solaris") is OSFamily.SOLARIS
+
+
+class TestPeriods:
+    def test_study_period_bounds(self):
+        assert STUDY_PERIOD[0] == dt.date(1994, 1, 1)
+        assert STUDY_PERIOD[1] == dt.date(2010, 9, 30)
+
+    def test_history_and_observed_are_disjoint_and_ordered(self):
+        assert HISTORY_PERIOD[1] < OBSERVED_PERIOD[0]
+        assert HISTORY_PERIOD[0] == STUDY_PERIOD[0]
+        assert OBSERVED_PERIOD[1] == STUDY_PERIOD[1]
+
+    def test_table5_excludes_recent_oses(self):
+        assert "Ubuntu" not in TABLE5_OSES
+        assert "OpenSolaris" not in TABLE5_OSES
+        assert "Windows2008" not in TABLE5_OSES
+        assert len(TABLE5_OSES) == 8
+
+
+class TestFigure3Configurations:
+    def test_paper_sets(self):
+        assert FIGURE3_CONFIGURATIONS["Set1"] == ("Windows2003", "Solaris", "Debian", "OpenBSD")
+        assert FIGURE3_CONFIGURATIONS["Debian"] == ("Debian",)
+        assert len(FIGURE3_CONFIGURATIONS) == 5
+
+    def test_all_members_are_catalogued(self):
+        for members in FIGURE3_CONFIGURATIONS.values():
+            for name in members:
+                assert name in OS_CATALOG

@@ -1,0 +1,89 @@
+"""Tests for the core enumerations."""
+
+import pytest
+
+from repro.core.enums import (
+    AccessVector,
+    ComponentClass,
+    CPEPart,
+    OSFamily,
+    ServerConfiguration,
+    ValidityStatus,
+)
+
+
+class TestComponentClass:
+    def test_four_classes_exist(self):
+        assert {c.value for c in ComponentClass} == {
+            "Driver",
+            "Kernel",
+            "System Software",
+            "Application",
+        }
+
+    def test_application_is_not_core(self):
+        assert not ComponentClass.APPLICATION.is_core_os
+
+    @pytest.mark.parametrize(
+        "cls", [ComponentClass.DRIVER, ComponentClass.KERNEL, ComponentClass.SYSTEM_SOFTWARE]
+    )
+    def test_core_classes(self, cls):
+        assert cls.is_core_os
+
+    def test_string_conversion(self):
+        assert str(ComponentClass.SYSTEM_SOFTWARE) == "System Software"
+
+
+class TestAccessVector:
+    def test_network_is_remote(self):
+        assert AccessVector.NETWORK.is_remote
+
+    def test_adjacent_network_is_remote(self):
+        assert AccessVector.ADJACENT_NETWORK.is_remote
+
+    def test_local_is_not_remote(self):
+        assert not AccessVector.LOCAL.is_remote
+
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("N", AccessVector.NETWORK), ("A", AccessVector.ADJACENT_NETWORK), ("L", AccessVector.LOCAL),
+         ("n", AccessVector.NETWORK), ("l", AccessVector.LOCAL)],
+    )
+    def test_from_cvss_token(self, token, expected):
+        assert AccessVector.from_cvss_token(token) is expected
+
+    def test_from_cvss_token_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            AccessVector.from_cvss_token("X")
+
+
+class TestValidityStatus:
+    def test_only_valid_is_valid(self):
+        assert ValidityStatus.VALID.is_valid
+        assert not ValidityStatus.UNKNOWN.is_valid
+        assert not ValidityStatus.UNSPECIFIED.is_valid
+        assert not ValidityStatus.DISPUTED.is_valid
+
+
+class TestServerConfiguration:
+    def test_fat_keeps_everything(self):
+        assert not ServerConfiguration.FAT.excludes_applications
+        assert not ServerConfiguration.FAT.excludes_local
+
+    def test_thin_removes_applications_only(self):
+        assert ServerConfiguration.THIN.excludes_applications
+        assert not ServerConfiguration.THIN.excludes_local
+
+    def test_isolated_thin_removes_applications_and_local(self):
+        assert ServerConfiguration.ISOLATED_THIN.excludes_applications
+        assert ServerConfiguration.ISOLATED_THIN.excludes_local
+
+
+class TestOSFamilyAndCPEPart:
+    def test_four_families(self):
+        assert {f.value for f in OSFamily} == {"BSD", "Solaris", "Linux", "Windows"}
+
+    def test_cpe_parts(self):
+        assert CPEPart.OPERATING_SYSTEM.value == "o"
+        assert CPEPart.APPLICATION.value == "a"
+        assert CPEPart.HARDWARE.value == "h"

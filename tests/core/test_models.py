@@ -1,0 +1,100 @@
+"""Tests for the core dataclasses."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.enums import AccessVector, ComponentClass, CPEPart, ValidityStatus
+from repro.core.models import CPEName, CVSSVector, VulnerabilityEntry
+from tests.conftest import make_entry
+
+
+class TestCPEName:
+    def test_operating_system_flag(self):
+        cpe = CPEName(CPEPart.OPERATING_SYSTEM, "debian", "debian_linux", "4.0")
+        assert cpe.is_operating_system
+        assert cpe.key() == ("debian_linux", "debian")
+
+    def test_application_is_not_os(self):
+        cpe = CPEName(CPEPart.APPLICATION, "apache", "http_server", "2.2")
+        assert not cpe.is_operating_system
+
+    def test_version_object(self):
+        cpe = CPEName(CPEPart.OPERATING_SYSTEM, "sun", "solaris", "10")
+        assert cpe.version_obj.parts == (10,)
+
+
+class TestCVSSVector:
+    def test_remote_flag_follows_access_vector(self):
+        assert CVSSVector(access_vector=AccessVector.NETWORK).is_remote
+        assert not CVSSVector(access_vector=AccessVector.LOCAL).is_remote
+
+
+class TestVulnerabilityEntry:
+    def test_affects(self):
+        entry = make_entry(oses=("Debian", "RedHat"))
+        assert entry.affects("Debian")
+        assert entry.affects("RedHat")
+        assert not entry.affects("OpenBSD")
+
+    def test_affects_all_and_any(self):
+        entry = make_entry(oses=("Debian", "RedHat"))
+        assert entry.affects_all(("Debian", "RedHat"))
+        assert not entry.affects_all(("Debian", "OpenBSD"))
+        assert entry.affects_any(("OpenBSD", "RedHat"))
+        assert not entry.affects_any(("OpenBSD", "NetBSD"))
+
+    def test_year_property(self):
+        entry = make_entry(year=2007)
+        assert entry.year == 2007
+
+    def test_is_application(self):
+        app = make_entry(component_class=ComponentClass.APPLICATION)
+        kernel = make_entry(component_class=ComponentClass.KERNEL)
+        assert app.is_application
+        assert not kernel.is_application
+
+    def test_affected_os_is_coerced_to_frozenset(self):
+        entry = VulnerabilityEntry(
+            cve_id="CVE-2001-0001",
+            published=dt.date(2001, 1, 1),
+            summary="x",
+            cvss=CVSSVector(access_vector=AccessVector.LOCAL),
+            affected_os={"Debian"},  # a plain set on purpose
+        )
+        assert isinstance(entry.affected_os, frozenset)
+
+    def test_with_class_returns_new_object(self):
+        entry = make_entry(component_class=None)
+        updated = entry.with_class(ComponentClass.DRIVER)
+        assert entry.component_class is None
+        assert updated.component_class is ComponentClass.DRIVER
+        assert updated.cve_id == entry.cve_id
+
+    def test_with_validity_returns_new_object(self):
+        entry = make_entry()
+        updated = entry.with_validity(ValidityStatus.DISPUTED)
+        assert entry.validity is ValidityStatus.VALID
+        assert not updated.is_valid
+
+
+class TestAffectsRelease:
+    def test_no_versions_means_all_releases(self):
+        entry = make_entry(oses=("Debian",))
+        assert entry.affects_release("Debian", "3.0")
+        assert entry.affects_release("Debian", "4.0")
+
+    def test_specific_versions_restrict_releases(self):
+        entry = make_entry(oses=("Debian",), versions={"Debian": ("4.0",)})
+        assert entry.affects_release("Debian", "4.0")
+        assert not entry.affects_release("Debian", "3.0")
+
+    def test_unaffected_os_never_matches(self):
+        entry = make_entry(oses=("Debian",))
+        assert not entry.affects_release("RedHat", "5.0")
+
+    def test_multiple_versions(self):
+        entry = make_entry(oses=("RedHat",), versions={"RedHat": ("4.0", "5.0")})
+        assert entry.affects_release("RedHat", "4.0")
+        assert entry.affects_release("RedHat", "5.0")
+        assert not entry.affects_release("RedHat", "6.2*")

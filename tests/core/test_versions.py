@@ -1,0 +1,84 @@
+"""Tests for version parsing and comparison."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.versions import Version, split_version
+
+
+class TestSplitVersion:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("5.0.1", (5, 0, 1)),
+            ("6.2*", (6, 2)),
+            ("8.04-LTS", (8, 4, "lts")),
+            ("2003", (2003,)),
+            ("", ()),
+            ("*", ()),
+            ("-", ()),
+            (None, ()),
+            ("SP1", ("sp", 1)),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert split_version(text) == expected
+
+
+class TestVersionOrdering:
+    def test_numeric_ordering(self):
+        assert Version("4.0") < Version("5.0")
+        assert Version("5.0") < Version("5.0.1")
+        assert Version("9.04") > Version("5.0")
+
+    def test_equality_across_spellings(self):
+        assert Version("5.0") == Version("5-0")
+        assert Version("6.2*") == Version("6.2")
+
+    def test_equality_with_string(self):
+        assert Version("2003") == "2003"
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Version("5.0")) == hash(Version("5-0"))
+
+    def test_mixed_alpha_numeric(self):
+        assert Version("5.0") < Version("5.0a")
+
+    def test_comparison_with_other_types_not_supported(self):
+        assert Version("1.0").__eq__(42) is NotImplemented
+
+
+class TestVersionMatching:
+    def test_wildcard_matches_everything(self):
+        assert Version("*").matches("5.0")
+        assert Version("").matches("anything")
+
+    def test_prefix_matching(self):
+        assert Version("5.0").matches("5.0.1")
+        assert not Version("5.0").matches("5.1")
+
+    def test_exact_match(self):
+        assert Version("4.0").matches(Version("4.0"))
+
+    def test_wildcard_property(self):
+        assert Version("*").is_wildcard
+        assert not Version("4.0").is_wildcard
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=5))
+def test_version_roundtrip_is_self_equal(parts):
+    text = ".".join(str(p) for p in parts)
+    assert Version(text) == Version(text)
+    assert Version(text).parts == tuple(parts)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=4),
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=4),
+)
+def test_version_ordering_is_total_and_antisymmetric(a, b):
+    va = Version(".".join(map(str, a)))
+    vb = Version(".".join(map(str, b)))
+    assert (va < vb) or (vb < va) or (va == vb)
+    if va < vb:
+        assert not (vb < va)

@@ -1,0 +1,115 @@
+"""Tests for the SQLite vulnerability database."""
+
+import pytest
+
+from repro.core.enums import AccessVector, ComponentClass, ValidityStatus
+from repro.core.exceptions import DatabaseError
+from repro.db.database import VulnerabilityDatabase
+from repro.db.schema import SCHEMA_STATEMENTS
+from tests.conftest import make_entry
+
+
+@pytest.fixture()
+def db():
+    database = VulnerabilityDatabase()
+    database.register_os_catalog()
+    yield database
+    database.close()
+
+
+class TestSchema:
+    def test_schema_has_figure1_tables(self):
+        ddl = " ".join(SCHEMA_STATEMENTS)
+        for table in ("os", "os_release", "vulnerability", "vulnerability_type",
+                      "cvss", "security_protection", "os_vuln"):
+            assert f"CREATE TABLE IF NOT EXISTS {table}" in ddl
+
+    def test_catalog_registration_is_idempotent(self, db):
+        db.register_os_catalog()
+        assert len(db.os_names()) == 11
+
+    def test_os_names_registered(self, db):
+        assert set(db.os_names()) == {
+            "OpenBSD", "NetBSD", "FreeBSD", "OpenSolaris", "Solaris",
+            "Debian", "Ubuntu", "RedHat", "Windows2000", "Windows2003", "Windows2008",
+        }
+
+
+class TestInsertAndLoad:
+    def test_insert_and_count(self, db):
+        db.insert_entry(make_entry())
+        assert db.entry_count() == 1
+        assert db.entry_count(only_valid=True) == 1
+
+    def test_insert_preserves_fields_on_load(self, db):
+        original = make_entry(
+            cve_id="CVE-2007-1234",
+            oses=("Debian", "RedHat"),
+            component_class=ComponentClass.SYSTEM_SOFTWARE,
+            access=AccessVector.LOCAL,
+            versions={"Debian": ("4.0",), "RedHat": ()},
+        )
+        db.insert_entry(original)
+        loaded = db.load_entries()[0]
+        assert loaded.cve_id == original.cve_id
+        assert loaded.published == original.published
+        assert loaded.affected_os == original.affected_os
+        assert loaded.component_class is ComponentClass.SYSTEM_SOFTWARE
+        assert loaded.cvss.access_vector is AccessVector.LOCAL
+        assert loaded.affected_versions["Debian"] == ("4.0",)
+        assert loaded.affected_versions["RedHat"] == ()
+
+    def test_duplicate_cve_rejected(self, db):
+        db.insert_entry(make_entry())
+        with pytest.raises(DatabaseError):
+            db.insert_entry(make_entry())
+
+    def test_insert_unknown_os_rejected(self):
+        database = VulnerabilityDatabase()  # catalogue not registered
+        with pytest.raises(DatabaseError):
+            database.insert_entry(make_entry())
+        database.close()
+
+    def test_load_only_valid(self, db):
+        db.insert_entries(
+            [
+                make_entry(cve_id="CVE-2001-0001"),
+                make_entry(cve_id="CVE-2001-0002", validity=ValidityStatus.DISPUTED),
+            ]
+        )
+        assert db.entry_count() == 2
+        assert [e.cve_id for e in db.load_entries(only_valid=True)] == ["CVE-2001-0001"]
+
+    def test_context_manager(self):
+        with VulnerabilityDatabase() as database:
+            database.register_os_catalog()
+            database.insert_entry(make_entry())
+            assert database.entry_count() == 1
+
+    def test_on_disk_database(self, tmp_path):
+        path = tmp_path / "nvd.sqlite"
+        with VulnerabilityDatabase(path) as database:
+            database.register_os_catalog()
+            database.insert_entry(make_entry())
+        with VulnerabilityDatabase(path) as reopened:
+            assert reopened.entry_count() == 1
+
+
+class TestManualEnrichment:
+    def test_set_component_class(self, db):
+        db.insert_entry(make_entry(component_class=ComponentClass.APPLICATION))
+        db.set_component_class("CVE-2005-0001", ComponentClass.KERNEL)
+        assert db.load_entries()[0].component_class is ComponentClass.KERNEL
+
+    def test_set_component_class_unknown_cve(self, db):
+        with pytest.raises(DatabaseError):
+            db.set_component_class("CVE-1900-0001", ComponentClass.KERNEL)
+
+    def test_set_validity(self, db):
+        db.insert_entry(make_entry())
+        db.set_validity("CVE-2005-0001", ValidityStatus.UNSPECIFIED)
+        assert db.entry_count(only_valid=True) == 0
+
+    def test_set_validity_unknown_cve(self, db):
+        with pytest.raises(DatabaseError):
+            db.set_validity("CVE-1900-0001", ValidityStatus.VALID)

@@ -1,0 +1,238 @@
+"""Tests for the attacker model, the BFT service model and the Monte-Carlo simulation."""
+
+import pytest
+
+from repro.core.enums import AccessVector, ComponentClass, ServerConfiguration
+from repro.core.exceptions import SimulationError
+from repro.itsys.attacker import Attacker, ExploitEvent
+from repro.itsys.bft import BFTService, ServiceState
+from repro.itsys.replica import ReplicaGroup
+from repro.itsys.simulation import CompromiseSimulation
+from tests.conftest import make_entry
+
+
+@pytest.fixture()
+def small_pool():
+    return [
+        make_entry(cve_id="CVE-2005-0001", oses=("Debian",)),
+        make_entry(cve_id="CVE-2005-0002", oses=("Debian", "RedHat")),
+        make_entry(cve_id="CVE-2006-0003", oses=("OpenBSD",), year=2006),
+        make_entry(cve_id="CVE-2007-0004", oses=("Windows2003",), year=2007),
+        make_entry(cve_id="CVE-2008-0005", oses=("Debian",), year=2008,
+                   component_class=ComponentClass.APPLICATION),
+        make_entry(cve_id="CVE-2008-0006", oses=("Solaris",), year=2008,
+                   access=AccessVector.LOCAL),
+    ]
+
+
+class TestAttacker:
+    def test_pool_respects_configuration_filter(self, small_pool):
+        attacker = Attacker(small_pool, ServerConfiguration.ISOLATED_THIN)
+        assert attacker.pool_size == 4  # drops the application and local entries
+        fat = Attacker(small_pool, ServerConfiguration.FAT)
+        assert fat.pool_size == 6
+
+    def test_empty_pool_rejected(self, small_pool):
+        local_only = [e for e in small_pool if not e.is_remote]
+        with pytest.raises(SimulationError):
+            Attacker(local_only, ServerConfiguration.ISOLATED_THIN)
+
+    def test_pool_for_os(self, small_pool):
+        attacker = Attacker(small_pool, ServerConfiguration.FAT)
+        assert len(attacker.pool_for_os("Debian")) == 3
+
+    def test_poisson_campaign_times_within_horizon(self, small_pool):
+        attacker = Attacker(small_pool, seed=3)
+        events = attacker.poisson_campaign(rate=2.0, horizon=20.0)
+        assert events, "expected at least one exploit at rate 2 over 20 time units"
+        assert all(0 < event.time <= 20.0 for event in events)
+
+    def test_poisson_campaign_is_deterministic_per_seed(self, small_pool):
+        a = Attacker(small_pool, seed=11).poisson_campaign(1.0, 10.0)
+        b = Attacker(small_pool, seed=11).poisson_campaign(1.0, 10.0)
+        assert a == b
+
+    def test_poisson_campaign_targeted(self, small_pool):
+        attacker = Attacker(small_pool, seed=5)
+        events = attacker.poisson_campaign(2.0, 30.0, targeted_os=["OpenBSD"])
+        assert events
+        assert all("OpenBSD" in event.affected_os for event in events)
+
+    def test_poisson_campaign_targeting_unknown_os_yields_nothing(self, small_pool):
+        attacker = Attacker(small_pool, seed=5)
+        assert attacker.poisson_campaign(2.0, 30.0, targeted_os=["Windows2008"]) == []
+
+    def test_poisson_campaign_validates_parameters(self, small_pool):
+        attacker = Attacker(small_pool)
+        with pytest.raises(SimulationError):
+            attacker.poisson_campaign(0.0, 10.0)
+        with pytest.raises(SimulationError):
+            attacker.poisson_campaign(1.0, 0.0)
+
+    def test_publication_replay_preserves_order(self, small_pool):
+        attacker = Attacker(small_pool, ServerConfiguration.FAT)
+        events = attacker.publication_replay()
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert events[0].time == 0.0
+
+    def test_publication_replay_zero_day_lead(self, small_pool):
+        attacker = Attacker(small_pool, ServerConfiguration.FAT)
+        normal = attacker.publication_replay()
+        early = attacker.publication_replay(zero_day_lead=30.0)
+        assert all(e.time <= n.time for e, n in zip(early, normal))
+
+    def test_best_single_exploit(self, small_pool):
+        attacker = Attacker(small_pool, ServerConfiguration.FAT)
+        cve, coverage = attacker.best_single_exploit(["Debian", "RedHat", "OpenBSD"])
+        assert cve == "CVE-2005-0002"
+        assert coverage == 2
+
+
+class TestBFTService:
+    def _exploit(self, time, oses, cve="CVE-X"):
+        return ExploitEvent(time=time, cve_id=cve, affected_os=frozenset(oses), remote=True)
+
+    def test_execute_request_requires_quorum(self):
+        service = BFTService(ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"]))
+        record = service.execute_request(1.0)
+        assert record.sequence_number == 1
+        assert len(record.quorum) == 3
+
+    def test_execute_request_fails_without_quorum(self):
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        group.apply_exploit(1.0, "CVE-1", {"Debian"})
+        group.apply_exploit(2.0, "CVE-2", {"OpenBSD"})
+        # Two compromised out of four: safety is already gone (f=1).
+        with pytest.raises(SimulationError):
+            service.execute_request(3.0)
+
+    def test_campaign_homogeneous_group_falls_to_single_exploit(self):
+        group = ReplicaGroup.homogeneous("Debian", 4)
+        service = BFTService(group)
+        timeline = service.run_campaign([self._exploit(1.0, ["Debian"])])
+        assert timeline.state is ServiceState.SAFETY_VIOLATED
+        assert timeline.safety_violation_time == 1.0
+        assert not timeline.survived
+
+    def test_campaign_diverse_group_survives_single_exploit(self):
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        timeline = service.run_campaign([self._exploit(1.0, ["Debian"])])
+        assert timeline.state is ServiceState.DEGRADED
+        assert timeline.survived
+        assert timeline.safety_violation_time is None
+
+    def test_campaign_common_vulnerability_defeats_diversity(self):
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        timeline = service.run_campaign([self._exploit(2.0, ["Debian", "OpenBSD"])])
+        assert timeline.state is ServiceState.SAFETY_VIOLATED
+
+    def test_campaign_with_requests_builds_log(self):
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        timeline = service.run_campaign(
+            [self._exploit(5.0, ["Debian"])], request_interval=1.0, horizon=10.0
+        )
+        assert len(timeline.executed) == 10
+        sequence_numbers = [record.sequence_number for record in timeline.executed]
+        assert sequence_numbers == sorted(sequence_numbers)
+
+    def test_campaign_with_proactive_recovery_restores_liveness(self):
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        exploits = [self._exploit(1.0, ["Debian"], "CVE-1")]
+        timeline = service.run_campaign(exploits, recovery_interval=2.0, horizon=6.0)
+        assert timeline.state is ServiceState.CORRECT
+        assert group.compromised_count() == 0
+
+    def test_liveness_loss_recorded(self):
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        exploits = [
+            self._exploit(1.0, ["Debian"], "CVE-1"),
+            self._exploit(2.0, ["OpenBSD"], "CVE-2"),
+        ]
+        timeline = service.run_campaign(exploits)
+        assert timeline.liveness_loss_time == 2.0
+
+
+class TestCompromiseSimulation:
+    def test_run_configuration_basic(self, corpus):
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=3)
+        result = simulation.run_configuration(
+            "diverse", ("Debian", "OpenBSD", "Solaris", "Windows2003"),
+            runs=20, exploit_rate=1.0, horizon=5.0,
+        )
+        assert result.runs == 20
+        assert 0.0 <= result.safety_violation_probability <= 1.0
+        assert 0.0 <= result.mean_compromised <= 4.0
+        assert "diverse" in result.summary()
+
+    def test_rejects_non_positive_runs(self, corpus):
+        simulation = CompromiseSimulation(corpus.valid_entries)
+        with pytest.raises(SimulationError):
+            simulation.run_configuration("x", ("Debian",), runs=0)
+
+    def test_homogeneous_group_is_weaker_than_diverse(self, corpus):
+        """The paper's core claim, measured end to end on the corpus."""
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=11)
+        homogeneous, diverse = simulation.homogeneous_vs_diverse(
+            "Debian",
+            ("Debian", "OpenBSD", "Solaris", "Windows2003"),
+            runs=40,
+            exploit_rate=1.0,
+            horizon=4.0,
+        )
+        assert homogeneous.safety_violation_probability >= diverse.safety_violation_probability
+        assert homogeneous.mean_compromised >= diverse.mean_compromised
+
+    def test_diversity_gain_non_negative(self, corpus):
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=23)
+        gain = simulation.diversity_gain(
+            "Windows2003",
+            ("Debian", "OpenBSD", "Solaris", "Windows2003"),
+            runs=30,
+            exploit_rate=1.0,
+            horizon=4.0,
+        )
+        assert -0.2 <= gain <= 1.0
+
+    def test_compare_returns_one_result_per_configuration(self, corpus):
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=5)
+        results = simulation.compare(
+            {"homogeneous": ("Debian",) * 4, "set1": ("Debian", "OpenBSD", "Solaris", "Windows2003")},
+            runs=10, horizon=3.0,
+        )
+        assert [result.name for result in results] == ["homogeneous", "set1"]
+
+    def test_single_exploit_analysis_contrast(self, corpus):
+        """A single exploit defeats a homogeneous group far more often than Set1."""
+        simulation = CompromiseSimulation(corpus.valid_entries)
+        homogeneous = simulation.single_exploit_analysis("4xDebian", ("Debian",) * 4)
+        diverse = simulation.single_exploit_analysis(
+            "Set1", ("Windows2003", "Solaris", "Debian", "OpenBSD")
+        )
+        assert homogeneous.single_attack_defeat_probability == 1.0
+        assert diverse.single_attack_defeat_probability < 0.1
+        assert homogeneous.mean_replicas_per_exploit == 4.0
+        assert diverse.mean_replicas_per_exploit < 1.5
+
+    def test_single_exploit_analysis_empty_group_os(self, corpus):
+        simulation = CompromiseSimulation(corpus.valid_entries)
+        analysis = simulation.single_exploit_analysis(
+            "pair", ("OpenSolaris", "Windows2008")
+        )
+        assert analysis.relevant_exploits > 0
+        assert 0.0 <= analysis.single_attack_defeat_probability <= 1.0
+
+    def test_results_are_reproducible(self, corpus):
+        a = CompromiseSimulation(corpus.valid_entries, seed=9).run_configuration(
+            "x", ("Debian", "OpenBSD", "Solaris", "Windows2003"), runs=10, horizon=3.0
+        )
+        b = CompromiseSimulation(corpus.valid_entries, seed=9).run_configuration(
+            "x", ("Debian", "OpenBSD", "Solaris", "Windows2003"), runs=10, horizon=3.0
+        )
+        assert a == b

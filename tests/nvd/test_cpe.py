@@ -1,0 +1,100 @@
+"""Tests for CPE 2.2 URI parsing, formatting and matching."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.enums import CPEPart
+from repro.core.exceptions import CPEError
+from repro.core.models import CPEName
+from repro.nvd.cpe import cpe_matches, format_cpe_uri, operating_system_cpes, parse_cpe_uri
+
+
+class TestParse:
+    def test_full_os_uri(self):
+        cpe = parse_cpe_uri("cpe:/o:debian:debian_linux:4.0")
+        assert cpe.part is CPEPart.OPERATING_SYSTEM
+        assert cpe.vendor == "debian"
+        assert cpe.product == "debian_linux"
+        assert cpe.version == "4.0"
+
+    def test_uri_without_version(self):
+        cpe = parse_cpe_uri("cpe:/o:openbsd:openbsd")
+        assert cpe.version == ""
+
+    def test_application_uri(self):
+        cpe = parse_cpe_uri("cpe:/a:apache:http_server:2.2.8")
+        assert cpe.part is CPEPart.APPLICATION
+        assert not cpe.is_operating_system
+
+    def test_hardware_uri(self):
+        cpe = parse_cpe_uri("cpe:/h:cisco:router:800")
+        assert cpe.part is CPEPart.HARDWARE
+
+    def test_percent_decoding(self):
+        cpe = parse_cpe_uri("cpe:/o:microsoft:windows_server%202003:sp1")
+        assert cpe.product == "windows_server 2003"
+
+    def test_case_insensitive_prefix(self):
+        cpe = parse_cpe_uri("CPE:/o:sun:solaris:10")
+        assert cpe.product == "solaris"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-a-cpe",
+            "cpe:/",
+            "cpe:/x:vendor:product",
+            "cpe:/o::",  # OS CPE without product
+            42,
+        ],
+    )
+    def test_malformed_uris_raise(self, bad):
+        with pytest.raises(CPEError):
+            parse_cpe_uri(bad)
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        uri = "cpe:/o:debian:debian_linux:4.0"
+        assert format_cpe_uri(parse_cpe_uri(uri)) == uri
+
+    def test_trailing_empty_fields_dropped(self):
+        cpe = CPEName(CPEPart.OPERATING_SYSTEM, "openbsd", "openbsd")
+        assert format_cpe_uri(cpe) == "cpe:/o:openbsd:openbsd"
+
+
+@given(
+    vendor=st.text(alphabet="abcdefghij_", min_size=1, max_size=10),
+    product=st.text(alphabet="abcdefghij_", min_size=1, max_size=12),
+    version=st.text(alphabet="0123456789.", min_size=0, max_size=6),
+)
+def test_format_parse_roundtrip_property(vendor, product, version):
+    original = CPEName(CPEPart.OPERATING_SYSTEM, vendor, product, version)
+    parsed = parse_cpe_uri(format_cpe_uri(original))
+    assert parsed.vendor == vendor
+    assert parsed.product == product
+    assert parsed.version == version
+
+
+class TestMatching:
+    def test_filter_operating_systems(self):
+        cpes = [
+            parse_cpe_uri("cpe:/o:debian:debian_linux:4.0"),
+            parse_cpe_uri("cpe:/a:apache:http_server:2.2"),
+        ]
+        assert len(operating_system_cpes(cpes)) == 1
+
+    def test_versionless_spec_matches_any_version(self):
+        spec = parse_cpe_uri("cpe:/o:sun:solaris")
+        candidate = parse_cpe_uri("cpe:/o:sun:solaris:10")
+        assert cpe_matches(spec, candidate)
+
+    def test_version_prefix_matching(self):
+        spec = parse_cpe_uri("cpe:/o:debian:debian_linux:4.0")
+        assert cpe_matches(spec, parse_cpe_uri("cpe:/o:debian:debian_linux:4.0.3"))
+        assert not cpe_matches(spec, parse_cpe_uri("cpe:/o:debian:debian_linux:5.0"))
+
+    def test_part_and_product_must_match(self):
+        spec = parse_cpe_uri("cpe:/o:debian:debian_linux")
+        assert not cpe_matches(spec, parse_cpe_uri("cpe:/a:debian:debian_linux"))
+        assert not cpe_matches(spec, parse_cpe_uri("cpe:/o:debian:other_product"))

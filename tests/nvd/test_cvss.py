@@ -1,0 +1,110 @@
+"""Tests for CVSS v2 vector parsing and base-score computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.enums import AccessVector
+from repro.core.exceptions import CVSSError
+from repro.core.models import CVSSVector
+from repro.nvd.cvss import (
+    cvss_base_score,
+    format_cvss_vector,
+    parse_cvss_vector,
+    severity_label,
+)
+
+
+class TestParse:
+    def test_standard_vector(self):
+        cvss = parse_cvss_vector("AV:N/AC:L/Au:N/C:P/I:P/A:P")
+        assert cvss.access_vector is AccessVector.NETWORK
+        assert cvss.access_complexity == "LOW"
+        assert cvss.authentication == "NONE"
+        # Reference value from the CVSS v2 specification.
+        assert cvss.base_score == 7.5
+
+    def test_parenthesised_vector(self):
+        cvss = parse_cvss_vector("(AV:L/AC:H/Au:S/C:C/I:C/A:C)")
+        assert cvss.access_vector is AccessVector.LOCAL
+        assert cvss.base_score == 6.0
+
+    def test_complete_remote_compromise_scores_ten(self):
+        cvss = parse_cvss_vector("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+        assert cvss.base_score == 10.0
+
+    def test_no_impact_scores_zero(self):
+        cvss = parse_cvss_vector("AV:N/AC:L/Au:N/C:N/I:N/A:N")
+        assert cvss.base_score == 0.0
+
+    def test_adjacent_network(self):
+        cvss = parse_cvss_vector("AV:A/AC:M/Au:N/C:P/I:N/A:N")
+        assert cvss.access_vector is AccessVector.ADJACENT_NETWORK
+        assert cvss.is_remote
+
+    def test_temporal_metrics_are_ignored(self):
+        cvss = parse_cvss_vector("AV:N/AC:L/Au:N/C:P/I:P/A:P/E:POC/RL:OF/RC:C")
+        assert cvss.base_score == 7.5
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "AV:N/AC:L", "AV:X/AC:L/Au:N/C:P/I:P/A:P", "AV:N|AC:L|Au:N", None],
+    )
+    def test_malformed_vectors_raise(self, bad):
+        with pytest.raises(CVSSError):
+            parse_cvss_vector(bad)
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        vector = "AV:N/AC:M/Au:S/C:C/I:P/A:N"
+        assert format_cvss_vector(parse_cvss_vector(vector)) == vector
+
+    def test_format_rejects_unknown_metric_values(self):
+        broken = CVSSVector(access_vector=AccessVector.NETWORK, access_complexity="BOGUS")
+        with pytest.raises(CVSSError):
+            format_cvss_vector(broken)
+
+
+class TestScore:
+    def test_score_bounds(self):
+        cvss = CVSSVector(
+            access_vector=AccessVector.NETWORK,
+            confidentiality_impact="COMPLETE",
+            integrity_impact="COMPLETE",
+            availability_impact="COMPLETE",
+        )
+        assert 0.0 <= cvss_base_score(cvss) <= 10.0
+
+    def test_unknown_metric_raises(self):
+        broken = CVSSVector(access_vector=AccessVector.NETWORK, authentication="MAYBE")
+        with pytest.raises(CVSSError):
+            cvss_base_score(broken)
+
+    @pytest.mark.parametrize(
+        "score,label",
+        [(0.0, "Low"), (3.9, "Low"), (4.0, "Medium"), (6.9, "Medium"), (7.0, "High"), (10.0, "High")],
+    )
+    def test_severity_labels(self, score, label):
+        assert severity_label(score) == label
+
+    def test_severity_rejects_out_of_range(self):
+        with pytest.raises(CVSSError):
+            severity_label(11.0)
+
+
+_AV = st.sampled_from(["L", "A", "N"])
+_AC = st.sampled_from(["H", "M", "L"])
+_AU = st.sampled_from(["M", "S", "N"])
+_IMPACT = st.sampled_from(["N", "P", "C"])
+
+
+@given(av=_AV, ac=_AC, au=_AU, c=_IMPACT, i=_IMPACT, a=_IMPACT)
+def test_every_valid_vector_parses_and_roundtrips(av, ac, au, c, i, a):
+    vector = f"AV:{av}/AC:{ac}/Au:{au}/C:{c}/I:{i}/A:{a}"
+    parsed = parse_cvss_vector(vector)
+    assert 0.0 <= parsed.base_score <= 10.0
+    assert format_cvss_vector(parsed) == vector
+    # Scores increase (weakly) with network accessibility, all else equal.
+    if av == "N":
+        local = parse_cvss_vector(f"AV:L/AC:{ac}/Au:{au}/C:{c}/I:{i}/A:{a}")
+        assert parsed.base_score >= local.base_score

@@ -1,0 +1,168 @@
+"""Tests for the XML and JSON feed parsers/writers (including round-trips)."""
+
+import datetime as dt
+import io
+import textwrap
+
+import pytest
+
+from repro.core.exceptions import FeedParseError
+from repro.nvd.feed_parser import RawFeedEntry, feed_statistics, parse_xml_feed, parse_xml_feeds
+from repro.nvd.feed_writer import build_feed_tree, write_xml_feed, write_yearly_feeds
+from repro.nvd.json_feed import dump_json_feed, entry_from_dict, entry_to_dict, parse_json_feed
+
+SAMPLE_FEED = textwrap.dedent(
+    """\
+    <?xml version="1.0" encoding="utf-8"?>
+    <nvd nvd_xml_version="2.0" pub_date="2010-09-30">
+      <entry id="CVE-2008-0001">
+        <cve-id>CVE-2008-0001</cve-id>
+        <published-datetime>2008-03-02T00:00:00</published-datetime>
+        <cvss><base_metrics><vector>AV:N/AC:L/Au:N/C:P/I:P/A:P</vector></base_metrics></cvss>
+        <vulnerable-software-list>
+          <product>cpe:/o:debian:debian_linux:4.0</product>
+          <product>cpe:/o:redhat:enterprise_linux:5.0</product>
+          <product>not-a-valid-cpe</product>
+        </vulnerable-software-list>
+        <summary>The kernel allows remote attackers to cause a denial of service.</summary>
+      </entry>
+      <entry id="CVE-2008-0002">
+        <cve-id>CVE-2008-0002</cve-id>
+        <published-datetime>2008-07-15T00:00:00</published-datetime>
+        <summary>Unknown vulnerability in the base system.</summary>
+        <vulnerable-software-list>
+          <product>cpe:/o:openbsd:openbsd:4.2</product>
+        </vulnerable-software-list>
+      </entry>
+    </nvd>
+    """
+)
+
+
+def _raw(cve_id="CVE-2005-0100", year=2005, uris=("cpe:/o:debian:debian_linux:3.1",)):
+    return RawFeedEntry(
+        cve_id=cve_id,
+        published=dt.date(year, 5, 20),
+        summary="A flaw in the kernel allows attackers to crash the system.",
+        cvss_vector="AV:N/AC:L/Au:N/C:P/I:P/A:P",
+        cpe_uris=tuple(uris),
+    )
+
+
+class TestXMLParsing:
+    def test_parse_sample_feed(self, tmp_path):
+        path = tmp_path / "feed.xml"
+        path.write_text(SAMPLE_FEED)
+        entries = parse_xml_feed(path)
+        assert len(entries) == 2
+        first = entries[0]
+        assert first.cve_id == "CVE-2008-0001"
+        assert first.published == dt.date(2008, 3, 2)
+        assert first.cvss_vector == "AV:N/AC:L/Au:N/C:P/I:P/A:P"
+        assert len(first.cpe_uris) == 2
+        assert first.invalid_cpes == ("not-a-valid-cpe",)
+
+    def test_parse_from_file_object(self):
+        entries = parse_xml_feed(io.StringIO(SAMPLE_FEED))
+        assert len(entries) == 2
+
+    def test_parsed_cpes_skips_invalid(self, tmp_path):
+        path = tmp_path / "feed.xml"
+        path.write_text(SAMPLE_FEED)
+        entry = parse_xml_feed(path)[0]
+        assert len(entry.parsed_cpes()) == 2
+
+    def test_malformed_xml_raises(self, tmp_path):
+        path = tmp_path / "broken.xml"
+        path.write_text("<nvd><entry>")
+        with pytest.raises(FeedParseError):
+            parse_xml_feed(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FeedParseError):
+            parse_xml_feed(tmp_path / "missing.xml")
+
+    def test_entry_without_date_raises(self):
+        feed = "<nvd><entry id='CVE-1999-0001'><summary>x</summary></entry></nvd>"
+        with pytest.raises(FeedParseError):
+            parse_xml_feed(io.StringIO(feed))
+
+    def test_duplicate_entries_across_feeds_keep_last(self, tmp_path):
+        one = tmp_path / "a.xml"
+        two = tmp_path / "b.xml"
+        write_xml_feed([_raw(summary_marker := "CVE-2005-0100")], one)  # noqa: F841
+        updated = _raw()
+        updated.summary = "Updated summary text mentioning the kernel."
+        write_xml_feed([updated], two)
+        entries = parse_xml_feeds([one, two])
+        assert len(entries) == 1
+        assert "Updated" in entries[0].summary
+
+    def test_feed_statistics(self):
+        entries = parse_xml_feed(io.StringIO(SAMPLE_FEED))
+        stats = feed_statistics(entries)
+        assert stats["entries"] == 2
+        assert stats["years"] == [2008]
+        assert stats["invalid_cpes"] == 1
+
+
+class TestXMLWriting:
+    def test_write_and_reparse_roundtrip(self, tmp_path):
+        original = [_raw(), _raw("CVE-2006-0200", 2006, ("cpe:/o:openbsd:openbsd",))]
+        path = write_xml_feed(original, tmp_path / "out.xml")
+        parsed = parse_xml_feed(path)
+        assert [e.cve_id for e in parsed] == [e.cve_id for e in original]
+        assert parsed[0].cpe_uris == original[0].cpe_uris
+        assert parsed[0].published == original[0].published
+        assert parsed[0].cvss_vector == original[0].cvss_vector
+
+    def test_build_feed_tree_root_attributes(self):
+        tree = build_feed_tree([_raw()], feed_name="2005")
+        assert tree.getroot().get("feed") == "2005"
+        assert len(list(tree.getroot())) == 1
+
+    def test_yearly_feeds_split_and_absorb_pre_2002(self, tmp_path):
+        entries = [
+            _raw("CVE-1999-0001", 1999),
+            _raw("CVE-2001-0001", 2001),
+            _raw("CVE-2005-0001", 2005),
+        ]
+        paths = write_yearly_feeds(entries, tmp_path)
+        names = [p.name for p in paths]
+        # Pre-2002 entries are absorbed into the 2002 feed, as with real NVD.
+        assert names == ["nvdcve-2.0-2002.xml", "nvdcve-2.0-2005.xml"]
+        assert len(parse_xml_feed(paths[0])) == 2
+
+
+class TestJSONFeed:
+    def test_dict_roundtrip(self):
+        raw = _raw()
+        assert entry_from_dict(entry_to_dict(raw)) == raw
+
+    def test_file_roundtrip(self, tmp_path):
+        entries = [_raw(), _raw("CVE-2007-0300", 2007)]
+        path = dump_json_feed(entries, tmp_path / "feed.json")
+        parsed = parse_json_feed(path)
+        assert parsed == entries
+
+    def test_missing_id_raises(self):
+        with pytest.raises(FeedParseError):
+            entry_from_dict({"publishedDate": "2008-01-01"})
+
+    def test_missing_items_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(FeedParseError):
+            parse_json_feed(path)
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FeedParseError):
+            parse_json_feed(path)
+
+    def test_xml_and_json_parsers_agree(self, tmp_path):
+        entries = [_raw(), _raw("CVE-2009-0004", 2009, ("cpe:/o:sun:solaris:10",))]
+        xml_path = write_xml_feed(entries, tmp_path / "feed.xml")
+        json_path = dump_json_feed(entries, tmp_path / "feed.json")
+        assert parse_xml_feed(xml_path) == parse_json_feed(json_path)

@@ -1,0 +1,91 @@
+"""Tests for product/vendor normalisation onto the 11-OS catalogue."""
+
+import pytest
+
+from repro.nvd.cpe import parse_cpe_uri
+from repro.nvd.normalize import ProductNormalizer
+
+
+@pytest.fixture()
+def normalizer():
+    return ProductNormalizer()
+
+
+class TestResolve:
+    def test_debian_aliases_resolve_to_same_os(self, normalizer):
+        a = parse_cpe_uri("cpe:/o:debian:debian_linux:4.0")
+        b = parse_cpe_uri("cpe:/o:debian:linux:2.2")
+        assert normalizer.resolve(a) == "Debian"
+        assert normalizer.resolve(b) == "Debian"
+
+    def test_redhat_enterprise_and_classic_both_map_to_redhat(self, normalizer):
+        classic = parse_cpe_uri("cpe:/o:redhat:linux:7.3")
+        enterprise = parse_cpe_uri("cpe:/o:redhat:enterprise_linux:5.0")
+        assert normalizer.resolve(classic) == "RedHat"
+        assert normalizer.resolve(enterprise) == "RedHat"
+
+    def test_case_insensitive(self, normalizer):
+        cpe = parse_cpe_uri("cpe:/o:OpenBSD:OpenBSD:4.5")
+        assert normalizer.resolve(cpe) == "OpenBSD"
+
+    def test_non_os_cpe_is_ignored(self, normalizer):
+        cpe = parse_cpe_uri("cpe:/a:mozilla:firefox:3.0")
+        assert normalizer.resolve(cpe) is None
+        assert normalizer.report.non_os == 1
+
+    def test_unknown_os_is_recorded(self, normalizer):
+        cpe = parse_cpe_uri("cpe:/o:apple:mac_os_x:10.5")
+        assert normalizer.resolve(cpe) is None
+        assert ("mac_os_x", "apple") in normalizer.report.unmatched_keys
+
+    def test_add_alias(self, normalizer):
+        cpe = parse_cpe_uri("cpe:/o:microsoft:windows_2000_server:sp4")
+        assert normalizer.resolve(cpe) is None
+        normalizer.add_alias(("windows_2000_server", "microsoft"), "Windows2000")
+        assert normalizer.resolve(cpe) == "Windows2000"
+
+    def test_add_alias_rejects_unknown_os(self, normalizer):
+        with pytest.raises(KeyError):
+            normalizer.add_alias(("beos", "be"), "BeOS")
+
+    def test_aliases_for(self, normalizer):
+        assert ("debian_linux", "debian") in normalizer.aliases_for("Debian")
+
+
+class TestResolveMany:
+    def test_versions_collected_per_os(self, normalizer):
+        cpes = [
+            parse_cpe_uri("cpe:/o:debian:debian_linux:3.1"),
+            parse_cpe_uri("cpe:/o:debian:debian_linux:4.0"),
+            parse_cpe_uri("cpe:/o:redhat:enterprise_linux:5.0"),
+        ]
+        affected, versions = normalizer.resolve_many(cpes)
+        assert affected == {"Debian", "RedHat"}
+        assert versions["Debian"] == ("3.1", "4.0")
+        assert versions["RedHat"] == ("5.0",)
+
+    def test_versionless_cpe_means_all_versions(self, normalizer):
+        cpes = [
+            parse_cpe_uri("cpe:/o:debian:debian_linux:4.0"),
+            parse_cpe_uri("cpe:/o:debian:debian_linux"),
+        ]
+        _affected, versions = normalizer.resolve_many(cpes)
+        assert versions["Debian"] == ()
+
+    def test_unmatched_products_do_not_pollute_result(self, normalizer):
+        cpes = [
+            parse_cpe_uri("cpe:/o:apple:mac_os_x:10.5"),
+            parse_cpe_uri("cpe:/o:sun:solaris:10"),
+        ]
+        affected, _versions = normalizer.resolve_many(cpes)
+        assert affected == {"Solaris"}
+
+    def test_every_catalog_alias_resolves(self, normalizer):
+        from repro.core.constants import OS_CATALOG
+        from repro.core.enums import CPEPart
+        from repro.core.models import CPEName
+
+        for os_name, os_obj in OS_CATALOG.items():
+            for product, vendor in os_obj.cpe_aliases:
+                cpe = CPEName(CPEPart.OPERATING_SYSTEM, vendor, product, "")
+                assert normalizer.resolve(cpe) == os_name

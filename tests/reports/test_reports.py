@@ -1,0 +1,166 @@
+"""Tests for table/figure rendering, export helpers and the experiment registry."""
+
+import pytest
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.core.enums import ValidityStatus
+from repro.reports import figures, tables
+from repro.reports.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.reports.export import ascii_bars, render_table, to_csv
+from tests.conftest import make_entry
+
+
+class TestExport:
+    def test_render_table_alignment(self):
+        text = render_table(("name", "count"), [("Debian", 1), ("Windows2000", 20)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "Windows2000" in lines[-1]
+        assert len(lines) == 4
+
+    def test_render_table_with_title(self):
+        text = render_table(("a",), [(1,)], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        text = to_csv(("a", "b"), [(1, 2), (3, 4)], path)
+        assert path.read_text() == text
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,2"
+
+    def test_ascii_bars(self):
+        chart = ascii_bars(["x", "yy"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_ascii_bars_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_ascii_bars_empty(self):
+        assert ascii_bars([], []) == ""
+
+
+class TestTables:
+    def test_table1_structure(self, dataset):
+        report = tables.table1(dataset)
+        assert report.headers == ("OS", "Valid", "Unknown", "Unspecified", "Disputed")
+        assert len(report.rows) == 12  # 11 OSes + distinct row
+        assert report.rows[-1][0] == "# distinct vuln."
+        assert "Table I" in report.text
+
+    def test_table1_matches_validity_summary(self, dataset):
+        report = tables.table1(dataset)
+        summary = dataset.validity_summary()
+        row = report.row_map()["Debian"]
+        assert row[1] == summary.valid_count("Debian")
+
+    def test_table2_totals_column(self, valid_dataset):
+        report = tables.table2(valid_dataset)
+        for row in report.rows[:-1]:
+            assert row[5] == row[1] + row[2] + row[3] + row[4]
+
+    def test_table2_percentages_sum_to_100(self, valid_dataset):
+        row = tables.table2(valid_dataset).rows[-1]
+        assert sum(row[1:5]) == pytest.approx(100.0, abs=0.3)
+
+    def test_table3_has_55_rows_and_monotone_filters(self, valid_dataset):
+        report = tables.table3(valid_dataset)
+        assert len(report.rows) == 55
+        for row in report.rows:
+            assert row[3] >= row[6] >= row[9]  # all >= noapp >= isolated shared
+
+    def test_table4_rows_sorted_by_total(self, valid_dataset):
+        report = tables.table4(valid_dataset)
+        totals = [row[4] for row in report.rows]
+        assert totals == sorted(totals, reverse=True)
+        for row in report.rows:
+            assert row[4] == row[1] + row[2] + row[3]
+
+    def test_table5_has_28_pairs(self, valid_dataset):
+        report = tables.table5(valid_dataset)
+        assert len(report.rows) == 28
+
+    def test_table6_has_15_release_pairs(self, valid_dataset):
+        report = tables.table6(valid_dataset)
+        assert len(report.rows) == 15
+
+    def test_ksets_summary_rows(self, valid_dataset):
+        report = tables.ksets_summary(valid_dataset)
+        labels = [row[0] for row in report.rows]
+        assert ">= 3 OSes" in labels
+        assert any(label.startswith("CVE-") for label in labels)
+
+
+class TestFigures:
+    def test_figure2_series_per_os(self, valid_dataset):
+        report = figures.figure2(valid_dataset)
+        assert "Windows/Windows2000" in report.series
+        series = report.series["Windows/Windows2000"]
+        assert sum(series.values()) == valid_dataset.count_for("Windows2000")
+        assert "Figure 2" in report.text
+
+    def test_figure3_series(self, valid_dataset):
+        report = figures.figure3(valid_dataset)
+        assert set(report.series) == {"History", "Observed"}
+        assert set(report.series["History"]) == {"Debian", "Set1", "Set2", "Set3", "Set4"}
+        assert report.series["Observed"]["Debian"] == 9.0
+
+
+class TestExperiments:
+    def test_registry_covers_all_tables_and_figures(self):
+        assert {
+            "Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI",
+            "Figure 2", "Figure 3", "Section IV-B", "Section IV-E",
+        } == set(EXPERIMENTS)
+
+    def test_every_experiment_names_a_bench_target(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.bench_target.startswith("benchmarks/")
+
+    def test_run_experiment_unknown_id(self, valid_dataset):
+        with pytest.raises(KeyError):
+            run_experiment("Table 99", valid_dataset)
+
+    def test_run_single_experiment(self, dataset):
+        result = run_experiment("Table I", dataset)
+        assert result.measured["distinct_unknown"] == 60
+        assert result.paper_values["distinct_unknown"] == 60
+        assert result.rendering
+
+    def test_run_all_produces_measured_and_paper_values(self, dataset):
+        results = run_all(dataset)
+        assert len(results) == len(EXPERIMENTS)
+        for result in results:
+            assert result.measured, result.experiment_id
+            assert result.paper_values, result.experiment_id
+            assert result.rendering, result.experiment_id
+
+    def test_markdown_report(self, dataset):
+        from repro.reports.summary import generate_markdown_report
+
+        report = generate_markdown_report(dataset, experiment_ids=("Table I", "Table VI"))
+        assert report.startswith("# Reproduction report")
+        assert "### Table I" in report
+        assert "### Table VI" in report
+        assert "| distinct_unknown | 60 | 60 | yes |" in report
+
+    def test_markdown_report_unknown_id(self, dataset):
+        from repro.reports.summary import generate_markdown_report
+
+        with pytest.raises(KeyError):
+            generate_markdown_report(dataset, experiment_ids=("Table 42",))
+
+    def test_headline_results_match_paper(self, dataset):
+        """The key quantitative claims reproduce (see EXPERIMENTS.md for the full list)."""
+        table3 = run_experiment("Table III", dataset)
+        assert table3.measured == table3.paper_values
+        table5 = run_experiment("Table V", dataset)
+        assert table5.measured == table5.paper_values
+        table6 = run_experiment("Table VI", dataset)
+        assert table6.measured == table6.paper_values
+        summary = run_experiment("Section IV-E", dataset)
+        assert summary.measured["top_group"] == summary.paper_values["top_group"]

@@ -1,0 +1,125 @@
+"""Tests for the calibration data and the overlap solver."""
+
+import itertools
+
+import pytest
+
+from repro.core.constants import OS_NAMES
+from repro.core.exceptions import CalibrationError
+from repro.synthetic.calibration import (
+    PaperCalibration,
+    TABLE1,
+    TABLE2,
+    TABLE3_OS_TOTALS,
+    TABLE3_PAIRS,
+    TABLE4_PAIRS,
+    TABLE5_PAIRS,
+    pair,
+)
+from repro.synthetic.solver import OverlapSolver
+
+
+class TestCalibrationData:
+    def test_pair_helper_rejects_identical_oses(self):
+        with pytest.raises(ValueError):
+            pair("Debian", "Debian")
+
+    def test_validate_passes_on_shipped_data(self):
+        PaperCalibration().validate()
+
+    def test_all_55_pairs_present(self):
+        assert len(TABLE3_PAIRS) == 55
+        expected = {frozenset(c) for c in itertools.combinations(OS_NAMES, 2)}
+        assert set(TABLE3_PAIRS) == expected
+
+    def test_table2_sums_to_table1_valid(self):
+        for name in OS_NAMES:
+            assert sum(TABLE2[name]) == TABLE1[name][0]
+
+    def test_table3_totals_consistent_with_application_counts(self):
+        for name in OS_NAMES:
+            total, noapp, nolocal = TABLE3_OS_TOTALS[name]
+            assert total == TABLE1[name][0]
+            assert noapp == total - TABLE2[name][3]
+            assert 0 <= nolocal <= noapp
+
+    def test_table4_sums_match_table3_isolated_column(self):
+        for key, parts in TABLE4_PAIRS.items():
+            assert sum(parts) == TABLE3_PAIRS[key][2]
+
+    def test_table5_periods_sum_to_isolated_counts(self):
+        for key, (history, observed) in TABLE5_PAIRS.items():
+            assert history + observed == TABLE3_PAIRS[key][2]
+
+    def test_validate_detects_transcription_errors(self):
+        broken = dict(TABLE1)
+        broken["Debian"] = (999, 3, 1, 0)
+        with pytest.raises(ValueError):
+            PaperCalibration(table1=broken).validate()
+
+    def test_special_cves_are_consistent_with_pair_counts(self):
+        calibration = PaperCalibration()
+        for _cve, (_cls, oses, _topic, _year) in calibration.special_cves.items():
+            for os_a, os_b in itertools.combinations(sorted(oses), 2):
+                assert calibration.table3_pairs[pair(os_a, os_b)][0] >= 1
+
+    def test_accessors(self):
+        calibration = PaperCalibration()
+        assert calibration.pair_target("Windows2000", "Windows2003") == (253, 116, 81)
+        assert calibration.pair_parts("Debian", "RedHat") == (0, 5, 6)
+        assert calibration.pair_periods("Debian", "RedHat") == (10, 1)
+        assert calibration.pair_periods("Ubuntu", "OpenSolaris") == (-1, -1)
+
+
+class TestSolver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return OverlapSolver().solve()
+
+    def test_per_os_totals_match_table1(self, result):
+        totals = result.implied_os_totals()
+        for name in OS_NAMES:
+            assert totals[name] == TABLE1[name][0]
+
+    def test_pair_totals_match_table3(self, result):
+        pair_totals = result.implied_pair_totals()
+        for key, (target, _noapp, _nolocal) in TABLE3_PAIRS.items():
+            assert pair_totals.get(key, 0) == target
+
+    def test_no_negative_singletons(self, result):
+        assert all(count >= 0 for count in result.singleton_counts.values())
+
+    def test_special_cves_present(self, result):
+        assert set(result.special_groups) == {
+            "CVE-2008-1447",
+            "CVE-2007-5365",
+            "CVE-2008-4609",
+        }
+
+    def test_total_distinct_is_close_to_paper(self, result):
+        # The paper reports 1887 distinct valid vulnerabilities; the
+        # reconstruction is within a few percent (see EXPERIMENTS.md).
+        assert abs(result.total_distinct() - 1887) <= 80
+
+    def test_all_groups_expansion_matches_counts(self, result):
+        groups = result.all_groups()
+        assert len(groups) == result.total_distinct()
+        singles = sum(1 for group in groups if len(group) == 1)
+        assert singles == sum(result.singleton_counts.values())
+
+    def test_stats_recorded(self, result):
+        assert "distinct" in result.stats
+        assert result.stats["distinct"] == result.total_distinct()
+
+    def test_custom_kset_targets(self):
+        result = OverlapSolver(kset_targets={3: 20, 4: 5, 5: 2}).solve()
+        ge3 = sum(1 for group in result.all_groups() if len(group) >= 3)
+        # The three special CVEs always count towards >=3.
+        assert ge3 >= 20
+        totals = result.implied_os_totals()
+        for name in OS_NAMES:
+            assert totals[name] == TABLE1[name][0]
+
+    def test_invalid_kset_targets_rejected(self):
+        with pytest.raises(CalibrationError):
+            OverlapSolver(kset_targets={3: 5, 4: 10, 5: 2})

@@ -1,0 +1,201 @@
+"""Tests for the corpus generator and the packaged synthetic corpus."""
+
+import collections
+import itertools
+
+import pytest
+
+from repro.core.constants import OS_NAMES, STUDY_PERIOD
+from repro.core.enums import ComponentClass, ValidityStatus
+from repro.synthetic.calibration import TABLE1, TABLE2, TABLE3_OS_TOTALS, TABLE3_PAIRS
+from repro.synthetic.corpus import build_corpus, default_corpus
+from repro.synthetic.generator import CorpusGenerator, _largest_remainder, _release_for_year
+
+
+class TestHelpers:
+    def test_largest_remainder_preserves_total(self):
+        assert sum(_largest_remainder([1.0, 2.0, 3.0], 10)) == 10
+
+    def test_largest_remainder_proportionality(self):
+        plan = _largest_remainder([1.0, 1.0, 2.0], 4)
+        assert plan == [1, 1, 2]
+
+    def test_largest_remainder_zero_total(self):
+        assert _largest_remainder([1.0, 2.0], 0) == [0, 0]
+
+    def test_largest_remainder_zero_weights_falls_back_to_uniform(self):
+        assert sum(_largest_remainder([0.0, 0.0, 0.0], 7)) == 7
+
+    def test_release_for_year(self):
+        assert _release_for_year("Debian", 2008) == "4.0"
+        assert _release_for_year("Debian", 1995) == "1.1"
+        assert _release_for_year("Windows2008", 2009) in ("2008", "SP1")
+
+
+class TestCorpusCalibration:
+    """The generated corpus must reproduce the paper's aggregate statistics.
+
+    These tests assert *exact* equality where the generator is designed to be
+    exact (Tables I and II, the "All" column of Table III) and bounded error
+    where the reconstruction is under-determined (the filtered columns).
+    """
+
+    def test_per_os_valid_totals_match_table1(self, corpus):
+        valid = corpus.valid_entries
+        for name in OS_NAMES:
+            measured = sum(1 for entry in valid if entry.affects(name))
+            assert measured == TABLE1[name][0]
+
+    def test_per_os_class_counts_match_table2(self, corpus):
+        """Table II is exact for at least 10 of the 11 OSes.
+
+        Windows 2008 appears almost exclusively in vulnerabilities shared with
+        Windows 2000/2003, so its per-class split is over-constrained by the
+        pairwise targets and may drift by a couple of entries (documented in
+        EXPERIMENTS.md).
+        """
+        valid = corpus.valid_entries
+        order = (
+            ComponentClass.DRIVER,
+            ComponentClass.KERNEL,
+            ComponentClass.SYSTEM_SOFTWARE,
+            ComponentClass.APPLICATION,
+        )
+        exact = 0
+        for name in OS_NAMES:
+            measured = tuple(
+                sum(1 for e in valid if e.affects(name) and e.component_class is cls)
+                for cls in order
+            )
+            drift = sum(abs(m - t) for m, t in zip(measured, TABLE2[name]))
+            assert drift <= 6, f"{name}: {measured} vs {TABLE2[name]}"
+            if measured == TABLE2[name]:
+                exact += 1
+        assert exact >= 10
+
+    def test_pairwise_all_counts_match_table3(self, corpus):
+        valid = corpus.valid_entries
+        for key, (target, _noapp, _nolocal) in TABLE3_PAIRS.items():
+            os_a, os_b = sorted(key)
+            measured = sum(1 for e in valid if e.affects(os_a) and e.affects(os_b))
+            assert measured == target, f"{os_a}-{os_b}"
+
+    def test_filtered_pair_counts_are_close_to_table3(self, corpus):
+        valid = corpus.valid_entries
+        total_error = 0
+        for key, (_target, noapp, nolocal) in TABLE3_PAIRS.items():
+            os_a, os_b = sorted(key)
+            shared = [e for e in valid if e.affects(os_a) and e.affects(os_b)]
+            measured_noapp = sum(1 for e in shared if not e.is_application)
+            measured_nolocal = sum(
+                1 for e in shared if not e.is_application and e.is_remote
+            )
+            total_error += abs(measured_noapp - noapp) + abs(measured_nolocal - nolocal)
+        assert total_error <= 40
+
+    def test_per_os_filtered_totals_match_table3(self, corpus):
+        """Per-OS Thin / Isolated-Thin totals match Table III (±1 for Win2008)."""
+        valid = corpus.valid_entries
+        for name in OS_NAMES:
+            _total, noapp, nolocal = TABLE3_OS_TOTALS[name]
+            measured_noapp = sum(
+                1 for e in valid if e.affects(name) and not e.is_application
+            )
+            measured_nolocal = sum(
+                1 for e in valid if e.affects(name) and not e.is_application and e.is_remote
+            )
+            tolerance = 0 if name != "Windows2008" else 1
+            assert abs(measured_noapp - noapp) <= tolerance
+            assert abs(measured_nolocal - nolocal) <= tolerance
+
+    def test_excluded_entry_counts(self, corpus):
+        counter = collections.Counter(e.validity for e in corpus.excluded_entries)
+        assert counter[ValidityStatus.UNKNOWN] == 60
+        assert counter[ValidityStatus.UNSPECIFIED] == 165
+        assert counter[ValidityStatus.DISPUTED] == 8
+
+    def test_publication_dates_inside_study_period(self, corpus):
+        for entry in corpus.entries:
+            assert STUDY_PERIOD[0].year <= entry.published.year <= STUDY_PERIOD[1].year
+            if entry.published.year == 2010:
+                assert entry.published.month <= 9
+
+    def test_special_cves_present_with_expected_breadth(self, corpus):
+        dns = corpus.entry("CVE-2008-1447")
+        dhcp = corpus.entry("CVE-2007-5365")
+        tcp = corpus.entry("CVE-2008-4609")
+        assert len(dns.affected_os) == 6
+        assert len(dhcp.affected_os) == 6
+        assert len(tcp.affected_os) == 5
+        assert tcp.component_class is ComponentClass.KERNEL
+        assert tcp.is_remote
+
+    def test_cve_ids_are_unique_and_well_formed(self, corpus):
+        ids = [entry.cve_id for entry in corpus.entries]
+        assert len(ids) == len(set(ids))
+        for cve_id in ids:
+            prefix, year, number = cve_id.split("-")
+            assert prefix == "CVE"
+            assert 1994 <= int(year) <= 2010
+            assert number.isdigit()
+
+    def test_cve_year_matches_publication_year(self, corpus):
+        for entry in corpus.entries:
+            year = int(entry.cve_id.split("-")[1])
+            assert year == entry.published.year
+
+
+class TestDeterminismAndOptions:
+    def test_generation_is_deterministic(self):
+        a = build_corpus(seed=123)
+        b = build_corpus(seed=123)
+        assert [e.cve_id for e in a.entries] == [e.cve_id for e in b.entries]
+        assert [sorted(e.affected_os) for e in a.entries] == [
+            sorted(e.affected_os) for e in b.entries
+        ]
+
+    def test_different_seed_changes_details_but_not_totals(self, corpus):
+        other = build_corpus(seed=99)
+        assert len(other.valid_entries) == len(corpus.valid_entries)
+        for name in OS_NAMES:
+            assert sum(1 for e in other.valid_entries if e.affects(name)) == TABLE1[name][0]
+
+    def test_include_invalid_false(self):
+        corpus = build_corpus(include_invalid=False)
+        assert not corpus.excluded_entries
+
+    def test_default_corpus_is_cached(self):
+        assert default_corpus() is default_corpus()
+
+    def test_entry_lookup(self, corpus):
+        entry = corpus.entry("CVE-2008-4609")
+        assert entry.cve_id == "CVE-2008-4609"
+        with pytest.raises(KeyError):
+            corpus.entry("CVE-1900-0000")
+
+    def test_generator_stats_exposed(self, corpus):
+        assert corpus.stats["valid_entries"] >= 1800
+        assert "solver_distinct" in corpus.stats
+
+
+class TestFeedSerialisation:
+    def test_xml_feed_roundtrip_preserves_affected_os(self, corpus, tmp_path):
+        from repro.nvd.feed_parser import parse_xml_feeds
+        from repro.nvd.normalize import ProductNormalizer
+
+        paths = corpus.write_xml_feeds(tmp_path)
+        assert paths, "at least one yearly feed should be written"
+        raw_entries = parse_xml_feeds(paths)
+        assert len(raw_entries) == len(corpus.entries)
+        normalizer = ProductNormalizer()
+        by_id = {entry.cve_id: entry for entry in corpus.entries}
+        for raw in raw_entries[:200]:
+            affected, _versions = normalizer.resolve_many(raw.parsed_cpes())
+            assert affected == set(by_id[raw.cve_id].affected_os)
+
+    def test_json_feed_roundtrip(self, corpus, tmp_path):
+        from repro.nvd.json_feed import parse_json_feed
+
+        path = corpus.write_json_feed(tmp_path / "corpus.json")
+        parsed = parse_json_feed(path)
+        assert len(parsed) == len(corpus.entries)

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_select_defaults(self):
+        args = build_parser().parse_args(["select"])
+        assert args.faults == 1
+        assert args.quorum == "3f+1"
+
+
+class TestCommands:
+    def test_table_command(self, capsys):
+        assert main(["table", "--id", "Table I"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "OpenBSD" in out
+
+    def test_table_command_figure(self, capsys):
+        assert main(["table", "--id", "Figure 3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_table_command_unknown_id(self, capsys):
+        assert main(["table", "--id", "Table 99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_experiments_command(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "measured=" in out
+
+    def test_experiments_markdown(self, capsys):
+        assert main(["experiments", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Reproduction report")
+        assert "### Table III" in out
+
+    def test_select_command(self, capsys):
+        assert main(["select", "--faults", "1", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "f=1" in out
+        assert out.count("history=") == 3
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--runs", "5", "--horizon", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "single-exploit" in out
+        assert "Set1" in out
+
+    def test_export_command(self, tmp_path, capsys):
+        assert main(["export", "--output", str(tmp_path)]) == 0
+        assert (tmp_path / "table_iii.csv").exists()
+        assert (tmp_path / "figure_2.txt").exists()
+
+    def test_feeds_command(self, tmp_path, capsys):
+        assert main(["feeds", "--output", str(tmp_path)]) == 0
+        xml_feeds = list(tmp_path.glob("*.xml"))
+        assert xml_feeds
+        assert (tmp_path / "nvdcve-all.json").exists()
+
+    def test_feeds_option_reads_back_generated_feeds(self, tmp_path, capsys):
+        """The --feeds option analyses an arbitrary directory of NVD XML feeds."""
+        assert main(["feeds", "--output", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["--feeds", str(tmp_path), "table", "--id", "Table I"]) == 0
+        out = capsys.readouterr().out
+        assert "Solaris" in out
+
+    def test_feeds_option_empty_directory_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--feeds", str(tmp_path), "tables"])
