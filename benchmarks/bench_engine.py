@@ -1,0 +1,189 @@
+"""Bitset incidence engine vs naive set re-intersection.
+
+Two corpora are exercised:
+
+* the **paper-sized** calibrated corpus (11 OSes, ~2.2k entries), where both
+  engines run the full workload and must agree entry for entry;
+* a **scaled** 100-OS catalogue (10 families x 10 releases, 4000 entries)
+  from :func:`repro.synthetic.generator.generate_scaled_catalogue`, where the
+  bitset engine runs ``per_combination_totals(k=4)`` over all ~3.9 million
+  combinations and the naive engine's full cost is extrapolated from a
+  400-combination sample (its cost is strictly per-combination, so the
+  extrapolation is exact up to sampling noise; set ``BENCH_ENGINE_FULL=1``
+  to run the naive engine over all combinations instead and wait ~2-3
+  minutes).
+
+Run the paper-sized smoke subset (what CI does)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q -k paper
+
+or the full comparison, including the 100-OS speedup gate::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py -q
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import time
+
+from repro.analysis.ksets import KSetAnalysis
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.selection import ReplicaSetSelector
+from repro.core.enums import ServerConfiguration
+from repro.synthetic.generator import generate_scaled_catalogue
+
+SPEEDUP_FLOOR = 10.0  # acceptance gate for k=4 on the 100-OS catalogue
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# paper-sized corpus (CI smoke subset: -k paper)
+# ---------------------------------------------------------------------------
+
+
+def test_paper_sized_pair_matrix_agrees_and_speeds_up(dataset):
+    """Full Table III pair matrices: identical values, bitset at least as fast."""
+    fast = dataset.with_engine("bitset")
+    naive = dataset.with_engine("naive")
+    fast.incidence  # build outside the timed region: the index is per-dataset
+    timings = {}
+    for configuration in ServerConfiguration:
+        fast_matrix, fast_s = _timed(
+            PairAnalysis(fast).shared_matrix, configuration
+        )
+        naive_matrix, naive_s = _timed(
+            PairAnalysis(naive).shared_matrix, configuration
+        )
+        assert fast_matrix == naive_matrix
+        timings[configuration.value] = (naive_s, fast_s)
+    print("\n=== paper-sized pair matrix (55 pairs, naive vs bitset) ===")
+    for name, (naive_s, fast_s) in timings.items():
+        print(f"  {name:24s} naive={naive_s * 1e3:7.2f}ms  bitset={fast_s * 1e3:7.2f}ms  "
+              f"x{naive_s / fast_s:6.1f}")
+
+
+def test_paper_sized_ksets_agree(dataset):
+    """k=4 over the 11-OS catalogue: both engines, identical totals."""
+    fast = dataset.with_engine("bitset")
+    naive = dataset.with_engine("naive")
+    fast_totals, fast_s = _timed(
+        KSetAnalysis(fast, ServerConfiguration.FAT).per_combination_totals, 4
+    )
+    naive_totals, naive_s = _timed(
+        KSetAnalysis(naive, ServerConfiguration.FAT).per_combination_totals, 4
+    )
+    assert fast_totals == naive_totals
+    print(f"\n=== paper-sized k=4 totals ({len(fast_totals)} combos) ===")
+    print(f"  naive={naive_s * 1e3:.1f}ms  bitset={fast_s * 1e3:.1f}ms  "
+          f"x{naive_s / fast_s:.1f}")
+
+
+def test_paper_sized_selection_agrees(dataset):
+    """All three strategies give the same groups on both engines."""
+    results = {}
+    for engine in ("bitset", "naive"):
+        view = dataset.with_engine(engine).valid()
+        selector, build_s = _timed(ReplicaSetSelector, dataset=view)
+        exhaustive, search_s = _timed(selector.exhaustive, 4, 3)
+        results[engine] = (
+            [(r.os_names, r.pairwise_shared) for r in exhaustive],
+            selector.greedy(4).os_names,
+            selector.graph_based(4).os_names,
+            build_s,
+            search_s,
+        )
+    assert results["bitset"][:3] == results["naive"][:3]
+    print("\n=== paper-sized selection (matrix build + exhaustive n=4 top=3) ===")
+    for engine, (_, _, _, build_s, search_s) in results.items():
+        print(f"  {engine:7s} build={build_s * 1e3:7.2f}ms  search={search_s * 1e3:7.2f}ms")
+
+
+# ---------------------------------------------------------------------------
+# scaled 100-OS catalogue (the acceptance gate)
+# ---------------------------------------------------------------------------
+
+
+def test_scaled_catalogue_k4_speedup():
+    """k=4 on a 100-OS catalogue: bitset must beat naive by >= 10x."""
+    catalogue = generate_scaled_catalogue(n_families=10, releases_per_family=10)
+    assert len(catalogue.os_names) == 100
+
+    fast = catalogue.dataset(engine="bitset")
+    analysis = KSetAnalysis(fast, ServerConfiguration.FAT, catalogue.os_names)
+    totals, bitset_s = _timed(analysis.per_combination_totals, 4)
+    n_combos = len(totals)
+    nonzero = sum(1 for value in totals.values() if value)
+
+    naive_view = (
+        catalogue.dataset(engine="naive").valid().filtered(ServerConfiguration.FAT)
+    )
+    if os.environ.get("BENCH_ENGINE_FULL"):
+        naive_analysis = KSetAnalysis(
+            catalogue.dataset(engine="naive"), ServerConfiguration.FAT, catalogue.os_names
+        )
+        naive_totals, naive_s = _timed(naive_analysis.per_combination_totals, 4)
+        assert naive_totals == totals
+        naive_label = "measured"
+    else:
+        rng = random.Random(1)
+        sample = [tuple(rng.sample(catalogue.os_names, 4)) for _ in range(400)]
+        _, sample_s = _timed(lambda: [naive_view.shared_count(c) for c in sample])
+        naive_s = sample_s / len(sample) * n_combos
+        naive_label = f"extrapolated from {len(sample)} combos"
+        # The sampled combinations must agree across engines.
+        fast_view = fast.valid().filtered(ServerConfiguration.FAT)
+        assert all(
+            naive_view.shared_count(c) == fast_view.shared_count(c) for c in sample
+        )
+
+    speedup = naive_s / bitset_s
+    print(f"\n=== scaled catalogue: per_combination_totals(k=4), 100 OSes ===")
+    print(f"  combinations: {n_combos} ({nonzero} with shared vulnerabilities)")
+    print(f"  bitset: {bitset_s:6.2f}s   naive: {naive_s:7.1f}s ({naive_label})")
+    print(f"  speedup: x{speedup:.1f}  (floor: x{SPEEDUP_FLOOR:.0f})")
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def test_scaled_catalogue_pair_matrix_equivalence():
+    """Full 4950-pair matrix on 100 OSes: engines agree, bitset is faster."""
+    catalogue = generate_scaled_catalogue(n_families=10, releases_per_family=10)
+    fast = catalogue.dataset(engine="bitset")
+    naive = catalogue.dataset(engine="naive")
+    fast.incidence
+    pairs = list(itertools.combinations(catalogue.os_names, 2))
+    fast_matrix, fast_s = _timed(fast.incidence.pair_matrix, catalogue.os_names)
+    naive_matrix, naive_s = _timed(
+        lambda: {pair: naive.shared_count(pair) for pair in pairs}
+    )
+    assert fast_matrix == naive_matrix
+    print(f"\n=== scaled catalogue: pair matrix ({len(pairs)} pairs) ===")
+    print(f"  naive={naive_s * 1e3:7.1f}ms  bitset={fast_s * 1e3:7.1f}ms  "
+          f"x{naive_s / fast_s:.1f}")
+    assert fast_s < naive_s
+
+
+def test_scaled_catalogue_selection_strategies():
+    """Replica selection on 100 candidates: strategies agree on the optimum score."""
+    catalogue = generate_scaled_catalogue(n_families=10, releases_per_family=10)
+    selector, build_s = _timed(
+        ReplicaSetSelector, dataset=catalogue.dataset(), candidates=catalogue.os_names
+    )
+    best, search_s = _timed(lambda: selector.exhaustive(4, top=1)[0])
+    greedy, greedy_s = _timed(selector.greedy, 4)
+    graph, graph_s = _timed(selector.graph_based, 4)
+    print("\n=== scaled catalogue: replica selection over 100 candidates ===")
+    print(f"  matrix build: {build_s * 1e3:.1f}ms")
+    print(f"  exhaustive (branch-and-bound): {search_s * 1e3:8.1f}ms  score={best.pairwise_shared}")
+    print(f"  greedy:                        {greedy_s * 1e3:8.1f}ms  score={greedy.pairwise_shared}")
+    print(f"  graph:                         {graph_s * 1e3:8.1f}ms  score={graph.pairwise_shared}")
+    assert best.pairwise_shared == 0  # a 100-OS catalogue has fully disjoint 4-sets
+    assert best.pairwise_shared <= greedy.pairwise_shared
+    assert best.pairwise_shared <= graph.pairwise_shared

@@ -4,6 +4,9 @@ Each module maps to one table, figure or sub-study:
 
 * :mod:`repro.analysis.dataset` -- the in-memory analytic view over a set of
   vulnerability entries (validity counts for Table I live here too);
+* :mod:`repro.analysis.engine` -- the bitset incidence-matrix engine behind
+  the shared-vulnerability primitives (the dataset's default engine; a naive
+  set-based engine remains available for cross-checking);
 * :mod:`repro.analysis.parts` -- per-component-class counts (Table II) and
   the per-part breakdown of shared vulnerabilities (Table IV);
 * :mod:`repro.analysis.temporal` -- yearly publication series per OS and per
@@ -25,6 +28,7 @@ Each module maps to one table, figure or sub-study:
 """
 
 from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.engine import IncidenceIndex
 from repro.analysis.pairs import PairAnalysis, PairResult
 from repro.analysis.parts import class_distribution, shared_by_part
 from repro.analysis.temporal import TemporalAnalysis
@@ -38,6 +42,7 @@ from repro.analysis.sensitivity import SensitivityAnalysis
 
 __all__ = [
     "VulnerabilityDataset",
+    "IncidenceIndex",
     "PairAnalysis",
     "PairResult",
     "class_distribution",

@@ -4,6 +4,20 @@ The dataset is the single entry point for all analyses: it indexes entries by
 OS, by year and by server-configuration filter, and exposes the Table I
 validity summary.  It never consults the calibration targets -- every number
 is computed from the entries it is given.
+
+The shared-vulnerability primitives (``shared_count``, ``shared_between``,
+``affecting_at_least``, ``compromising``) are thin façades over one of two
+interchangeable engines:
+
+* ``"bitset"`` (default) -- the precompiled incidence-matrix index of
+  :mod:`repro.analysis.engine`, which answers intersection queries with
+  big-integer AND + popcount and scales to catalogues of hundreds of OSes;
+* ``"naive"`` -- the original per-entry set re-intersection, kept as the
+  reference implementation for cross-checking (``--engine naive`` on the
+  CLI, and the equivalence test suite).
+
+Both engines return identical values in identical order; derived datasets
+(``valid()``, ``filtered()``, ``between()``) inherit the engine choice.
 """
 
 from __future__ import annotations
@@ -12,10 +26,14 @@ import datetime as _dt
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.analysis.engine import IncidenceIndex
 from repro.classify.filters import ServerConfigurationFilter, ValidityFilter
 from repro.core.constants import OS_NAMES
 from repro.core.enums import ServerConfiguration, ValidityStatus
 from repro.core.models import VulnerabilityEntry
+
+#: Engines understood by :class:`VulnerabilityDataset`.
+ENGINES: Tuple[str, ...] = ("bitset", "naive")
 
 
 @dataclass(frozen=True)
@@ -36,9 +54,14 @@ class VulnerabilityDataset:
         self,
         entries: Iterable[VulnerabilityEntry],
         os_names: Sequence[str] = OS_NAMES,
+        engine: str = "bitset",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self._entries: List[VulnerabilityEntry] = list(entries)
         self._os_names: Tuple[str, ...] = tuple(os_names)
+        self._engine = engine
+        self._incidence: Optional[IncidenceIndex] = None
         self._by_os: Dict[str, List[VulnerabilityEntry]] = {name: [] for name in self._os_names}
         for entry in self._entries:
             for name in entry.affected_os:
@@ -61,6 +84,28 @@ class VulnerabilityDataset:
     def os_names(self) -> Tuple[str, ...]:
         return self._os_names
 
+    @property
+    def engine(self) -> str:
+        """The shared-vulnerability engine this dataset routes through."""
+        return self._engine
+
+    @property
+    def incidence(self) -> IncidenceIndex:
+        """The bitset incidence index over this dataset (built lazily).
+
+        Available regardless of the configured engine, so callers can always
+        reach the fast path (or cross-check it) explicitly.
+        """
+        if self._incidence is None:
+            self._incidence = IncidenceIndex(self._entries, self._os_names)
+        return self._incidence
+
+    def with_engine(self, engine: str) -> "VulnerabilityDataset":
+        """The same dataset routed through a different engine."""
+        if engine == self._engine:
+            return self
+        return VulnerabilityDataset(self._entries, self._os_names, engine=engine)
+
     def for_os(self, os_name: str) -> List[VulnerabilityEntry]:
         """All entries affecting the given OS."""
         if os_name not in self._by_os:
@@ -70,7 +115,9 @@ class VulnerabilityDataset:
     def valid(self) -> "VulnerabilityDataset":
         """A dataset restricted to valid entries."""
         return VulnerabilityDataset(
-            (entry for entry in self._entries if entry.is_valid), self._os_names
+            (entry for entry in self._entries if entry.is_valid),
+            self._os_names,
+            engine=self._engine,
         )
 
     # -- validity (Table I) -----------------------------------------------------
@@ -92,7 +139,7 @@ class VulnerabilityDataset:
         """Re-derive validity statuses from the description text."""
         validity_filter = validity_filter or ValidityFilter()
         return VulnerabilityDataset(
-            validity_filter.annotate(self._entries), self._os_names
+            validity_filter.annotate(self._entries), self._os_names, engine=self._engine
         )
 
     # -- filtering ----------------------------------------------------------------
@@ -106,6 +153,7 @@ class VulnerabilityDataset:
         return VulnerabilityDataset(
             (entry for entry in self._entries if configuration.admits(entry)),
             self._os_names,
+            engine=self._engine,
         )
 
     def between(self, start: _dt.date, end: _dt.date) -> "VulnerabilityDataset":
@@ -115,6 +163,7 @@ class VulnerabilityDataset:
         return VulnerabilityDataset(
             (entry for entry in self._entries if start <= entry.published <= end),
             self._os_names,
+            engine=self._engine,
         )
 
     def years(self) -> List[int]:
@@ -132,6 +181,8 @@ class VulnerabilityDataset:
         names = list(os_names)
         if not names:
             return []
+        if self._engine == "bitset":
+            return self.incidence.shared_entries(names)
         smallest = min(names, key=lambda n: len(self._by_os.get(n, ())))
         return [
             entry
@@ -140,12 +191,16 @@ class VulnerabilityDataset:
         ]
 
     def shared_count(self, os_names: Sequence[str]) -> int:
+        if self._engine == "bitset":
+            return self.incidence.shared_count(os_names)
         return len(self.shared_between(os_names))
 
     def affecting_at_least(self, k: int) -> List[VulnerabilityEntry]:
         """Entries affecting at least ``k`` of the catalogued OSes."""
         if k < 1:
             raise ValueError("k must be at least 1")
+        if self._engine == "bitset":
+            return self.incidence.affecting_at_least(k)
         catalog: Set[str] = set(self._os_names)
         return [
             entry
@@ -166,6 +221,16 @@ class VulnerabilityDataset:
             return []
         if len(names) == 1:
             return list(self._by_os.get(names[0], ()))
+        # The naive path matches group members against ``entry.affected_os``
+        # directly, so names outside the catalogue still count, and a
+        # threshold below one admits every entry; the index only scans the
+        # group's own entries over catalogued names, hence the guards.
+        if (
+            self._engine == "bitset"
+            and threshold >= 1
+            and all(name in self._by_os for name in names)
+        ):
+            return self.incidence.compromising_entries(names, threshold)
         return [
             entry
             for entry in self._entries

@@ -58,11 +58,18 @@ class KSetAnalysis:
         return dict(sorted(histogram.items()))
 
     def affecting_at_least(self, k: int) -> List[WideVulnerability]:
-        """Vulnerabilities affecting at least ``k`` of the studied OSes."""
+        """Vulnerabilities affecting at least ``k`` of the studied OSes.
+
+        "Studied" means this analysis's ``os_names``: when they are narrower
+        than the dataset's catalogue, breadth is still counted over the
+        studied set only.
+        """
         catalog = set(self._os_names)
         wide = []
         for entry in self._dataset.affecting_at_least(k):
             affected = frozenset(entry.affected_os & catalog)
+            if len(affected) < k:
+                continue
             wide.append(
                 WideVulnerability(
                     cve_id=entry.cve_id, breadth=len(affected), affected_os=affected
@@ -71,7 +78,15 @@ class KSetAnalysis:
         return sorted(wide, key=lambda w: (-w.breadth, w.cve_id))
 
     def widest(self, top: int = 3) -> List[WideVulnerability]:
-        """The ``top`` vulnerabilities with the widest OS coverage."""
+        """The ``top`` vulnerabilities with the widest OS coverage.
+
+        Only vulnerabilities affecting at least **two** of the studied OSes
+        qualify (the list is seeded from :meth:`affecting_at_least` with
+        ``k=2``), so single-OS entries never appear, even when ``top``
+        exceeds the number of multi-OS vulnerabilities.  Ties are broken
+        deterministically: decreasing breadth first, then ascending CVE
+        identifier.
+        """
         return self.affecting_at_least(2)[:top]
 
     def summary(self, ks: Sequence[int] = (3, 4, 5, 6)) -> Dict[int, int]:
@@ -90,6 +105,9 @@ class KSetAnalysis:
         """
         if not 2 <= k <= len(self._os_names):
             raise ValueError(f"k must be between 2 and {len(self._os_names)}")
+        if self._dataset.engine == "bitset":
+            # Depth-first fold-AND with shared prefix intersections.
+            return self._dataset.incidence.k_set_totals(self._os_names, k)
         totals: Dict[Tuple[str, ...], int] = {}
         for combo in itertools.combinations(self._os_names, k):
             totals[combo] = self._dataset.shared_count(combo)

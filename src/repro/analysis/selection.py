@@ -4,13 +4,20 @@ Given shared-vulnerability counts between operating systems, choose a group
 of ``n`` OSes for the replicas of a BFT system so that the number of common
 vulnerabilities is minimised.  Three strategies are provided:
 
-* **exhaustive** -- evaluates every combination (n over the 8--11 candidate
-  OSes is tiny, so this is cheap and exact);
+* **exhaustive** -- exact search over every combination, with
+  branch-and-bound pruning on partial group scores (shared counts are
+  non-negative, so a partial group's score is a lower bound for every
+  completion); exact even on catalogues of hundreds of OSes when the best
+  groups are sparse;
 * **greedy** -- grows the set one OS at a time, always adding the candidate
   that adds the fewest shared vulnerabilities (scales to larger catalogues);
 * **spectral/graph** -- treats the shared counts as edge weights of a graph
   and picks a minimum-weight k-subgraph seeded by the lightest edge, using
   :mod:`networkx` (useful as an independent cross-check of the other two).
+
+All three strategies run on the same pair matrix, which is compiled in one
+pass from the dataset's bitset incidence index (:mod:`repro.analysis.engine`)
+rather than by re-intersecting entry sets per pair.
 
 The module also provides the BFT sizing helpers (3f+1, 2f+1) used by the
 paper when it discusses how many distinct OSes are needed to tolerate ``f``
@@ -19,6 +26,7 @@ intrusions.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -86,7 +94,10 @@ class ReplicaSetSelector:
     ) -> None:
         if dataset is None and pair_matrix is None:
             raise SelectionError("either a dataset or a pair matrix is required")
-        self._dataset = dataset.valid().filtered(configuration) if dataset else None
+        # ``is not None``: an empty dataset is falsy but still a dataset.
+        self._dataset = (
+            dataset.valid().filtered(configuration) if dataset is not None else None
+        )
         if candidates is not None:
             self._candidates: Tuple[str, ...] = tuple(candidates)
         elif pair_matrix is not None:
@@ -97,6 +108,12 @@ class ReplicaSetSelector:
         self._matrix: Dict[Pair, int] = {}
         if pair_matrix is not None:
             for (os_a, os_b), count in pair_matrix.items():
+                self._matrix[self._key(os_a, os_b)] = count
+        elif self._dataset.engine == "bitset":
+            # One pass over the incidence index: an AND + popcount per pair.
+            for (os_a, os_b), count in self._dataset.incidence.pair_matrix(
+                self._candidates
+            ).items():
                 self._matrix[self._key(os_a, os_b)] = count
         else:
             for os_a, os_b in itertools.combinations(self._candidates, 2):
@@ -151,14 +168,72 @@ class ReplicaSetSelector:
     # -- strategies ---------------------------------------------------------------
 
     def exhaustive(self, n: int, top: int = 1) -> List[SelectionResult]:
-        """Evaluate every ``n``-combination; return the ``top`` best groups."""
+        """Exact search for the ``top`` best ``n``-combinations.
+
+        Shared counts never go negative, so a partial group's score is a
+        lower bound on the score of every completion; the search prunes any
+        branch whose partial score already exceeds the current ``top``-th
+        best (branch-and-bound).  A user-supplied pair matrix with negative
+        weights invalidates that bound, in which case every combination is
+        enumerated instead.  Either way the result -- scores, members and
+        tie-breaking order -- is identical to full enumeration.
+        """
         self._check_size(n)
+        if top <= 0:
+            return []
+        if any(weight < 0 for weight in self._matrix.values()):
+            return self.rank_all(n)[:top]
         scored = [
             self._result(combo, "exhaustive")
-            for combo in itertools.combinations(self._candidates, n)
+            for combo in self._bounded_search(n, top)
         ]
         scored.sort(key=lambda result: (result.pairwise_shared, result.os_names))
         return scored[:top]
+
+    def _bounded_search(self, n: int, top: int) -> List[Tuple[str, ...]]:
+        """The ``top`` best ``n``-combinations, identical to full enumeration.
+
+        Depth-first over the candidates in *sorted* order, so combinations
+        complete in exactly the (score-then-names) tie-breaking order's
+        name component: among equal scores, earlier completions are
+        lexicographically smaller.  A max-heap keyed by (score, completion
+        sequence) therefore holds the true ``top`` best at all times, and a
+        branch can be pruned as soon as its partial score reaches the heap
+        maximum: every completion scores at least the partial (weights are
+        non-negative) and, on a score tie, loses by name order to what the
+        heap already holds.
+        """
+        candidates = tuple(sorted(self._candidates))
+        shared = self.shared
+        # Max-heap via negation; `sequence` stands in for the name tie-break.
+        heap: List[Tuple[int, int, Tuple[str, ...]]] = []
+        sequence = itertools.count()
+
+        def visit(start: int, chosen: List[str], score: int) -> None:
+            if len(chosen) == n:
+                item = (-score, -next(sequence), tuple(chosen))
+                if len(heap) < top:
+                    heapq.heappush(heap, item)
+                elif item > heap[0]:
+                    # Better than the current worst: (-score, -seq) ordering
+                    # makes this exactly the (score, names) comparison, as a
+                    # later sequence number means lexicographically greater.
+                    heapq.heapreplace(heap, item)
+                return
+            slots_left = n - len(chosen)
+            full = len(heap) == top
+            for index in range(start, len(candidates) - slots_left + 1):
+                name = candidates[index]
+                extended = score + sum(shared(name, other) for other in chosen)
+                if full and extended >= -heap[0][0]:
+                    continue
+                chosen.append(name)
+                visit(index + 1, chosen, extended)
+                chosen.pop()
+                full = len(heap) == top
+
+        visit(0, [], 0)
+        return [combo for _neg_score, _neg_seq, combo in heap]
 
     def greedy(self, n: int, seed_os: Optional[str] = None) -> SelectionResult:
         """Grow a group greedily, adding the cheapest OS at each step."""

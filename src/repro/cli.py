@@ -12,7 +12,10 @@ Usage (after ``pip install -e .`` or from the repository root)::
 
 All commands operate on the calibrated synthetic corpus by default; pass
 ``--feeds DIR`` to run the analyses on a directory of NVD XML feeds instead
-(e.g. the real ones, in an online environment).
+(e.g. the real ones, in an online environment).  ``--engine bitset|naive``
+selects the shared-vulnerability engine (the precompiled bitset incidence
+index by default; the naive set re-intersection for cross-checking).  Worked
+examples for every command live in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.dataset import ENGINES, VulnerabilityDataset
 from repro.analysis.periods import PeriodAnalysis
 from repro.analysis.selection import ReplicaSetSelector, replicas_needed
 from repro.core.constants import FIGURE3_CONFIGURATIONS, TABLE5_OSES
@@ -56,6 +59,7 @@ _FIGURES = {"Figure 2": figure2, "Figure 3": figure3}
 
 def _load_dataset(args: argparse.Namespace) -> VulnerabilityDataset:
     """Dataset from NVD feeds when ``--feeds`` is given, else the synthetic corpus."""
+    engine = getattr(args, "engine", "bitset")
     if getattr(args, "feeds", None):
         feed_dir = Path(args.feeds)
         paths = sorted(feed_dir.glob("*.xml"))
@@ -65,9 +69,9 @@ def _load_dataset(args: argparse.Namespace) -> VulnerabilityDataset:
         pipeline.ingest_xml_feeds(paths)
         entries = pipeline.database.load_entries()
         pipeline.database.close()
-        return VulnerabilityDataset(entries)
+        return VulnerabilityDataset(entries, engine=engine)
     corpus = build_corpus(seed=args.seed)
-    return VulnerabilityDataset(corpus.entries)
+    return VulnerabilityDataset(corpus.entries, engine=engine)
 
 
 # ---------------------------------------------------------------------------
@@ -194,44 +198,100 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'OS Diversity for Intrusion Tolerance' (DSN 2011)",
+        epilog=(
+            "Full command documentation with worked examples: docs/cli.md.\n"
+            "All commands accept the global --seed, --feeds and --engine options."
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--seed", type=int, default=20110627,
                         help="seed for the synthetic corpus (default: 20110627)")
     parser.add_argument("--feeds", type=str, default=None,
                         help="directory of NVD XML feeds to analyse instead of the synthetic corpus")
+    parser.add_argument("--engine", choices=ENGINES, default="bitset",
+                        help="shared-vulnerability engine: the precompiled bitset "
+                             "incidence index (default) or the naive set "
+                             "re-intersection, kept for cross-checking")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("tables", help="print every reproduced table").set_defaults(func=cmd_tables)
+    def add_command(name: str, help_text: str, epilog: str) -> argparse.ArgumentParser:
+        return sub.add_parser(
+            name,
+            help=help_text,
+            epilog=epilog,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
 
-    table_parser = sub.add_parser("table", help="print one table or figure")
+    tables_parser = add_command(
+        "tables",
+        "print every reproduced table",
+        "example:\n"
+        "  python -m repro tables                # Tables I-VI + Section IV-B\n"
+        "  python -m repro --engine naive tables # same numbers, reference engine",
+    )
+    tables_parser.set_defaults(func=cmd_tables)
+
+    table_parser = add_command(
+        "table",
+        "print one table or figure",
+        "examples:\n"
+        '  python -m repro table --id "Table III"   # pairwise shared counts\n'
+        '  python -m repro table --id "Figure 3"    # replica-set evaluation',
+    )
     table_parser.add_argument("--id", required=True, help='e.g. "Table III" or "Figure 3"')
     table_parser.set_defaults(func=cmd_table)
 
-    experiments_parser = sub.add_parser(
-        "experiments", help="paper-vs-measured for every experiment"
+    experiments_parser = add_command(
+        "experiments",
+        "paper-vs-measured for every experiment",
+        "examples:\n"
+        "  python -m repro experiments                  # plain text comparison\n"
+        "  python -m repro experiments --markdown > report.md",
     )
     experiments_parser.add_argument(
         "--markdown", action="store_true", help="emit a Markdown reproduction report"
     )
     experiments_parser.set_defaults(func=cmd_experiments)
 
-    select_parser = sub.add_parser("select", help="choose diverse replica sets (Section IV-C)")
+    select_parser = add_command(
+        "select",
+        "choose diverse replica sets (Section IV-C)",
+        "examples:\n"
+        "  python -m repro select --faults 1 --top 5      # 4 replicas (3f+1)\n"
+        "  python -m repro select --faults 2 --quorum 2f+1  # 5 replicas",
+    )
     select_parser.add_argument("--faults", type=int, default=1, help="faults to tolerate (f)")
     select_parser.add_argument("--quorum", choices=("3f+1", "2f+1"), default="3f+1")
     select_parser.add_argument("--top", type=int, default=5, help="number of groups to print")
     select_parser.set_defaults(func=cmd_select)
 
-    simulate_parser = sub.add_parser("simulate", help="homogeneous vs diverse attack simulation")
+    simulate_parser = add_command(
+        "simulate",
+        "homogeneous vs diverse attack simulation",
+        "example:\n"
+        "  python -m repro simulate --runs 500 --rate 2.0 --horizon 5.0",
+    )
     simulate_parser.add_argument("--runs", type=int, default=100)
     simulate_parser.add_argument("--rate", type=float, default=1.0)
     simulate_parser.add_argument("--horizon", type=float, default=5.0)
     simulate_parser.set_defaults(func=cmd_simulate)
 
-    export_parser = sub.add_parser("export", help="write all tables/figures as text and CSV")
+    export_parser = add_command(
+        "export",
+        "write all tables/figures as text and CSV",
+        "example:\n"
+        "  python -m repro export --output out/   # one .txt + .csv per table",
+    )
     export_parser.add_argument("--output", required=True)
     export_parser.set_defaults(func=cmd_export)
 
-    feeds_parser = sub.add_parser("feeds", help="write the synthetic corpus as NVD-style feeds")
+    feeds_parser = add_command(
+        "feeds",
+        "write the synthetic corpus as NVD-style feeds",
+        "example:\n"
+        "  python -m repro feeds --output feeds/  # per-year XML + one JSON feed\n"
+        "  python -m repro --feeds feeds/ tables  # ...and read them back",
+    )
     feeds_parser.add_argument("--output", required=True)
     feeds_parser.set_defaults(func=cmd_feeds)
     return parser

@@ -14,11 +14,17 @@ targets; every table and figure is recomputed from the generated corpus.
 
 from repro.synthetic.calibration import PaperCalibration
 from repro.synthetic.corpus import SyntheticCorpus, build_corpus
-from repro.synthetic.generator import CorpusGenerator
+from repro.synthetic.generator import (
+    CorpusGenerator,
+    ScaledCatalogue,
+    generate_scaled_catalogue,
+)
 
 __all__ = [
     "PaperCalibration",
     "CorpusGenerator",
+    "ScaledCatalogue",
+    "generate_scaled_catalogue",
     "SyntheticCorpus",
     "build_corpus",
 ]

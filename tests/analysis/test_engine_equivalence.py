@@ -1,0 +1,212 @@
+"""Property-based equivalence: bitset engine == naive engine, always.
+
+The bitset incidence index (:mod:`repro.analysis.engine`) is a pure
+optimisation: for any corpus and any query it must return exactly what the
+naive per-entry set re-intersection returns, in the same order.  This suite
+generates random corpora (and exercises the paper-sized and scaled synthetic
+corpora) and asserts that equivalence for the pair matrices, the k-set
+totals, the replica-group compromise counts and all three selection
+strategies, under every server configuration.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.ksets import KSetAnalysis
+from repro.analysis.pairs import PairAnalysis
+from repro.analysis.selection import ReplicaSetSelector
+from repro.core.constants import OS_NAMES
+from repro.core.enums import (
+    AccessVector,
+    ComponentClass,
+    ServerConfiguration,
+    ValidityStatus,
+)
+from repro.core.models import CVSSVector, VulnerabilityEntry
+from repro.synthetic.generator import generate_scaled_catalogue
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+os_subsets = st.sets(st.sampled_from(OS_NAMES), min_size=1, max_size=6)
+
+entries_strategy = st.lists(
+    st.builds(
+        lambda index, oses, cls, access, year, valid: VulnerabilityEntry(
+            cve_id=f"CVE-{year}-{1000 + index}",
+            published=dt.date(year, 1 + index % 12, 1 + index % 28),
+            summary="generated entry",
+            cvss=CVSSVector(access_vector=access),
+            affected_os=frozenset(oses),
+            component_class=cls,
+            validity=ValidityStatus.VALID if valid else ValidityStatus.UNKNOWN,
+        ),
+        index=st.integers(min_value=0, max_value=9999),
+        oses=os_subsets,
+        cls=st.sampled_from(list(ComponentClass)),
+        access=st.sampled_from(list(AccessVector)),
+        year=st.integers(min_value=1994, max_value=2010),
+        valid=st.booleans(),
+    ),
+    min_size=0,
+    max_size=50,
+    unique_by=lambda entry: entry.cve_id,
+)
+
+
+def both_engines(entries, os_names=OS_NAMES):
+    return (
+        VulnerabilityDataset(entries, os_names, engine="bitset"),
+        VulnerabilityDataset(entries, os_names, engine="naive"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# random corpora
+# ---------------------------------------------------------------------------
+
+
+@given(entries=entries_strategy)
+@settings(max_examples=50, deadline=None)
+def test_pair_matrices_equivalent(entries):
+    fast, naive = both_engines(entries)
+    for configuration in ServerConfiguration:
+        assert PairAnalysis(fast).shared_matrix(configuration) == PairAnalysis(
+            naive
+        ).shared_matrix(configuration)
+
+
+@given(entries=entries_strategy, k=st.integers(min_value=2, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_k_set_totals_equivalent(entries, k):
+    fast, naive = both_engines(entries)
+    for configuration in ServerConfiguration:
+        fast_totals = KSetAnalysis(fast, configuration).per_combination_totals(k)
+        naive_totals = KSetAnalysis(naive, configuration).per_combination_totals(k)
+        assert fast_totals == naive_totals
+        # Same iteration order too: callers rely on combination order.
+        assert list(fast_totals) == list(naive_totals)
+
+
+@given(entries=entries_strategy)
+@settings(max_examples=50, deadline=None)
+def test_shared_between_and_affecting_equivalent(entries):
+    fast, naive = both_engines(entries)
+    for names in (("Debian",), ("Debian", "RedHat"), ("OpenBSD", "NetBSD", "FreeBSD")):
+        assert fast.shared_between(names) == naive.shared_between(names)
+    for k in (1, 2, 3, 5):
+        assert fast.affecting_at_least(k) == naive.affecting_at_least(k)
+
+
+@given(
+    entries=entries_strategy,
+    group=st.lists(st.sampled_from(OS_NAMES), min_size=2, max_size=5),
+    threshold=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=50, deadline=None)
+def test_compromising_equivalent(entries, group, threshold):
+    fast, naive = both_engines(entries)
+    assert fast.compromising(group, threshold) == naive.compromising(group, threshold)
+
+
+@given(entries=entries_strategy, n=st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_selection_strategies_equivalent(entries, n):
+    for configuration in (
+        ServerConfiguration.FAT,
+        ServerConfiguration.ISOLATED_THIN,
+    ):
+        fast, naive = both_engines(entries)
+        selector_fast = ReplicaSetSelector(
+            dataset=fast, candidates=OS_NAMES[:6], configuration=configuration
+        )
+        selector_naive = ReplicaSetSelector(
+            dataset=naive, candidates=OS_NAMES[:6], configuration=configuration
+        )
+        for result_fast, result_naive in zip(
+            selector_fast.exhaustive(n, top=3), selector_naive.exhaustive(n, top=3)
+        ):
+            assert result_fast == result_naive
+        assert selector_fast.greedy(n) == selector_naive.greedy(n)
+        assert selector_fast.graph_based(n) == selector_naive.graph_based(n)
+        assert selector_fast.rank_all(n) == selector_naive.rank_all(n)
+
+
+@given(entries=entries_strategy, top=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_branch_and_bound_matches_plain_enumeration(entries, top):
+    """The pruned exhaustive search returns exactly the enumerated top list."""
+    dataset = VulnerabilityDataset(entries).valid()
+    selector = ReplicaSetSelector(dataset=dataset, candidates=OS_NAMES[:7])
+    pruned = selector.exhaustive(3, top=top)
+    enumerated = sorted(
+        (
+            selector._result(combo, "exhaustive")
+            for combo in itertools.combinations(selector.candidates, 3)
+        ),
+        key=lambda result: (result.pairwise_shared, result.os_names),
+    )[:top]
+    assert pruned == enumerated
+
+
+# ---------------------------------------------------------------------------
+# paper-sized and scaled corpora
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "configuration",
+    [ServerConfiguration.FAT, ServerConfiguration.THIN, ServerConfiguration.ISOLATED_THIN],
+)
+def test_paper_corpus_equivalence(dataset, configuration):
+    fast = dataset.with_engine("bitset")
+    naive = dataset.with_engine("naive")
+    assert PairAnalysis(fast).shared_matrix(configuration) == PairAnalysis(
+        naive
+    ).shared_matrix(configuration)
+    assert KSetAnalysis(fast, configuration).per_combination_totals(
+        4
+    ) == KSetAnalysis(naive, configuration).per_combination_totals(4)
+
+
+def test_paper_corpus_selection_equivalence(valid_dataset):
+    from repro.core.constants import TABLE5_OSES
+
+    fast = ReplicaSetSelector(
+        dataset=valid_dataset.with_engine("bitset"), candidates=TABLE5_OSES
+    )
+    naive = ReplicaSetSelector(
+        dataset=valid_dataset.with_engine("naive"), candidates=TABLE5_OSES
+    )
+    assert fast.exhaustive(4, top=5) == naive.exhaustive(4, top=5)
+    assert fast.greedy(4) == naive.greedy(4)
+    assert fast.graph_based(4) == naive.graph_based(4)
+
+
+def test_scaled_catalogue_equivalence():
+    """A 30-OS scaled catalogue: pair matrix and sampled k-sets agree."""
+    catalogue = generate_scaled_catalogue(
+        n_families=6, releases_per_family=5, vulns_per_os=15, seed=99
+    )
+    fast = catalogue.dataset(engine="bitset")
+    naive = catalogue.dataset(engine="naive")
+    assert fast.incidence.pair_matrix(catalogue.os_names) == {
+        pair: naive.shared_count(pair)
+        for pair in itertools.combinations(catalogue.os_names, 2)
+    }
+    rng = random.Random(3)
+    for _ in range(50):
+        combo = tuple(rng.sample(catalogue.os_names, 4))
+        assert fast.shared_count(combo) == naive.shared_count(combo)
+    fast_sel = ReplicaSetSelector(dataset=fast, candidates=catalogue.os_names)
+    naive_sel = ReplicaSetSelector(dataset=naive, candidates=catalogue.os_names)
+    assert fast_sel.exhaustive(3, top=3) == naive_sel.exhaustive(3, top=3)
+    assert fast_sel.greedy(4) == naive_sel.greedy(4)

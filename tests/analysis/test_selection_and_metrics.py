@@ -125,6 +125,18 @@ class TestSelectorWithExplicitMatrix:
         assert len(selector.greedy(1).os_names) == 1
         assert len(selector.graph_based(1).os_names) == 1
 
+    def test_exhaustive_top_zero_is_empty(self):
+        selector = ReplicaSetSelector(pair_matrix=self.MATRIX)
+        assert selector.exhaustive(2, top=0) == []
+
+    def test_exhaustive_negative_weights_fall_back_to_enumeration(self):
+        matrix = dict(self.MATRIX)
+        matrix[("A", "B")] = -5
+        selector = ReplicaSetSelector(pair_matrix=matrix)
+        best = selector.exhaustive(3, top=2)
+        assert best == selector.rank_all(3)[:2]
+        assert best[0].pairwise_shared < 0
+
 
 class TestSelectorOnCorpus:
     def test_history_selection_reproduces_paper_sets(self, valid_dataset):

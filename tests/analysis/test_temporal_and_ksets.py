@@ -105,6 +105,51 @@ class TestKSets:
         widest = KSetAnalysis(kset_dataset).widest(2)
         assert [w.cve_id for w in widest] == ["CVE-2005-0004", "CVE-2005-0001"]
 
+    def test_widest_floors_at_two_oses(self, kset_dataset):
+        """widest() seeds from affecting_at_least(2): single-OS entries never
+        appear, even when ``top`` exceeds the number of multi-OS entries."""
+        widest = KSetAnalysis(kset_dataset).widest(top=10)
+        assert [w.cve_id for w in widest] == [
+            "CVE-2005-0004",
+            "CVE-2005-0001",
+            "CVE-2005-0002",
+        ]
+        assert all(w.breadth >= 2 for w in widest)
+        # CVE-2005-0003 affects only OpenBSD and must stay out.
+        assert "CVE-2005-0003" not in {w.cve_id for w in widest}
+
+    def test_widest_floor_honours_custom_os_names(self):
+        """With a narrower studied set, breadth is floored over that set."""
+        entries = [
+            make_entry(cve_id="CVE-2005-0001", oses=("OpenBSD", "NetBSD")),
+            make_entry(cve_id="CVE-2005-0002", oses=("Debian", "RedHat")),
+            make_entry(cve_id="CVE-2005-0003", oses=("Debian", "OpenBSD")),
+        ]
+        dataset = VulnerabilityDataset(entries)
+        analysis = KSetAnalysis(dataset, os_names=("Debian", "RedHat"))
+        widest = analysis.widest(top=5)
+        # Only the entry affecting two *studied* OSes qualifies; the others
+        # have breadth <= 1 over {Debian, RedHat} despite dataset breadth 2.
+        assert [w.cve_id for w in widest] == ["CVE-2005-0002"]
+        assert all(w.breadth >= 2 for w in widest)
+
+    def test_widest_tie_breaking_order(self):
+        """Equal-breadth entries are ordered by ascending CVE identifier."""
+        entries = [
+            make_entry(cve_id="CVE-2005-0009", oses=("Debian", "RedHat")),
+            make_entry(cve_id="CVE-2005-0001", oses=("OpenBSD", "NetBSD")),
+            make_entry(cve_id="CVE-2004-0005", oses=("Ubuntu", "Solaris")),
+            make_entry(cve_id="CVE-2006-0002",
+                       oses=("Debian", "RedHat", "Ubuntu")),
+        ]
+        widest = KSetAnalysis(VulnerabilityDataset(entries)).widest(top=4)
+        assert [w.cve_id for w in widest] == [
+            "CVE-2006-0002",   # breadth 3 first
+            "CVE-2004-0005",   # then breadth 2, by CVE id
+            "CVE-2005-0001",
+            "CVE-2005-0009",
+        ]
+
     def test_summary_is_monotone(self, valid_dataset):
         summary = KSetAnalysis(valid_dataset).summary((2, 3, 4, 5, 6))
         values = list(summary.values())

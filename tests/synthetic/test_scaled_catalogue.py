@@ -1,0 +1,103 @@
+"""Tests for the scalable catalogue mode of the synthetic generator."""
+
+import pytest
+
+from repro.analysis.selection import ReplicaSetSelector
+from repro.analysis.sensitivity import SensitivityAnalysis
+from repro.core.enums import ComponentClass, ServerConfiguration
+from repro.synthetic.generator import ScaledCatalogue, generate_scaled_catalogue
+
+
+@pytest.fixture(scope="module")
+def catalogue() -> ScaledCatalogue:
+    return generate_scaled_catalogue(
+        n_families=4, releases_per_family=5, vulns_per_os=10, seed=7
+    )
+
+
+class TestGeneration:
+    def test_catalogue_shape(self, catalogue):
+        assert len(catalogue.os_names) == 20
+        assert len(catalogue.families) == 4
+        assert all(len(members) == 5 for members in catalogue.families.values())
+        assert len(catalogue.entries) == 200
+
+    def test_deterministic_for_seed(self, catalogue):
+        again = generate_scaled_catalogue(
+            n_families=4, releases_per_family=5, vulns_per_os=10, seed=7
+        )
+        assert again.entries == catalogue.entries
+        other_seed = generate_scaled_catalogue(
+            n_families=4, releases_per_family=5, vulns_per_os=10, seed=8
+        )
+        assert other_seed.entries != catalogue.entries
+
+    def test_unique_cve_ids_and_valid_entries(self, catalogue):
+        ids = [entry.cve_id for entry in catalogue.entries]
+        assert len(set(ids)) == len(ids)
+        assert all(entry.is_valid for entry in catalogue.entries)
+        assert all(entry.affected_os <= set(catalogue.os_names)
+                   for entry in catalogue.entries)
+
+    def test_sharing_structure_is_configurable(self):
+        isolated = generate_scaled_catalogue(
+            n_families=3, releases_per_family=4, vulns_per_os=10,
+            intra_family_share=0.0, cross_family_share=0.0, seed=1,
+        )
+        assert all(len(entry.affected_os) == 1 for entry in isolated.entries)
+        entangled = generate_scaled_catalogue(
+            n_families=3, releases_per_family=4, vulns_per_os=10,
+            intra_family_share=1.0, cross_family_share=0.5, seed=1,
+        )
+        assert any(len(entry.affected_os) > 1 for entry in entangled.entries)
+
+    def test_class_mix_keeps_filters_non_trivial(self, catalogue):
+        dataset = catalogue.dataset()
+        fat = len(dataset.filtered(ServerConfiguration.FAT))
+        thin = len(dataset.filtered(ServerConfiguration.THIN))
+        isolated = len(dataset.filtered(ServerConfiguration.ISOLATED_THIN))
+        assert fat > thin > isolated > 0
+        classes = {entry.component_class for entry in catalogue.entries}
+        assert ComponentClass.APPLICATION in classes
+        assert ComponentClass.KERNEL in classes
+
+    def test_rejects_empty_catalogue(self):
+        with pytest.raises(ValueError):
+            generate_scaled_catalogue(n_families=0)
+
+
+class TestAnalysisOnScaledCatalogue:
+    def test_dataset_uses_catalogue_names(self, catalogue):
+        dataset = catalogue.dataset()
+        assert dataset.os_names == catalogue.os_names
+        assert sum(dataset.count_for(name) for name in catalogue.os_names) >= len(
+            catalogue.entries
+        )
+
+    def test_cross_family_groups_are_more_diverse(self, catalogue):
+        selector = ReplicaSetSelector(
+            dataset=catalogue.dataset(),
+            candidates=catalogue.os_names,
+            configuration=ServerConfiguration.FAT,
+        )
+        best = selector.exhaustive(4, top=1)[0]
+        families = {name.split("-")[0] for name in best.os_names}
+        # The optimum spreads across families; a single-family group shares
+        # its lineage vulnerabilities and scores strictly worse.
+        same_family = selector.group_score(catalogue.families["F00"][:4])
+        assert len(families) > 1
+        assert best.pairwise_shared <= same_family
+
+    def test_sensitivity_scale_sweep(self, valid_dataset):
+        analysis = SensitivityAnalysis(valid_dataset)
+        results = analysis.catalogue_scale_sensitivity(
+            scales=((2, 3), (3, 4)), seed=5
+        )
+        assert set(results) == {(2, 3), (3, 4)}
+        for low_pairs_pct, best_score in results.values():
+            assert 0.0 <= low_pairs_pct <= 100.0
+            assert best_score >= 0
+
+    def test_sensitivity_engine_ablation_delta_zero(self, valid_dataset):
+        ablation = SensitivityAnalysis(valid_dataset).engine_ablation()
+        assert ablation.delta == 0.0

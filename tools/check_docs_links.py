@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Check that relative links in the Markdown docs resolve to real files.
+
+Scans the given Markdown files (default: README.md, CHANGES.md and
+docs/*.md) for inline links and verifies that every non-external target
+exists relative to the linking file. External links (http/https/mailto)
+are not fetched -- this is an offline check.
+
+Exit status 0 when every link resolves, 1 otherwise.  Used by CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target), ignoring images' leading "!".
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_links(markdown: str):
+    for match in LINK_PATTERN.finditer(markdown):
+        yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    failures = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            failures.append(f"{path}: broken link -> {target}")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        paths = [Path(arg) for arg in argv]
+    else:
+        paths = [root / "README.md", root / "CHANGES.md"]
+        paths.extend(sorted((root / "docs").glob("*.md")))
+    failures: list[str] = []
+    checked = 0
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path}: file not found")
+            continue
+        failures.extend(check_file(path))
+        checked += 1
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
