@@ -246,3 +246,65 @@ class IncidenceIndex:
             if hits >= threshold:
                 selected |= low_bit
         return self.decode(selected)
+
+
+class ReplicaIncidence:
+    """Per-exploit victim bitmasks over the replica positions of one group.
+
+    Where :class:`IncidenceIndex` maps OS *names* to entry bitmasks, this
+    maps pool *entries* to replica-position bitmasks: bit ``i`` of
+    ``victim_mask(e)`` is set when replica position ``i`` runs an OS affected
+    by pool entry ``e``.  Duplicate OS names (homogeneous groups) set one bit
+    per position, so a popcount is exactly the naive per-replica victim scan.
+
+    The Monte-Carlo simulation compiles this once per configuration and then
+    answers "how many replicas does this exploit newly compromise?" with one
+    AND-NOT + popcount per event, instead of re-walking the replica list.
+    """
+
+    __slots__ = ("_victim_masks", "_replica_os")
+
+    def __init__(
+        self,
+        entries: Sequence[VulnerabilityEntry],
+        replica_os_names: Sequence[str],
+    ) -> None:
+        self._replica_os: Tuple[str, ...] = tuple(replica_os_names)
+        position_masks: Dict[str, int] = {}
+        for position, name in enumerate(replica_os_names):
+            position_masks[name] = position_masks.get(name, 0) | (1 << position)
+        masks: List[int] = []
+        get_mask = position_masks.get
+        for entry in entries:
+            mask = 0
+            for name in entry.affected_os:
+                positions = get_mask(name)
+                if positions:
+                    mask |= positions
+            masks.append(mask)
+        self._victim_masks: Tuple[int, ...] = tuple(masks)
+
+    @property
+    def group_size(self) -> int:
+        return len(self._replica_os)
+
+    @property
+    def replica_os_names(self) -> Tuple[str, ...]:
+        return self._replica_os
+
+    @property
+    def victim_masks(self) -> Tuple[int, ...]:
+        """One replica-position bitmask per pool entry, in pool order."""
+        return self._victim_masks
+
+    def victim_mask(self, entry_index: int) -> int:
+        return self._victim_masks[entry_index]
+
+    def victim_mask_for(self, affected_os: Sequence[str]) -> int:
+        """Victim bitmask for an ad-hoc exploit (e.g. the smart opening shot)."""
+        affected = set(affected_os)
+        mask = 0
+        for position, name in enumerate(self._replica_os):
+            if name in affected:
+                mask |= 1 << position
+        return mask

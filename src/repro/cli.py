@@ -28,8 +28,9 @@ from typing import List, Optional, Sequence
 from repro.analysis.dataset import ENGINES, VulnerabilityDataset
 from repro.analysis.periods import PeriodAnalysis
 from repro.analysis.selection import ReplicaSetSelector, replicas_needed
-from repro.core.constants import FIGURE3_CONFIGURATIONS, TABLE5_OSES
+from repro.core.constants import FIGURE3_CONFIGURATIONS, TABLE5_OSES, get_os
 from repro.db.ingest import IngestPipeline
+from repro.itsys.simulation import ENGINES as SIMULATION_ENGINES
 from repro.itsys.simulation import CompromiseSimulation
 from repro.reports.experiments import EXPERIMENTS
 from repro.reports.export import to_csv
@@ -136,25 +137,113 @@ def cmd_select(args: argparse.Namespace) -> int:
 HISTORY_LABEL = "1994-2005 history"
 
 
+def _interval_list(spec: str) -> List[float]:
+    """argparse type for --recovery-sweep: a comma-separated float list."""
+    try:
+        values = [float(token) for token in spec.split(",") if token.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid interval list {spec!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one interval")
+    return values
+
+
+def _simulate_configurations(args: argparse.Namespace) -> dict:
+    """Replica configurations selected by --homogeneous / --config / --os."""
+    configurations: dict = {}
+    if args.homogeneous:
+        configurations[f"homogeneous (4 x {args.homogeneous})"] = (args.homogeneous,) * 4
+    for name in args.config or []:
+        configurations[name] = FIGURE3_CONFIGURATIONS[name]
+    for spec in args.os or []:
+        os_names = tuple(name.strip() for name in spec.split(",") if name.strip())
+        configurations["custom (" + "+".join(os_names) + ")"] = os_names
+    if not configurations:
+        configurations = {
+            "homogeneous (4 x Debian)": ("Debian",) * 4,
+            "Set1": FIGURE3_CONFIGURATIONS["Set1"],
+            "Set4": FIGURE3_CONFIGURATIONS["Set4"],
+        }
+    return configurations
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.recovery_sweep and args.recovery_interval is not None:
+        print("--recovery-sweep and --recovery-interval are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.engine not in SIMULATION_ENGINES:
+        print(f"the simulator supports --engine {'|'.join(SIMULATION_ENGINES)}, "
+              f"not {args.engine!r}", file=sys.stderr)
+        return 2
+    configurations = _simulate_configurations(args)
+    for name, os_names in configurations.items():
+        if not os_names:
+            print(f"configuration {name!r} has no replicas", file=sys.stderr)
+            return 2
+        for os_name in os_names:
+            try:
+                get_os(os_name)
+            except KeyError:
+                print(f"unknown operating system {os_name!r} in configuration "
+                      f"{name!r}", file=sys.stderr)
+                return 2
     dataset = _load_dataset(args)
     simulation = CompromiseSimulation(
-        [entry for entry in dataset if entry.is_valid], seed=args.seed
+        [entry for entry in dataset if entry.is_valid],
+        seed=args.seed,
+        engine=args.engine,
     )
-    configurations = {
-        "homogeneous (4 x Debian)": ("Debian",) * 4,
-        "Set1": FIGURE3_CONFIGURATIONS["Set1"],
-        "Set4": FIGURE3_CONFIGURATIONS["Set4"],
+    campaign = dict(
+        runs=args.runs,
+        exploit_rate=args.rate,
+        horizon=args.horizon,
+        quorum_model=args.quorum_model,
+        targeted=not args.untargeted,
+        arrival=args.arrival,
+        shape=args.shape,
+        smart=args.smart,
+    )
+    analyses = {
+        name: simulation.single_exploit_analysis(name, os_names, quorum_model=args.quorum_model)
+        for name, os_names in configurations.items()
     }
+    sweep_intervals: Optional[List[Optional[float]]] = None
+    if args.recovery_sweep:
+        sweep_intervals = [None] + list(args.recovery_sweep)
+        results = [
+            result
+            for name, os_names in configurations.items()
+            for result in simulation.recovery_sweep(
+                name, os_names, sweep_intervals, **campaign
+            ).values()
+        ]
+    else:
+        campaign["recovery_interval"] = args.recovery_interval
+        results = simulation.compare(configurations, **campaign)
+
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = {
+            "engine": simulation.engine,
+            "parameters": {**campaign, "seed": args.seed,
+                           "recovery_sweep": sweep_intervals},
+            "configurations": {name: list(os_names) for name, os_names in configurations.items()},
+            "single_exploit": [dataclasses.asdict(a) for a in analyses.values()],
+            "campaigns": [dataclasses.asdict(result) for result in results],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     print("single-exploit (0-day) defeat probability:")
-    for name, os_names in configurations.items():
-        analysis = simulation.single_exploit_analysis(name, os_names)
+    for name, analysis in analyses.items():
         print(f"  {name:28s} {analysis.single_attack_defeat_probability:5.2f} "
               f"(mean replicas hit {analysis.mean_replicas_per_exploit:.2f})")
-    print(f"\nMonte-Carlo campaigns ({args.runs} runs, rate {args.rate}, horizon {args.horizon}):")
-    for result in simulation.compare(
-        configurations, runs=args.runs, exploit_rate=args.rate, horizon=args.horizon
-    ):
+    print(f"\nMonte-Carlo campaigns ({args.runs} runs, rate {args.rate}, "
+          f"horizon {args.horizon}, {args.arrival} arrivals, engine {simulation.engine}):")
+    for result in results:
         print(f"  {result.summary()}")
     return 0
 
@@ -268,12 +357,61 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser = add_command(
         "simulate",
         "homogeneous vs diverse attack simulation",
-        "example:\n"
-        "  python -m repro simulate --runs 500 --rate 2.0 --horizon 5.0",
+        "examples:\n"
+        "  python -m repro simulate --runs 500 --rate 2.0 --horizon 5.0\n"
+        "  python -m repro simulate --config Set1 --homogeneous Windows2003 \\\n"
+        "      --recovery-interval 2.0 --json\n"
+        "  python -m repro simulate --os Debian,OpenBSD,Solaris,NetBSD \\\n"
+        "      --arrival aging --shape 1.8 --smart\n"
+        "  python -m repro --engine naive simulate --runs 100   # reference engine",
     )
     simulate_parser.add_argument("--runs", type=int, default=100)
     simulate_parser.add_argument("--rate", type=float, default=1.0)
     simulate_parser.add_argument("--horizon", type=float, default=5.0)
+    simulate_parser.add_argument(
+        "--homogeneous", metavar="OS", default=None,
+        help="add a homogeneous configuration of 4 replicas of this OS",
+    )
+    simulate_parser.add_argument(
+        "--config", action="append", choices=sorted(FIGURE3_CONFIGURATIONS),
+        help="add one of the paper's Figure 3 configurations (repeatable)",
+    )
+    simulate_parser.add_argument(
+        "--os", action="append", metavar="OS[,OS...]",
+        help="add a custom configuration from a comma-separated OS list",
+    )
+    simulate_parser.add_argument(
+        "--quorum-model", choices=("3f+1", "2f+1"), default="3f+1",
+        help="BFT quorum model sizing f (default: 3f+1)",
+    )
+    simulate_parser.add_argument(
+        "--recovery-interval", type=float, default=None,
+        help="proactive recovery (rejuvenation) period in simulated time units",
+    )
+    simulate_parser.add_argument(
+        "--recovery-sweep", metavar="T1,T2,...", type=_interval_list, default=None,
+        help="sweep the recovery interval over these values (plus no recovery); "
+             "mutually exclusive with --recovery-interval",
+    )
+    simulate_parser.add_argument(
+        "--arrival", choices=("poisson", "aging"), default="poisson",
+        help="exploit inter-arrival process (aging = Weibull with --shape)",
+    )
+    simulate_parser.add_argument(
+        "--shape", type=float, default=1.0,
+        help="Weibull shape for --arrival aging (>1 maturing attacker, <1 burst)",
+    )
+    simulate_parser.add_argument(
+        "--smart", action="store_true",
+        help="open every campaign with the single most damaging exploit",
+    )
+    simulate_parser.add_argument(
+        "--untargeted", action="store_true",
+        help="draw exploits from the whole pool, not just the group's OSes",
+    )
+    simulate_parser.add_argument(
+        "--json", action="store_true", help="emit results as JSON instead of text"
+    )
     simulate_parser.set_defaults(func=cmd_simulate)
 
     export_parser = add_command(

@@ -15,14 +15,17 @@ executable:
   homogeneous and diverse replica groups.
 """
 
-from repro.itsys.attacker import Attacker, ExploitEvent
+from repro.itsys.attacker import Attacker, ExploitEvent, best_exploit_entry
 from repro.itsys.bft import BFTService, ServiceState
 from repro.itsys.events import Event, EventQueue
 from repro.itsys.replica import Replica, ReplicaGroup
 from repro.itsys.simulation import (
+    ARRIVALS,
+    ENGINES,
     CompromiseSimulation,
     SimulationResult,
     SingleExploitAnalysis,
+    wilson_interval,
 )
 
 __all__ = [
@@ -32,9 +35,13 @@ __all__ = [
     "ReplicaGroup",
     "Attacker",
     "ExploitEvent",
+    "best_exploit_entry",
     "BFTService",
     "ServiceState",
+    "ARRIVALS",
+    "ENGINES",
     "CompromiseSimulation",
     "SimulationResult",
     "SingleExploitAnalysis",
+    "wilson_interval",
 ]

@@ -55,6 +55,11 @@ class ServiceTimeline:
     safety_violation_time: Optional[float] = None
     liveness_loss_time: Optional[float] = None
     executed: List[ExecutionRecord] = field(default_factory=list)
+    #: Highest number of simultaneously compromised replicas observed at any
+    #: point of the campaign.  Unlike the group's *final* compromised count,
+    #: this is not reset by proactive recovery, so it is the right quantity
+    #: for damage statistics under a ``recovery_interval``.
+    peak_compromised: int = 0
 
     @property
     def survived(self) -> bool:
@@ -121,7 +126,9 @@ class BFTService:
         agreed log); ``recovery_interval`` optionally performs proactive
         recovery of all compromised replicas at that period.
         """
-        timeline = ServiceTimeline(state=self.state())
+        timeline = ServiceTimeline(
+            state=self.state(), peak_compromised=self.group.compromised_count()
+        )
         events: List[Tuple[float, int, str, object]] = []
         for exploit in exploits:
             events.append((exploit.time, 0, "exploit", exploit))
@@ -146,6 +153,9 @@ class BFTService:
                 newly = self.group.apply_exploit(time, exploit.cve_id, exploit.affected_os)
                 if newly:
                     timeline.compromised_events.append((time, exploit.cve_id, newly))
+                    count = self.group.compromised_count()
+                    if count > timeline.peak_compromised:
+                        timeline.peak_compromised = count
                 if (
                     self.group.safety_violated
                     and timeline.safety_violation_time is None

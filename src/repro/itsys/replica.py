@@ -19,11 +19,17 @@ class Replica:
     compromised_at: Optional[float] = None
     compromised_by: Optional[str] = None
     patched: FrozenSet[str] = frozenset()
+    #: When False, the OS name is kept verbatim instead of being resolved
+    #: against the built-in catalogue -- required for synthetic scaled
+    #: catalogues (e.g. ``generate_scaled_catalogue``) whose release names
+    #: are not real operating systems.
+    catalogued: bool = True
 
     def __post_init__(self) -> None:
         # Normalise the OS name against the catalogue early, so that typos
         # fail fast rather than silently producing an "invulnerable" replica.
-        self.os_name = get_os(self.os_name).name
+        if self.catalogued:
+            self.os_name = get_os(self.os_name).name
 
     def is_vulnerable_to(self, cve_id: str, affected_os: Iterable[str]) -> bool:
         """Whether an exploit for the given vulnerability can compromise this replica."""
@@ -62,6 +68,7 @@ class ReplicaGroup:
         self,
         os_names: Sequence[str],
         quorum_model: str = "3f+1",
+        catalogued: bool = True,
     ) -> None:
         if not os_names:
             raise SimulationError("a replica group needs at least one replica")
@@ -69,7 +76,8 @@ class ReplicaGroup:
             raise SimulationError(f"unknown quorum model {quorum_model!r}")
         self.quorum_model = quorum_model
         self.replicas: List[Replica] = [
-            Replica(replica_id=index, os_name=name) for index, name in enumerate(os_names)
+            Replica(replica_id=index, os_name=name, catalogued=catalogued)
+            for index, name in enumerate(os_names)
         ]
 
     # -- sizing -----------------------------------------------------------------

@@ -4,26 +4,89 @@ Ties the corpus, the attacker model and the BFT service model together: for a
 set of candidate replica configurations, run many randomised exploit
 campaigns and estimate the probability that the service's safety is violated
 (more than ``f`` replicas compromised), the mean time to that violation and
-the mean number of compromised replicas.
+the mean peak number of compromised replicas.
 
 This turns the paper's qualitative argument -- "diversity reduces the chance
 that one vulnerability takes out several replicas at once" -- into a number
 that can be compared across configurations.
+
+Two interchangeable execution engines are provided, mirroring the analysis
+engine split of :mod:`repro.analysis.engine`:
+
+* ``"bitset"`` (default) -- the attacker's exploitable pool is compiled
+  **once per simulation** (the naive path re-filters the whole corpus on
+  every run), each exploit's victim set over the replica group is a
+  precompiled integer bitmask (:class:`repro.analysis.engine.ReplicaIncidence`)
+  and per-event damage is an AND-NOT + popcount, so a 500-run campaign runs
+  at hardware speed;
+* ``"naive"`` -- the original per-run ``Attacker`` + ``BFTService`` object
+  path, kept as the reference implementation for cross-checking.
+
+Both engines consume the per-run random streams identically (seed
+``seed + 7919 * run_index``, one ``expovariate``/``weibullvariate`` plus one
+``choice`` per exploit), so for a fixed seed they produce **bit-for-bit
+identical** :class:`SimulationResult` values -- asserted by
+``tests/itsys/test_simulation_equivalence.py`` and timed by
+``benchmarks/bench_simulation.py``.
+
+Scenario knobs beyond the paper's Poisson attacker: a Weibull *aging*
+inter-arrival process (``arrival="aging"``), a *smart* adversary that opens
+the campaign with the single most damaging exploit
+(:meth:`Attacker.best_single_exploit`), proactive-recovery interval sweeps
+(:meth:`CompromiseSimulation.recovery_sweep`) and Wilson 95% confidence
+intervals on every estimated probability.
 """
 
 from __future__ import annotations
 
+import math
 import random
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.analysis.engine import ReplicaIncidence
+from repro.classify.filters import ServerConfigurationFilter
 from repro.core.enums import ServerConfiguration
 from repro.core.exceptions import SimulationError
 from repro.core.models import VulnerabilityEntry
-from repro.itsys.attacker import Attacker
-from repro.itsys.bft import BFTService, ServiceState
+from repro.itsys.attacker import Attacker, best_exploit_entry
+from repro.itsys.bft import BFTService
 from repro.itsys.replica import ReplicaGroup
+
+#: Execution engines understood by :class:`CompromiseSimulation`.
+ENGINES: Tuple[str, ...] = ("bitset", "naive")
+
+#: Exploit inter-arrival processes understood by ``run_configuration``.
+ARRIVALS: Tuple[str, ...] = ("poisson", "aging")
+
+#: Two-sided z for the 95% Wilson score interval.
+_WILSON_Z = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = _WILSON_Z
+) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Unlike the normal approximation it stays inside ``[0, 1]`` and behaves
+    sensibly at 0 or ``trials`` successes, which is exactly the regime of
+    safety-violation counts for well-chosen diverse groups.
+    """
+    if trials <= 0:
+        raise SimulationError("a confidence interval needs at least one trial")
+    if not 0 <= successes <= trials:
+        raise SimulationError("successes must lie between 0 and trials")
+    p = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p + z2 / (2.0 * trials)) / denominator
+    half_width = (
+        z
+        * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, centre - half_width), min(1.0, centre + half_width))
 
 
 @dataclass(frozen=True)
@@ -61,9 +124,15 @@ class SimulationResult:
     os_names: Tuple[str, ...]
     runs: int
     safety_violation_probability: float
+    #: Mean over runs of the *peak* simultaneously-compromised count -- the
+    #: timeline maximum, so proactively recovered replicas still count
+    #: towards the damage they did before rejuvenation.
     mean_compromised: float
     mean_time_to_violation: Optional[float]
     liveness_loss_probability: float
+    #: Wilson 95% confidence intervals on the two estimated probabilities.
+    safety_violation_ci: Tuple[float, float] = (0.0, 1.0)
+    liveness_loss_ci: Tuple[float, float] = (0.0, 1.0)
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -72,25 +141,77 @@ class SimulationResult:
             if self.mean_time_to_violation is not None
             else "n/a"
         )
+        low, high = self.safety_violation_ci
         return (
-            f"{self.name}: P[safety violated]={self.safety_violation_probability:.2f}, "
+            f"{self.name}: P[safety violated]={self.safety_violation_probability:.2f} "
+            f"(95% CI {low:.2f}-{high:.2f}), "
             f"mean compromised={self.mean_compromised:.2f}, "
             f"mean time to violation={mttv}"
         )
 
 
 class CompromiseSimulation:
-    """Monte-Carlo estimator of compromise probabilities for replica groups."""
+    """Monte-Carlo estimator of compromise probabilities for replica groups.
+
+    ``engine`` selects the execution path (see the module docstring);
+    ``catalogued=False`` skips OS-name normalisation so synthetic scaled
+    catalogues (``generate_scaled_catalogue``) can be simulated.
+    """
 
     def __init__(
         self,
         entries: Iterable[VulnerabilityEntry],
         configuration: ServerConfiguration = ServerConfiguration.ISOLATED_THIN,
         seed: int = 7,
+        engine: str = "bitset",
+        catalogued: bool = True,
     ) -> None:
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self._entries = list(entries)
         self._configuration = configuration
         self._seed = seed
+        self._engine = engine
+        self._catalogued = catalogued
+        #: Config-filtered exploitable pool, compiled lazily *once* and shared
+        #: by every configuration run on the bitset engine.
+        self._pool: Optional[List[VulnerabilityEntry]] = None
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    def with_engine(self, engine: str) -> "CompromiseSimulation":
+        """A simulation over the same corpus and seed on another engine."""
+        if engine == self._engine:
+            return self
+        return CompromiseSimulation(
+            self._entries,
+            configuration=self._configuration,
+            seed=self._seed,
+            engine=engine,
+            catalogued=self._catalogued,
+        )
+
+    # -- compiled state -------------------------------------------------------------
+
+    def _compiled_pool(self) -> List[VulnerabilityEntry]:
+        """The attacker's exploitable pool, filtered once per simulation."""
+        if self._pool is None:
+            admits = ServerConfigurationFilter(self._configuration).admits
+            pool = [entry for entry in self._entries if admits(entry)]
+            if not pool:
+                # Same failure mode as constructing an Attacker over the corpus.
+                raise SimulationError("the attacker has no exploitable vulnerabilities")
+            self._pool = pool
+        return self._pool
+
+    def _group(self, os_names: Sequence[str], quorum_model: str) -> ReplicaGroup:
+        return ReplicaGroup(
+            list(os_names), quorum_model=quorum_model, catalogued=self._catalogued
+        )
 
     # -- single configuration -------------------------------------------------------
 
@@ -104,6 +225,9 @@ class CompromiseSimulation:
         quorum_model: str = "3f+1",
         targeted: bool = True,
         recovery_interval: Optional[float] = None,
+        arrival: str = "poisson",
+        shape: float = 1.0,
+        smart: bool = False,
     ) -> SimulationResult:
         """Estimate compromise statistics for one replica configuration.
 
@@ -111,35 +235,28 @@ class CompromiseSimulation:
         models a homogeneous deployment).  ``targeted`` restricts the attacker
         to vulnerabilities affecting at least one of the group's OSes -- the
         pessimistic assumption that the adversary knows the deployment.
+        ``arrival`` picks the inter-arrival process (``"poisson"`` or the
+        Weibull ``"aging"`` process with the given ``shape``); ``smart``
+        additionally opens every campaign with the single most damaging
+        exploit against the group (a 0-day in hand before the clock starts).
         """
         if runs <= 0:
             raise SimulationError("the number of runs must be positive")
-        violations = 0
-        liveness_losses = 0
-        compromised_counts: List[int] = []
-        violation_times: List[float] = []
-        for run_index in range(runs):
-            attacker = Attacker(
-                self._entries,
-                configuration=self._configuration,
-                seed=self._seed + 7919 * run_index,
+        if arrival not in ARRIVALS:
+            raise SimulationError(
+                f"unknown arrival process {arrival!r}; expected one of {ARRIVALS}"
             )
-            group = ReplicaGroup(list(os_names), quorum_model=quorum_model)
-            service = BFTService(group)
-            exploits = attacker.poisson_campaign(
-                rate=exploit_rate,
-                horizon=horizon,
-                targeted_os=list(set(os_names)) if targeted else None,
+        if self._engine == "naive":
+            tallies = self._campaign_tallies_naive(
+                os_names, runs, exploit_rate, horizon, quorum_model, targeted,
+                recovery_interval, arrival, shape, smart,
             )
-            timeline = service.run_campaign(
-                exploits, recovery_interval=recovery_interval, horizon=horizon
+        else:
+            tallies = self._campaign_tallies_bitset(
+                os_names, runs, exploit_rate, horizon, quorum_model, targeted,
+                recovery_interval, arrival, shape, smart,
             )
-            compromised_counts.append(group.compromised_count())
-            if timeline.safety_violation_time is not None:
-                violations += 1
-                violation_times.append(timeline.safety_violation_time)
-            if timeline.liveness_loss_time is not None:
-                liveness_losses += 1
+        violations, liveness_losses, compromised_counts, violation_times = tallies
         return SimulationResult(
             name=name,
             os_names=tuple(os_names),
@@ -150,7 +267,174 @@ class CompromiseSimulation:
                 statistics.fmean(violation_times) if violation_times else None
             ),
             liveness_loss_probability=liveness_losses / runs,
+            safety_violation_ci=wilson_interval(violations, runs),
+            liveness_loss_ci=wilson_interval(liveness_losses, runs),
         )
+
+    # -- execution engines ----------------------------------------------------------
+
+    def _campaign_tallies_naive(
+        self,
+        os_names: Sequence[str],
+        runs: int,
+        exploit_rate: float,
+        horizon: float,
+        quorum_model: str,
+        targeted: bool,
+        recovery_interval: Optional[float],
+        arrival: str,
+        shape: float,
+        smart: bool,
+    ) -> Tuple[int, int, List[int], List[float]]:
+        """Reference path: one ``Attacker`` + ``BFTService`` pair per run."""
+        violations = 0
+        liveness_losses = 0
+        compromised_counts: List[int] = []
+        violation_times: List[float] = []
+        for run_index in range(runs):
+            attacker = Attacker(
+                self._entries,
+                configuration=self._configuration,
+                seed=self._seed + 7919 * run_index,
+            )
+            group = self._group(os_names, quorum_model)
+            service = BFTService(group)
+            targeted_os = list(set(os_names)) if targeted else None
+            if arrival == "poisson":
+                exploits = attacker.poisson_campaign(
+                    rate=exploit_rate, horizon=horizon, targeted_os=targeted_os
+                )
+            else:
+                exploits = attacker.aging_campaign(
+                    rate=exploit_rate, shape=shape, horizon=horizon,
+                    targeted_os=targeted_os,
+                )
+            if smart:
+                opening = attacker.opening_exploit(os_names)
+                if opening is not None:
+                    exploits = [opening, *exploits]
+            timeline = service.run_campaign(
+                exploits, recovery_interval=recovery_interval, horizon=horizon
+            )
+            compromised_counts.append(timeline.peak_compromised)
+            if timeline.safety_violation_time is not None:
+                violations += 1
+                violation_times.append(timeline.safety_violation_time)
+            if timeline.liveness_loss_time is not None:
+                liveness_losses += 1
+        return violations, liveness_losses, compromised_counts, violation_times
+
+    def _campaign_tallies_bitset(
+        self,
+        os_names: Sequence[str],
+        runs: int,
+        exploit_rate: float,
+        horizon: float,
+        quorum_model: str,
+        targeted: bool,
+        recovery_interval: Optional[float],
+        arrival: str,
+        shape: float,
+        smart: bool,
+    ) -> Tuple[int, int, List[int], List[float]]:
+        """Fast path: compile once, then one AND-NOT + popcount per event.
+
+        Consumes the per-run random streams exactly like the naive path (one
+        ``expovariate``/``weibullvariate`` then one ``choice`` per exploit,
+        drawn from ``random.Random(seed + 7919 * run_index)``), so results
+        are bit-for-bit identical for a fixed seed.
+        """
+        # Mirror the parameter validation the naive path gets from Attacker.
+        if exploit_rate <= 0:
+            raise SimulationError("the exploit arrival rate must be positive")
+        if arrival == "aging" and shape <= 0:
+            raise SimulationError("the inter-arrival shape must be positive")
+        if horizon <= 0:
+            raise SimulationError("the campaign horizon must be positive")
+        pool = self._compiled_pool()
+        group = self._group(os_names, quorum_model)
+        n, f, quorum = group.n, group.f, group.quorum_size
+        if targeted:
+            targets = set(os_names)
+            targeted_pool = [
+                entry for entry in pool if entry.affected_os & targets
+            ]
+        else:
+            targeted_pool = pool
+        incidence = ReplicaIncidence(targeted_pool, group.os_names)
+        victim_masks = incidence.victim_masks
+        opening_mask: Optional[int] = None
+        if smart:
+            entry, _coverage = best_exploit_entry(pool, os_names)
+            if entry is not None:
+                opening_mask = incidence.victim_mask_for(entry.affected_os)
+        recovery_times: List[float] = []
+        if recovery_interval is not None and recovery_interval > 0:
+            t = recovery_interval
+            while t <= horizon:  # same float accumulation as BFTService
+                recovery_times.append(t)
+                t += recovery_interval
+        n_recoveries = len(recovery_times)
+        pool_indices = range(len(targeted_pool))
+        aging = arrival == "aging"
+        scale = 1.0 / exploit_rate
+
+        violations = 0
+        liveness_losses = 0
+        compromised_counts: List[int] = []
+        violation_times: List[float] = []
+        for run_index in range(runs):
+            rng = random.Random(self._seed + 7919 * run_index)
+            compromised = 0
+            peak = 0
+            violation_time: Optional[float] = None
+            liveness_time: Optional[float] = None
+            if opening_mask:
+                # The smart opening shot lands at time 0.0, before any
+                # recovery (those start strictly after 0).
+                compromised = opening_mask
+                count = compromised.bit_count()
+                peak = count
+                if count > f:
+                    violation_time = 0.0
+                if n - count < quorum:
+                    liveness_time = 0.0
+            if targeted_pool:
+                draw_gap = rng.weibullvariate if aging else rng.expovariate
+                choice = rng.choice
+                recovery_index = 0
+                time = 0.0
+                while True:
+                    time += draw_gap(scale, shape) if aging else draw_gap(exploit_rate)
+                    if time > horizon:
+                        break
+                    entry_index = choice(pool_indices)
+                    # Recoveries strictly before this exploit fire first
+                    # (exploit < recovery at equal timestamps, as in
+                    # BFTService.run_campaign's priority sort).
+                    while (
+                        recovery_index < n_recoveries
+                        and recovery_times[recovery_index] < time
+                    ):
+                        compromised = 0
+                        recovery_index += 1
+                    newly = victim_masks[entry_index] & ~compromised
+                    if newly:
+                        compromised |= newly
+                        count = compromised.bit_count()
+                        if count > peak:
+                            peak = count
+                        if violation_time is None and count > f:
+                            violation_time = time
+                        if liveness_time is None and n - count < quorum:
+                            liveness_time = time
+            compromised_counts.append(peak)
+            if violation_time is not None:
+                violations += 1
+                violation_times.append(violation_time)
+            if liveness_time is not None:
+                liveness_losses += 1
+        return violations, liveness_losses, compromised_counts, violation_times
 
     # -- single-exploit (0-day) analysis -----------------------------------------------
 
@@ -168,19 +452,36 @@ class CompromiseSimulation:
         diverse group only by a vulnerability common to more than ``f`` of its
         operating systems.
         """
-        group = ReplicaGroup(list(os_names), quorum_model=quorum_model)
-        attacker = Attacker(self._entries, configuration=self._configuration, seed=self._seed)
+        group = self._group(os_names, quorum_model)
         relevant = 0
         defeating = 0
         total_victims = 0
-        for entry in attacker._pool:  # noqa: SLF001 - deliberate internal reuse
-            victims = sum(1 for replica in group.replicas if replica.os_name in entry.affected_os)
-            if victims == 0:
-                continue
-            relevant += 1
-            total_victims += victims
-            if victims > group.f:
-                defeating += 1
+        if self._engine == "naive":
+            attacker = Attacker(
+                self._entries, configuration=self._configuration, seed=self._seed
+            )
+            for entry in attacker.targeted_pool(None):
+                victims = sum(
+                    1 for replica in group.replicas
+                    if replica.os_name in entry.affected_os
+                )
+                if victims == 0:
+                    continue
+                relevant += 1
+                total_victims += victims
+                if victims > group.f:
+                    defeating += 1
+        else:
+            incidence = ReplicaIncidence(self._compiled_pool(), group.os_names)
+            f = group.f
+            for mask in incidence.victim_masks:
+                if not mask:
+                    continue
+                victims = mask.bit_count()
+                relevant += 1
+                total_victims += victims
+                if victims > f:
+                    defeating += 1
         return SingleExploitAnalysis(
             name=name,
             os_names=tuple(os_names),
@@ -194,50 +495,42 @@ class CompromiseSimulation:
     def compare(
         self,
         configurations: Mapping[str, Sequence[str]],
-        runs: int = 200,
-        exploit_rate: float = 1.0,
-        horizon: float = 30.0,
-        quorum_model: str = "3f+1",
-        recovery_interval: Optional[float] = None,
+        **campaign: object,
     ) -> List[SimulationResult]:
-        """Run the same campaign parameters over several configurations."""
-        results = [
-            self.run_configuration(
-                name,
-                os_names,
-                runs=runs,
-                exploit_rate=exploit_rate,
-                horizon=horizon,
-                quorum_model=quorum_model,
-                recovery_interval=recovery_interval,
-            )
+        """Run the same campaign parameters over several configurations.
+
+        Every keyword argument (``runs``, ``exploit_rate``, ``horizon``,
+        ``quorum_model``, ``targeted``, ``recovery_interval``, ``arrival``,
+        ``shape``, ``smart``) is forwarded verbatim to
+        :meth:`run_configuration`, so compared configurations always run
+        exactly what the caller requested.
+        """
+        return [
+            self.run_configuration(name, os_names, **campaign)  # type: ignore[arg-type]
             for name, os_names in configurations.items()
         ]
-        return results
 
     def homogeneous_vs_diverse(
         self,
         homogeneous_os: str,
         diverse_os: Sequence[str],
-        runs: int = 200,
-        exploit_rate: float = 1.0,
-        horizon: float = 30.0,
+        **campaign: object,
     ) -> Tuple[SimulationResult, SimulationResult]:
-        """The paper's base comparison: 4 identical replicas vs a diverse set."""
+        """The paper's base comparison: 4 identical replicas vs a diverse set.
+
+        Both configurations run with identical campaign parameters -- all
+        keyword arguments are forwarded to :meth:`run_configuration`.
+        """
         n = len(diverse_os)
         homogeneous = self.run_configuration(
             f"homogeneous-{homogeneous_os}",
             [homogeneous_os] * n,
-            runs=runs,
-            exploit_rate=exploit_rate,
-            horizon=horizon,
+            **campaign,  # type: ignore[arg-type]
         )
         diverse = self.run_configuration(
             "diverse-" + "+".join(diverse_os),
             diverse_os,
-            runs=runs,
-            exploit_rate=exploit_rate,
-            horizon=horizon,
+            **campaign,  # type: ignore[arg-type]
         )
         return homogeneous, diverse
 
@@ -245,21 +538,53 @@ class CompromiseSimulation:
         self,
         homogeneous_os: str,
         diverse_os: Sequence[str],
-        runs: int = 200,
-        exploit_rate: float = 1.0,
-        horizon: float = 30.0,
-    ) -> float:
+        **campaign: object,
+    ) -> Optional[float]:
         """Relative reduction in safety-violation probability from diversity.
 
-        1.0 means diversity eliminated all violations observed for the
-        homogeneous deployment; 0.0 means no improvement.
+        Return contract: ``1.0`` means diversity eliminated all violations
+        observed for the homogeneous deployment, ``0.0`` means no improvement,
+        negative values mean the diverse group fared worse, and ``None``
+        means the homogeneous baseline itself had **no** violations, so the
+        ratio is undefined -- deliberately distinct from ``0.0``, which would
+        misreport a both-survived campaign as "diversity did not help".
         """
         homogeneous, diverse = self.homogeneous_vs_diverse(
-            homogeneous_os, diverse_os, runs=runs, exploit_rate=exploit_rate, horizon=horizon
+            homogeneous_os, diverse_os, **campaign
         )
         if homogeneous.safety_violation_probability == 0:
-            return 0.0
+            return None
         return 1.0 - (
             diverse.safety_violation_probability
             / homogeneous.safety_violation_probability
         )
+
+    def recovery_sweep(
+        self,
+        name: str,
+        os_names: Sequence[str],
+        intervals: Sequence[Optional[float]],
+        **campaign: object,
+    ) -> Dict[Optional[float], SimulationResult]:
+        """Run one configuration under several proactive-recovery intervals.
+
+        ``intervals`` may include ``None`` (no recovery).  Returns one result
+        per interval, keyed by the interval, with the result name suffixed by
+        it -- the standard way to quantify how much rejuvenation frequency
+        buys on top of diversity.
+        """
+        if "recovery_interval" in campaign:
+            raise SimulationError(
+                "pass recovery intervals via the sweep, not as a campaign kwarg"
+            )
+        results: Dict[Optional[float], SimulationResult] = {}
+        for interval in intervals:
+            label = (
+                f"{name}@recovery={interval:g}"
+                if interval is not None
+                else f"{name}@no-recovery"
+            )
+            results[interval] = self.run_configuration(
+                label, os_names, recovery_interval=interval, **campaign  # type: ignore[arg-type]
+            )
+        return results

@@ -88,6 +88,42 @@ class TestAttacker:
         assert cve == "CVE-2005-0002"
         assert coverage == 2
 
+    def test_opening_exploit_is_the_best_single_exploit(self, small_pool):
+        attacker = Attacker(small_pool, ServerConfiguration.FAT)
+        opening = attacker.opening_exploit(["Debian", "RedHat", "OpenBSD"])
+        assert opening is not None
+        assert opening.cve_id == "CVE-2005-0002"
+        assert opening.time == 0.0
+
+    def test_opening_exploit_none_when_pool_misses_group(self, small_pool):
+        attacker = Attacker(small_pool, ServerConfiguration.FAT)
+        assert attacker.opening_exploit(["Windows2008"]) is None
+
+    def test_aging_campaign_times_within_horizon(self, small_pool):
+        attacker = Attacker(small_pool, seed=3)
+        events = attacker.aging_campaign(rate=2.0, shape=1.5, horizon=20.0)
+        assert events
+        assert all(0 < event.time <= 20.0 for event in events)
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_aging_campaign_is_deterministic_per_seed(self, small_pool):
+        a = Attacker(small_pool, seed=11).aging_campaign(1.0, 0.8, 10.0)
+        b = Attacker(small_pool, seed=11).aging_campaign(1.0, 0.8, 10.0)
+        assert a == b
+
+    def test_aging_campaign_validates_shape(self, small_pool):
+        attacker = Attacker(small_pool)
+        with pytest.raises(SimulationError):
+            attacker.aging_campaign(1.0, 0.0, 10.0)
+
+    def test_aging_shape_below_one_bursts_early(self, small_pool):
+        """A sub-exponential shape front-loads arrivals relative to aging."""
+        burst = Attacker(small_pool, seed=5).aging_campaign(1.0, 0.5, 30.0)
+        aging = Attacker(small_pool, seed=5).aging_campaign(1.0, 2.5, 30.0)
+        assert burst and aging
+        assert burst[0].time < aging[0].time
+
 
 class TestBFTService:
     def _exploit(self, time, oses, cve="CVE-X"):
@@ -157,6 +193,85 @@ class TestBFTService:
         ]
         timeline = service.run_campaign(exploits)
         assert timeline.liveness_loss_time == 2.0
+
+
+class TestBFTEventOrdering:
+    """Same-timestamp semantics: exploit < request < recovery priorities."""
+
+    def _exploit(self, time, oses, cve="CVE-X"):
+        return ExploitEvent(time=time, cve_id=cve, affected_os=frozenset(oses), remote=True)
+
+    def test_exploit_beats_recovery_at_same_timestamp(self):
+        """An exploit landing exactly at a recovery tick is processed first,
+        so the compromise is recorded (and immediately healed)."""
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        timeline = service.run_campaign(
+            [self._exploit(2.0, ["Debian"], "CVE-1")],
+            recovery_interval=2.0,
+            horizon=2.0,
+        )
+        assert timeline.compromised_events == [(2.0, "CVE-1", 1)]
+        assert timeline.peak_compromised == 1
+        assert group.compromised_count() == 0  # the same-tick recovery healed it
+        assert timeline.state.value == "correct"
+
+    def test_exploit_beats_request_at_same_timestamp(self):
+        """A safety-violating exploit at a request tick suppresses the request."""
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        timeline = service.run_campaign(
+            [self._exploit(1.0, ["Debian", "OpenBSD"], "CVE-1")],
+            request_interval=1.0,
+            horizon=2.0,
+        )
+        assert timeline.safety_violation_time == 1.0
+        assert timeline.executed == []
+
+    def test_request_beats_recovery_at_same_timestamp(self):
+        """At a shared tick the request still sees the compromised group."""
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        # Two compromised replicas out of four: unsafe and no quorum, so the
+        # requests at 1.0 and 2.0 are refused -- the 2.0 one because requests
+        # sort *before* the co-timed recovery.  Once recovered, 3.0 executes.
+        timeline = service.run_campaign(
+            [self._exploit(0.5, ["Debian", "OpenBSD"], "CVE-1")],
+            request_interval=1.0,
+            recovery_interval=2.0,
+            horizon=3.0,
+        )
+        executed_times = [record.time for record in timeline.executed]
+        assert executed_times == [3.0]
+        assert timeline.peak_compromised == 2
+
+    def test_liveness_latch_survives_proactive_recovery(self):
+        """Once liveness was lost, a later recovery must not clear the time."""
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        exploits = [
+            self._exploit(1.0, ["Debian"], "CVE-1"),
+            self._exploit(1.5, ["OpenBSD"], "CVE-2"),  # two down: liveness lost
+            self._exploit(4.0, ["Solaris"], "CVE-3"),  # after full recovery at 3.0
+        ]
+        timeline = service.run_campaign(exploits, recovery_interval=3.0, horizon=5.0)
+        assert timeline.liveness_loss_time == 1.5
+        assert timeline.safety_violation_time == 1.5
+        # The recovery healed the group (only the 4.0 exploit is live at the
+        # end) but the latched loss times are untouched.
+        assert group.compromised_count() == 1
+        assert timeline.peak_compromised == 2
+
+    def test_peak_compromised_not_reset_by_recovery(self):
+        group = ReplicaGroup.diverse(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        service = BFTService(group)
+        exploits = [
+            self._exploit(0.5, ["Debian"], "CVE-1"),
+            self._exploit(1.0, ["OpenBSD"], "CVE-2"),
+        ]
+        timeline = service.run_campaign(exploits, recovery_interval=2.0, horizon=2.0)
+        assert group.compromised_count() == 0
+        assert timeline.peak_compromised == 2
 
 
 class TestCompromiseSimulation:
@@ -236,3 +351,140 @@ class TestCompromiseSimulation:
             "x", ("Debian", "OpenBSD", "Solaris", "Windows2003"), runs=10, horizon=3.0
         )
         assert a == b
+
+    def test_rejects_unknown_engine_and_arrival(self, corpus):
+        with pytest.raises(SimulationError):
+            CompromiseSimulation(corpus.valid_entries, engine="quantum")
+        simulation = CompromiseSimulation(corpus.valid_entries)
+        with pytest.raises(SimulationError):
+            simulation.run_configuration("x", ("Debian",), runs=5, arrival="fractal")
+
+    def test_mean_compromised_counts_recovered_replicas(self):
+        """Regression: proactive recovery must not erase observed damage.
+
+        The pool only targets Debian, so every run peaks at exactly one
+        compromised replica; with the recovery interval equal to the horizon
+        the group is always clean *at the end* of the campaign, which the old
+        end-state accounting reported as zero damage.
+        """
+        pool = [make_entry(cve_id="CVE-2005-0001", oses=("Debian",))]
+        simulation = CompromiseSimulation(pool, seed=3)
+        result = simulation.run_configuration(
+            "diverse",
+            ("Debian", "OpenBSD", "Solaris", "Windows2003"),
+            runs=20,
+            exploit_rate=4.0,
+            horizon=3.0,
+            recovery_interval=3.0,
+        )
+        assert result.mean_compromised == 1.0
+        # The end state really is clean: replaying one campaign shows the
+        # recovery wiping the compromise that the peak accounting preserves.
+        attacker = Attacker(pool, seed=3)
+        group = ReplicaGroup(["Debian", "OpenBSD", "Solaris", "Windows2003"])
+        timeline = BFTService(group).run_campaign(
+            attacker.poisson_campaign(4.0, 3.0, targeted_os=["Debian"]),
+            recovery_interval=3.0,
+            horizon=3.0,
+        )
+        assert group.compromised_count() == 0
+        assert timeline.peak_compromised == 1
+
+    def test_compare_forwards_targeted_and_smart(self, corpus):
+        """Regression: compare() used to silently drop campaign parameters."""
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=5)
+        configurations = {"set1": ("Windows2003", "Solaris", "Debian", "OpenBSD")}
+        campaign = dict(runs=10, exploit_rate=1.0, horizon=3.0,
+                        targeted=False, smart=True, quorum_model="2f+1")
+        (compared,) = simulation.compare(configurations, **campaign)
+        direct = simulation.run_configuration("set1", configurations["set1"], **campaign)
+        assert compared == direct
+
+    def test_homogeneous_vs_diverse_forwards_quorum_and_recovery(self, corpus):
+        """Regression: quorum_model/recovery_interval were dropped entirely."""
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=5)
+        diverse_os = ("Windows2003", "Solaris", "Debian", "OpenBSD")
+        campaign = dict(runs=10, exploit_rate=1.0, horizon=3.0,
+                        quorum_model="2f+1", recovery_interval=1.0)
+        homogeneous, diverse = simulation.homogeneous_vs_diverse(
+            "Debian", diverse_os, **campaign
+        )
+        assert homogeneous == simulation.run_configuration(
+            "homogeneous-Debian", ("Debian",) * 4, **campaign
+        )
+        assert diverse == simulation.run_configuration(
+            "diverse-" + "+".join(diverse_os), diverse_os, **campaign
+        )
+
+    def test_diversity_gain_none_when_baseline_has_no_violations(self):
+        """A violation-free baseline is 'nothing to reduce', not 'no gain'."""
+        # The pool only affects OpenBSD, so a Debian-homogeneous baseline
+        # never gets compromised -- the gain ratio is undefined.
+        pool = [make_entry(cve_id="CVE-2005-0001", oses=("OpenBSD",))]
+        simulation = CompromiseSimulation(pool, seed=3)
+        gain = simulation.diversity_gain(
+            "Debian",
+            ("Debian", "RedHat", "Solaris", "Windows2003"),
+            runs=5,
+            exploit_rate=1.0,
+            horizon=2.0,
+            targeted=False,
+        )
+        assert gain is None
+
+    def test_recovery_sweep_rejects_conflicting_kwarg(self, corpus):
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=3)
+        with pytest.raises(SimulationError):
+            simulation.recovery_sweep(
+                "x", ("Debian",), [None, 1.0], runs=5, recovery_interval=2.0
+            )
+
+    def test_smart_adversary_never_survives_longer(self, corpus):
+        """Opening with the best exploit can only hurt the defenders."""
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=13)
+        group = ("Windows2003", "Solaris", "Debian", "OpenBSD")
+        campaign = dict(runs=30, exploit_rate=1.0, horizon=3.0)
+        plain = simulation.run_configuration("plain", group, **campaign)
+        smart = simulation.run_configuration("smart", group, smart=True, **campaign)
+        assert smart.safety_violation_probability >= plain.safety_violation_probability
+        assert smart.mean_compromised >= plain.mean_compromised
+
+
+class TestWilsonInterval:
+    def test_bounds_and_midpoint(self):
+        from repro.itsys.simulation import wilson_interval
+
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0.0 < high < 0.25
+        low, high = wilson_interval(20, 20)
+        assert 0.75 < low < 1.0 and high == 1.0
+        low, high = wilson_interval(10, 20)
+        assert low < 0.5 < high
+
+    def test_more_trials_narrow_the_interval(self):
+        from repro.itsys.simulation import wilson_interval
+
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_invalid_inputs_rejected(self):
+        from repro.itsys.simulation import wilson_interval
+
+        with pytest.raises(SimulationError):
+            wilson_interval(1, 0)
+        with pytest.raises(SimulationError):
+            wilson_interval(5, 3)
+
+    def test_result_carries_wilson_intervals(self, corpus):
+        from repro.itsys.simulation import wilson_interval
+
+        simulation = CompromiseSimulation(corpus.valid_entries, seed=3)
+        result = simulation.run_configuration(
+            "x", ("Debian", "OpenBSD", "Solaris", "Windows2003"), runs=25, horizon=3.0
+        )
+        violations = round(result.safety_violation_probability * result.runs)
+        assert result.safety_violation_ci == wilson_interval(violations, result.runs)
+        low, high = result.safety_violation_ci
+        assert low <= result.safety_violation_probability <= high
+        assert "95% CI" in result.summary()

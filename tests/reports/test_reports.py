@@ -114,7 +114,7 @@ class TestExperiments:
     def test_registry_covers_all_tables_and_figures(self):
         assert {
             "Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI",
-            "Figure 2", "Figure 3", "Section IV-B", "Section IV-E",
+            "Figure 2", "Figure 3", "Section IV-B", "Section IV-E", "Simulation",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_names_a_bench_target(self):

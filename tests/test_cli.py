@@ -55,6 +55,78 @@ class TestCommands:
         assert "single-exploit" in out
         assert "Set1" in out
 
+    def test_simulate_engines_agree(self, capsys):
+        assert main(["simulate", "--runs", "5", "--horizon", "2.0"]) == 0
+        bitset_out = capsys.readouterr().out
+        assert main(["--engine", "naive", "simulate", "--runs", "5", "--horizon", "2.0"]) == 0
+        naive_out = capsys.readouterr().out
+        assert bitset_out.replace("engine bitset", "") == naive_out.replace("engine naive", "")
+
+    def test_simulate_custom_configurations(self, capsys):
+        assert main([
+            "simulate", "--runs", "5", "--horizon", "2.0",
+            "--homogeneous", "Windows2003", "--config", "Set2",
+            "--os", "Debian,OpenBSD,Solaris",
+            "--quorum-model", "2f+1", "--recovery-interval", "1.0",
+            "--arrival", "aging", "--shape", "1.5", "--smart",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "homogeneous (4 x Windows2003)" in out
+        assert "Set2" in out
+        assert "custom (Debian+OpenBSD+Solaris)" in out
+        assert "aging arrivals" in out
+
+    def test_simulate_json_output(self, capsys):
+        import json
+
+        assert main(["simulate", "--runs", "5", "--horizon", "2.0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "bitset"
+        assert len(payload["campaigns"]) == 3
+        for campaign in payload["campaigns"]:
+            assert 0.0 <= campaign["safety_violation_probability"] <= 1.0
+            low, high = campaign["safety_violation_ci"]
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_simulate_recovery_sweep(self, capsys):
+        assert main([
+            "simulate", "--runs", "5", "--horizon", "2.0",
+            "--config", "Set1", "--recovery-sweep", "0.5,1.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Set1@no-recovery" in out
+        assert "Set1@recovery=0.5" in out
+        assert "Set1@recovery=1" in out
+
+    def test_simulate_sweep_conflicts_with_interval(self, capsys):
+        assert main([
+            "simulate", "--recovery-sweep", "1.0", "--recovery-interval", "2.0",
+        ]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_simulate_repeated_os_flags_make_separate_configurations(self, capsys):
+        assert main([
+            "simulate", "--runs", "5", "--horizon", "2.0",
+            "--os", "Debian,OpenBSD", "--os", "RedHat,Solaris",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "custom (Debian+OpenBSD)" in out
+        assert "custom (RedHat+Solaris)" in out
+        assert "custom (Debian+OpenBSD+RedHat+Solaris)" not in out
+
+    def test_simulate_rejects_malformed_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--recovery-sweep", "abc"])
+        assert "invalid interval list" in capsys.readouterr().err
+
+    def test_simulate_rejects_unknown_os(self, capsys):
+        assert main(["simulate", "--os", "Debbian,OpenBSD"]) == 2
+        assert "unknown operating system 'Debbian'" in capsys.readouterr().err
+
+    def test_simulate_rejects_empty_os_list(self, capsys):
+        assert main(["simulate", "--os", ","]) == 2
+        assert "no replicas" in capsys.readouterr().err
+
     def test_export_command(self, tmp_path, capsys):
         assert main(["export", "--output", str(tmp_path)]) == 0
         assert (tmp_path / "table_iii.csv").exists()
