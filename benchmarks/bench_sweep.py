@@ -1,0 +1,133 @@
+"""Parallel sweep runner: determinism, cache and wall-clock gates.
+
+The experiment-grid runner promises three things, and this bench holds it to
+all of them on a 16-cell grid (2 configurations x 2 quorum models x 2
+recovery intervals x 2 arrival processes):
+
+* **determinism** -- the merged ``SimulationResult`` of every cell is
+  bit-for-bit identical for ``workers=1`` and ``workers=N`` (smoke subset,
+  what CI runs);
+* **caching** -- a warm-cache rerun answers every cell from the
+  content-addressed cache with **zero** simulation calls (smoke subset);
+* **speed** -- with 4 workers the sweep is at least ``3x`` faster than the
+  single-process run on the same grid (skipped on machines with fewer than
+  4 CPUs, where the gate is physically unreachable).
+
+Run the smoke subset (what CI does)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py -q -s -k smoke
+
+or the full gate, including the 4-worker speedup::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweep.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runner import ArrivalSpec, ExperimentGrid, GridRunner, ResultCache
+
+SPEEDUP_FLOOR = 3.0  # acceptance gate for the 16-cell grid at 4 workers
+SPEEDUP_WORKERS = 4
+
+SET1 = ("Windows2003", "Solaris", "Debian", "OpenBSD")
+
+
+def _sixteen_cell_grid(runs: int, exploit_rate: float = 1.0,
+                       horizon: float = 5.0) -> ExperimentGrid:
+    grid = ExperimentGrid(
+        configurations={
+            "homogeneous-Debian": ("Debian",) * 4,
+            "Set1": SET1,
+        },
+        quorum_models=("3f+1", "2f+1"),
+        recovery_intervals=(None, 2.0),
+        arrivals=(ArrivalSpec("poisson"), ArrivalSpec("aging", 1.8)),
+        runs=runs,
+        exploit_rate=exploit_rate,
+        horizon=horizon,
+    )
+    assert len(grid) == 16
+    return grid
+
+
+def _timed_run(runner: GridRunner, grid: ExperimentGrid):
+    start = time.perf_counter()
+    report = runner.run(grid)
+    return report, time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# smoke subset (CI: -k smoke)
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_smoke_workers_agree_bit_for_bit(corpus):
+    """16-cell grid, 20 runs per cell: workers=1 == workers=2, bit for bit."""
+    grid = _sixteen_cell_grid(runs=20)
+    entries = corpus.valid_entries
+    serial, serial_s = _timed_run(GridRunner(entries, seed=97, workers=1), grid)
+    pooled, pooled_s = _timed_run(GridRunner(entries, seed=97, workers=2), grid)
+    assert serial.results() == pooled.results()
+    assert [cell.cell for cell in serial.cells] == [cell.cell for cell in pooled.cells]
+    print(f"\n=== sweep smoke (16 cells x 20 runs) ===")
+    print(f"  workers=1: {serial_s * 1e3:7.1f}ms   workers=2: {pooled_s * 1e3:7.1f}ms")
+    print(f"  all 16 merged results identical")
+
+
+def test_sweep_smoke_warm_cache_serves_every_cell(corpus, tmp_path):
+    """A warm rerun touches the simulator zero times and changes nothing."""
+    grid = _sixteen_cell_grid(runs=20)
+    entries = corpus.valid_entries
+    cold_cache = ResultCache(tmp_path / "sweep-cache")
+    cold, cold_s = _timed_run(
+        GridRunner(entries, seed=97, workers=1, cache=cold_cache), grid
+    )
+    warm_cache = ResultCache(tmp_path / "sweep-cache")
+    warm, warm_s = _timed_run(
+        GridRunner(entries, seed=97, workers=1, cache=warm_cache), grid
+    )
+    assert cold.simulated_cells == 16 and cold.cached_cells == 0
+    assert warm.simulated_cells == 0 and warm.cached_cells == 16
+    assert warm_cache.hits == 16 and warm_cache.misses == 0
+    assert warm.results() == cold.results()
+    print(f"\n=== sweep cache (16 cells x 20 runs) ===")
+    print(f"  cold: {cold_s * 1e3:7.1f}ms   warm: {warm_s * 1e3:7.1f}ms "
+          f"(x{cold_s / warm_s:.0f})")
+
+
+# ---------------------------------------------------------------------------
+# full gate: >= 3x wall-clock at 4 workers
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < SPEEDUP_WORKERS,
+    reason=f"speedup gate needs >= {SPEEDUP_WORKERS} CPUs "
+           f"(found {os.cpu_count() or 1})",
+)
+def test_sweep_speedup_at_four_workers(corpus):
+    """16-cell production-shaped grid: >= 3x faster at 4 workers, identical.
+
+    ~16k runs of ~500 exploit events each, so per-run simulation work
+    dominates pool start-up and corpus pickling by a wide margin.
+    """
+    grid = _sixteen_cell_grid(runs=1000, exploit_rate=10.0, horizon=50.0)
+    entries = corpus.valid_entries
+    serial, serial_s = _timed_run(GridRunner(entries, seed=97, workers=1), grid)
+    pooled, pooled_s = _timed_run(
+        GridRunner(entries, seed=97, workers=SPEEDUP_WORKERS), grid
+    )
+    speedup = serial_s / pooled_s
+    print(f"\n=== sweep speedup (16 cells x 1000 runs, horizon 50) ===")
+    print(f"  workers=1: {serial_s:6.2f}s   workers={SPEEDUP_WORKERS}: "
+          f"{pooled_s:6.2f}s   x{speedup:.2f}")
+    assert serial.results() == pooled.results()
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x at {SPEEDUP_WORKERS} workers, "
+        f"measured {speedup:.2f}x"
+    )

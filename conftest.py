@@ -11,3 +11,19 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    """Register the golden-file refresh switch used by tests/test_cli_golden.py.
+
+    ``pytest --update-golden`` rewrites the committed golden outputs under
+    ``tests/golden/`` from the current CLI behaviour instead of asserting
+    against them.  Registered here (the rootdir conftest) so the option
+    exists no matter which test subset is collected.
+    """
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/* from current output instead of comparing",
+    )

@@ -78,6 +78,33 @@ class IncidenceIndex:
         self._os_masks: Tuple[int, ...] = tuple(os_masks)
         self._entry_masks: Tuple[int, ...] = tuple(entry_masks)
 
+    # -- pickling ---------------------------------------------------------------
+
+    def __getstate__(self) -> Tuple[object, ...]:
+        """Explicit pickle support for the ``__slots__`` layout.
+
+        The parallel experiment runner (:mod:`repro.runner`) ships compiled
+        state between worker processes, so the compiled index must pickle
+        identically on every supported interpreter rather than relying on the
+        version-dependent default reduction for slotted classes.
+        """
+        return (
+            self._entries,
+            self._os_names,
+            self._os_index,
+            self._os_masks,
+            self._entry_masks,
+        )
+
+    def __setstate__(self, state: Tuple[object, ...]) -> None:
+        (
+            self._entries,
+            self._os_names,
+            self._os_index,
+            self._os_masks,
+            self._entry_masks,
+        ) = state
+
     # -- basic accessors --------------------------------------------------------
 
     @property
@@ -283,6 +310,13 @@ class ReplicaIncidence:
                     mask |= positions
             masks.append(mask)
         self._victim_masks: Tuple[int, ...] = tuple(masks)
+
+    def __getstate__(self) -> Tuple[Tuple[int, ...], Tuple[str, ...]]:
+        """Explicit pickle support (see :meth:`IncidenceIndex.__getstate__`)."""
+        return (self._victim_masks, self._replica_os)
+
+    def __setstate__(self, state: Tuple[Tuple[int, ...], Tuple[str, ...]]) -> None:
+        self._victim_masks, self._replica_os = state
 
     @property
     def group_size(self) -> int:

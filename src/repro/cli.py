@@ -7,6 +7,7 @@ Usage (after ``pip install -e .`` or from the repository root)::
     python -m repro experiments            # paper-vs-measured for all experiments
     python -m repro select --faults 1      # pick replica sets (Section IV-C)
     python -m repro simulate --runs 100    # homogeneous vs diverse simulation
+    python -m repro sweep --workers 4      # parallel cached parameter-grid sweep
     python -m repro export --output out/   # write all tables/figures as text+CSV
     python -m repro feeds --output feeds/  # write the corpus as NVD-style XML feeds
 
@@ -167,16 +168,16 @@ def _simulate_configurations(args: argparse.Namespace) -> dict:
     return configurations
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
-    if args.recovery_sweep and args.recovery_interval is not None:
-        print("--recovery-sweep and --recovery-interval are mutually exclusive",
-              file=sys.stderr)
-        return 2
+def _reject_bad_simulation_inputs(args: argparse.Namespace,
+                                  configurations: dict) -> Optional[int]:
+    """Shared --engine / configuration validation for simulate and sweep.
+
+    Returns an exit code to fail with, or ``None`` when the inputs are fine.
+    """
     if args.engine not in SIMULATION_ENGINES:
         print(f"the simulator supports --engine {'|'.join(SIMULATION_ENGINES)}, "
               f"not {args.engine!r}", file=sys.stderr)
         return 2
-    configurations = _simulate_configurations(args)
     for name, os_names in configurations.items():
         if not os_names:
             print(f"configuration {name!r} has no replicas", file=sys.stderr)
@@ -188,6 +189,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 print(f"unknown operating system {os_name!r} in configuration "
                       f"{name!r}", file=sys.stderr)
                 return 2
+    return None
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    if args.recovery_sweep and args.recovery_interval is not None:
+        print("--recovery-sweep and --recovery-interval are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    configurations = _simulate_configurations(args)
+    failure = _reject_bad_simulation_inputs(args, configurations)
+    if failure is not None:
+        return failure
     dataset = _load_dataset(args)
     simulation = CompromiseSimulation(
         [entry for entry in dataset if entry.is_valid],
@@ -245,6 +258,90 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"horizon {args.horizon}, {args.arrival} arrivals, engine {simulation.engine}):")
     for result in results:
         print(f"  {result.summary()}")
+    return 0
+
+
+def _comma_list(spec: str) -> List[str]:
+    """argparse type for comma-separated token lists (e.g. --quorum-models)."""
+    tokens = [token.strip() for token in spec.split(",") if token.strip()]
+    if not tokens:
+        raise argparse.ArgumentTypeError("expected at least one value")
+    return tokens
+
+
+def _recovery_list(spec: str) -> List[Optional[float]]:
+    """argparse type for --recovery-intervals: floats and the token 'none'."""
+    values: List[Optional[float]] = []
+    for token in _comma_list(spec):
+        if token.lower() == "none":
+            values.append(None)
+            continue
+        try:
+            values.append(float(token))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid recovery interval {token!r} (use a number or 'none')"
+            )
+    return values
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import ArrivalSpec, ExperimentGrid, GridRunner, ResultCache
+
+    if args.workers < 1:
+        print("--workers must be at least 1", file=sys.stderr)
+        return 2
+    configurations = _simulate_configurations(args)
+    failure = _reject_bad_simulation_inputs(args, configurations)
+    if failure is not None:
+        return failure
+    try:
+        arrivals = tuple(
+            ArrivalSpec(process, args.shape if process == "aging" else 1.0)
+            for process in args.arrivals
+        )
+        grid = ExperimentGrid(
+            configurations=configurations,
+            quorum_models=tuple(args.quorum_models),
+            recovery_intervals=tuple(args.recovery_intervals),
+            arrivals=arrivals,
+            adversaries=tuple(args.adversaries),
+            runs=args.runs,
+            exploit_rate=args.rate,
+            horizon=args.horizon,
+        )
+    except Exception as error:
+        print(f"invalid grid: {error}", file=sys.stderr)
+        return 2
+    dataset = _load_dataset(args)
+    cache = None if args.no_cache else ResultCache(Path(args.cache_dir))
+    runner = GridRunner(
+        [entry for entry in dataset if entry.is_valid],
+        seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
+        cache=cache,
+    )
+    report = runner.run(grid)
+
+    if args.csv:
+        to_csv(report.CSV_HEADERS, report.csv_rows(), Path(args.csv))
+        print(f"wrote {len(report.cells)} cells to {args.csv}", file=sys.stderr)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json_payload(), indent=2, sort_keys=True))
+        print(f"swept {len(report.cells)} cells "
+              f"({report.cached_cells} cached) in {report.elapsed_seconds:.2f}s "
+              f"with {args.workers} worker(s)", file=sys.stderr)
+        return 0
+    print(f"sweep: {len(report.cells)} cells, {args.runs} runs each, "
+          f"engine {report.engine}, {args.workers} worker(s)")
+    for cell_result in report.cells:
+        marker = " [cached]" if cell_result.cached else ""
+        print(f"  {cell_result.result.summary()}{marker}")
+    print(f"done in {report.elapsed_seconds:.2f}s "
+          f"({report.cached_cells}/{len(report.cells)} cells from cache)")
     return 0
 
 
@@ -413,6 +510,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit results as JSON instead of text"
     )
     simulate_parser.set_defaults(func=cmd_simulate)
+
+    sweep_parser = add_command(
+        "sweep",
+        "parallel parameter-grid sweep with result caching",
+        "examples:\n"
+        "  python -m repro sweep --runs 200 --workers 4\n"
+        "  python -m repro sweep --config Set1 --homogeneous Debian \\\n"
+        "      --quorum-models 3f+1,2f+1 --recovery-intervals none,2.0 \\\n"
+        "      --arrivals poisson,aging --workers 4          # 16-cell grid\n"
+        "  python -m repro sweep --runs 20 --workers 2 --json > sweep.json\n"
+        "  python -m repro sweep --csv sweep.csv --no-cache\n"
+        "\n"
+        "Results are bit-for-bit identical for --workers 1 and --workers N;\n"
+        "repeated sweeps are served from the content-addressed cache.",
+    )
+    sweep_parser.add_argument("--runs", type=int, default=100,
+                              help="Monte-Carlo runs per grid cell")
+    sweep_parser.add_argument("--rate", type=float, default=1.0)
+    sweep_parser.add_argument("--horizon", type=float, default=5.0)
+    sweep_parser.add_argument(
+        "--homogeneous", metavar="OS", default=None,
+        help="add a homogeneous configuration of 4 replicas of this OS",
+    )
+    sweep_parser.add_argument(
+        "--config", action="append", choices=sorted(FIGURE3_CONFIGURATIONS),
+        help="add one of the paper's Figure 3 configurations (repeatable)",
+    )
+    sweep_parser.add_argument(
+        "--os", action="append", metavar="OS[,OS...]",
+        help="add a custom configuration from a comma-separated OS list",
+    )
+    sweep_parser.add_argument(
+        "--quorum-models", type=_comma_list, default=["3f+1"],
+        metavar="M1,M2", help="quorum-model axis (subset of: 3f+1,2f+1)",
+    )
+    sweep_parser.add_argument(
+        "--recovery-intervals", type=_recovery_list, default=[None],
+        metavar="T1,T2,none",
+        help="recovery-interval axis; 'none' disables proactive recovery",
+    )
+    sweep_parser.add_argument(
+        "--arrivals", type=_comma_list, default=["poisson"],
+        metavar="A1,A2", help="arrival-process axis (subset of: poisson,aging)",
+    )
+    sweep_parser.add_argument(
+        "--shape", type=float, default=1.0,
+        help="Weibull shape applied to 'aging' arrivals on the axis",
+    )
+    sweep_parser.add_argument(
+        "--adversaries", type=_comma_list, default=["standard"],
+        metavar="A1,A2",
+        help="adversary axis (subset of: standard,smart,untargeted)",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes to fan grid cells out to (1 = run inline)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=".repro-cache",
+        help="directory of the content-addressed result cache "
+             "(default: .repro-cache)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache entirely",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the deterministic sweep payload as JSON on stdout",
+    )
+    sweep_parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="additionally write one CSV row per grid cell to PATH",
+    )
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     export_parser = add_command(
         "export",

@@ -23,8 +23,11 @@ from repro.itsys.simulation import (
     ARRIVALS,
     ENGINES,
     CompromiseSimulation,
+    RunRangeTallies,
     SimulationResult,
     SingleExploitAnalysis,
+    merge_run_ranges,
+    result_from_tallies,
     wilson_interval,
 )
 
@@ -41,7 +44,10 @@ __all__ = [
     "ARRIVALS",
     "ENGINES",
     "CompromiseSimulation",
+    "RunRangeTallies",
     "SimulationResult",
     "SingleExploitAnalysis",
+    "merge_run_ranges",
+    "result_from_tallies",
     "wilson_interval",
 ]

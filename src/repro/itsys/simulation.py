@@ -29,6 +29,23 @@ identical** :class:`SimulationResult` values -- asserted by
 ``tests/itsys/test_simulation_equivalence.py`` and timed by
 ``benchmarks/bench_simulation.py``.
 
+Because every run draws from its own ``random.Random(seed + 7919 *
+run_index)`` stream, a campaign of ``runs`` runs can be split into disjoint
+run ranges, executed anywhere (other processes, other machines) and merged
+back without changing a single bit of the result.  That is the contract of
+the partial-run API consumed by :mod:`repro.runner`:
+
+* :meth:`CompromiseSimulation.run_range` executes runs ``[run_start,
+  run_stop)`` and returns a :class:`RunRangeTallies`;
+* :func:`merge_run_ranges` merges partial tallies **order-independently**
+  (partials are sorted by ``run_start`` before concatenation, so any
+  completion order of parallel workers yields the same merged value) and
+  rejects gaps and overlaps;
+* :func:`result_from_tallies` turns a complete ``[0, runs)`` tally into the
+  same :class:`SimulationResult` that :meth:`run_configuration` builds --
+  in fact ``run_configuration`` is implemented on top of these primitives,
+  so the single-process and merged paths cannot drift apart.
+
 Scenario knobs beyond the paper's Poisson attacker: a Weibull *aging*
 inter-arrival process (``arrival="aging"``), a *smart* adversary that opens
 the campaign with the single most damaging exploit
@@ -150,6 +167,122 @@ class SimulationResult:
         )
 
 
+@dataclass(frozen=True)
+class RunRangeTallies:
+    """Raw tallies of the runs ``[run_start, run_stop)`` of one campaign.
+
+    This is the *mergeable* partial result of a Monte-Carlo campaign: run
+    ``i`` draws only from ``random.Random(seed + 7919 * i)``, so disjoint
+    ranges are statistically and bit-wise independent and a full campaign is
+    exactly the concatenation of its ranges in run order.  Per-run sequences
+    (``compromised_counts``, ``violation_times``) are stored in run order so
+    that downstream means iterate the same floats in the same order as a
+    single-process campaign.
+    """
+
+    run_start: int
+    run_stop: int
+    violations: int
+    liveness_losses: int
+    #: Peak simultaneously-compromised count of each run, in run order.
+    compromised_counts: Tuple[int, ...]
+    #: Safety-violation time of each violating run, in run order.
+    violation_times: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.run_start < self.run_stop:
+            raise SimulationError(
+                f"invalid run range [{self.run_start}, {self.run_stop})"
+            )
+        if len(self.compromised_counts) != self.runs:
+            raise SimulationError(
+                f"range [{self.run_start}, {self.run_stop}) carries "
+                f"{len(self.compromised_counts)} per-run counts, expected {self.runs}"
+            )
+        if not 0 <= self.violations <= self.runs:
+            raise SimulationError("violation count exceeds the range size")
+        if len(self.violation_times) != self.violations:
+            raise SimulationError("one violation time is required per violation")
+
+    @property
+    def runs(self) -> int:
+        """Number of runs covered by the range."""
+        return self.run_stop - self.run_start
+
+
+def merge_run_ranges(partials: Sequence[RunRangeTallies]) -> RunRangeTallies:
+    """Merge disjoint partial tallies into one contiguous range.
+
+    Merging is **order-independent**: partials are sorted by ``run_start``
+    before concatenation, so shuffled worker-completion orders produce the
+    same merged tallies bit for bit (regression-tested by
+    ``tests/runner/test_merge.py``).  Gaps, overlaps and duplicated ranges
+    raise :class:`~repro.core.exceptions.SimulationError` instead of silently
+    corrupting the statistics.
+    """
+    if not partials:
+        raise SimulationError("cannot merge an empty list of run ranges")
+    ordered = sorted(partials, key=lambda tallies: tallies.run_start)
+    compromised_counts: List[int] = []
+    violation_times: List[float] = []
+    violations = 0
+    liveness_losses = 0
+    expected_start = ordered[0].run_start
+    for tallies in ordered:
+        if tallies.run_start != expected_start:
+            raise SimulationError(
+                f"run ranges are not contiguous: expected a range starting at "
+                f"{expected_start}, got [{tallies.run_start}, {tallies.run_stop})"
+            )
+        violations += tallies.violations
+        liveness_losses += tallies.liveness_losses
+        compromised_counts.extend(tallies.compromised_counts)
+        violation_times.extend(tallies.violation_times)
+        expected_start = tallies.run_stop
+    return RunRangeTallies(
+        run_start=ordered[0].run_start,
+        run_stop=expected_start,
+        violations=violations,
+        liveness_losses=liveness_losses,
+        compromised_counts=tuple(compromised_counts),
+        violation_times=tuple(violation_times),
+    )
+
+
+def result_from_tallies(
+    name: str, os_names: Sequence[str], tallies: RunRangeTallies
+) -> SimulationResult:
+    """Build the campaign :class:`SimulationResult` from complete tallies.
+
+    ``tallies`` must cover a full campaign (``run_start == 0``); partial
+    ranges must be merged first.  :meth:`CompromiseSimulation
+    .run_configuration` routes through this function, so results assembled
+    from merged parallel chunks are bit-for-bit identical to single-process
+    campaigns.
+    """
+    if tallies.run_start != 0:
+        raise SimulationError(
+            f"a campaign result needs tallies starting at run 0, "
+            f"got run {tallies.run_start}; merge the partial ranges first"
+        )
+    runs = tallies.runs
+    return SimulationResult(
+        name=name,
+        os_names=tuple(os_names),
+        runs=runs,
+        safety_violation_probability=tallies.violations / runs,
+        mean_compromised=statistics.fmean(tallies.compromised_counts),
+        mean_time_to_violation=(
+            statistics.fmean(tallies.violation_times)
+            if tallies.violation_times
+            else None
+        ),
+        liveness_loss_probability=tallies.liveness_losses / runs,
+        safety_violation_ci=wilson_interval(tallies.violations, runs),
+        liveness_loss_ci=wilson_interval(tallies.liveness_losses, runs),
+    )
+
+
 class CompromiseSimulation:
     """Monte-Carlo estimator of compromise probabilities for replica groups.
 
@@ -182,6 +315,11 @@ class CompromiseSimulation:
     @property
     def engine(self) -> str:
         return self._engine
+
+    @property
+    def seed(self) -> int:
+        """Base seed; run ``i`` draws from ``Random(seed + 7919 * i)``."""
+        return self._seed
 
     def with_engine(self, engine: str) -> "CompromiseSimulation":
         """A simulation over the same corpus and seed on another engine."""
@@ -242,33 +380,71 @@ class CompromiseSimulation:
         """
         if runs <= 0:
             raise SimulationError("the number of runs must be positive")
+        tallies = self.run_range(
+            os_names,
+            0,
+            runs,
+            exploit_rate=exploit_rate,
+            horizon=horizon,
+            quorum_model=quorum_model,
+            targeted=targeted,
+            recovery_interval=recovery_interval,
+            arrival=arrival,
+            shape=shape,
+            smart=smart,
+        )
+        return result_from_tallies(name, os_names, tallies)
+
+    def run_range(
+        self,
+        os_names: Sequence[str],
+        run_start: int,
+        run_stop: int,
+        exploit_rate: float = 1.0,
+        horizon: float = 30.0,
+        quorum_model: str = "3f+1",
+        targeted: bool = True,
+        recovery_interval: Optional[float] = None,
+        arrival: str = "poisson",
+        shape: float = 1.0,
+        smart: bool = False,
+    ) -> RunRangeTallies:
+        """Execute runs ``[run_start, run_stop)`` of a campaign.
+
+        Run ``i`` is seeded ``seed + 7919 * i`` regardless of which range it
+        belongs to, so splitting a campaign into disjoint ranges (for a
+        process pool, say), executing them in any order and merging with
+        :func:`merge_run_ranges` reproduces the single-range campaign bit
+        for bit.  Campaign keyword arguments mean the same as in
+        :meth:`run_configuration`.
+        """
+        if not 0 <= run_start < run_stop:
+            raise SimulationError(
+                f"invalid run range [{run_start}, {run_stop}); "
+                "run_start must satisfy 0 <= run_start < run_stop"
+            )
         if arrival not in ARRIVALS:
             raise SimulationError(
                 f"unknown arrival process {arrival!r}; expected one of {ARRIVALS}"
             )
         if self._engine == "naive":
             tallies = self._campaign_tallies_naive(
-                os_names, runs, exploit_rate, horizon, quorum_model, targeted,
-                recovery_interval, arrival, shape, smart,
+                os_names, run_start, run_stop, exploit_rate, horizon,
+                quorum_model, targeted, recovery_interval, arrival, shape, smart,
             )
         else:
             tallies = self._campaign_tallies_bitset(
-                os_names, runs, exploit_rate, horizon, quorum_model, targeted,
-                recovery_interval, arrival, shape, smart,
+                os_names, run_start, run_stop, exploit_rate, horizon,
+                quorum_model, targeted, recovery_interval, arrival, shape, smart,
             )
         violations, liveness_losses, compromised_counts, violation_times = tallies
-        return SimulationResult(
-            name=name,
-            os_names=tuple(os_names),
-            runs=runs,
-            safety_violation_probability=violations / runs,
-            mean_compromised=statistics.fmean(compromised_counts),
-            mean_time_to_violation=(
-                statistics.fmean(violation_times) if violation_times else None
-            ),
-            liveness_loss_probability=liveness_losses / runs,
-            safety_violation_ci=wilson_interval(violations, runs),
-            liveness_loss_ci=wilson_interval(liveness_losses, runs),
+        return RunRangeTallies(
+            run_start=run_start,
+            run_stop=run_stop,
+            violations=violations,
+            liveness_losses=liveness_losses,
+            compromised_counts=tuple(compromised_counts),
+            violation_times=tuple(violation_times),
         )
 
     # -- execution engines ----------------------------------------------------------
@@ -276,7 +452,8 @@ class CompromiseSimulation:
     def _campaign_tallies_naive(
         self,
         os_names: Sequence[str],
-        runs: int,
+        run_start: int,
+        run_stop: int,
         exploit_rate: float,
         horizon: float,
         quorum_model: str,
@@ -291,7 +468,7 @@ class CompromiseSimulation:
         liveness_losses = 0
         compromised_counts: List[int] = []
         violation_times: List[float] = []
-        for run_index in range(runs):
+        for run_index in range(run_start, run_stop):
             attacker = Attacker(
                 self._entries,
                 configuration=self._configuration,
@@ -327,7 +504,8 @@ class CompromiseSimulation:
     def _campaign_tallies_bitset(
         self,
         os_names: Sequence[str],
-        runs: int,
+        run_start: int,
+        run_stop: int,
         exploit_rate: float,
         horizon: float,
         quorum_model: str,
@@ -383,7 +561,7 @@ class CompromiseSimulation:
         liveness_losses = 0
         compromised_counts: List[int] = []
         violation_times: List[float] = []
-        for run_index in range(runs):
+        for run_index in range(run_start, run_stop):
             rng = random.Random(self._seed + 7919 * run_index)
             compromised = 0
             peak = 0

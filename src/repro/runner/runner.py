@@ -1,0 +1,351 @@
+"""Parallel experiment-grid runner with deterministic merging.
+
+:class:`GridRunner` executes every cell of an
+:class:`~repro.runner.grid.ExperimentGrid` and guarantees that the merged
+output is **bit-for-bit identical for workers=1 and workers=N**:
+
+* each cell's ``runs`` are split into chunked run ranges
+  (``CompromiseSimulation.run_range``), every run drawing from its own
+  ``Random(seed + 7919 * run_index)`` stream regardless of chunking;
+* chunks are executed inline (``workers=1``) or across a
+  ``ProcessPoolExecutor`` whose workers compile the corpus **once per
+  process** (pool filtering and bitmask compilation are the expensive parts,
+  so they ride in the executor initializer, not in every task);
+* completed chunks are merged with
+  :func:`~repro.itsys.simulation.merge_run_ranges`, which sorts partials by
+  run-range start -- worker completion order cannot influence the result;
+* with a :class:`~repro.runner.cache.ResultCache` attached, cell results are
+  looked up by content address before any simulation work is scheduled, so a
+  warm sweep performs **zero** simulation calls.
+
+``benchmarks/bench_sweep.py`` gates the speedup and the determinism;
+``tests/runner/`` property-tests both against random corpora.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.enums import ServerConfiguration
+from repro.core.exceptions import SimulationError
+from repro.core.models import VulnerabilityEntry
+from repro.itsys.simulation import (
+    CompromiseSimulation,
+    RunRangeTallies,
+    SimulationResult,
+    merge_run_ranges,
+    result_from_tallies,
+)
+from repro.runner.cache import ResultCache, cell_key, corpus_digest, result_to_json
+from repro.runner.grid import ExperimentGrid, GridCell
+
+#: Chunks scheduled per worker per cell; >1 keeps the pool busy when chunk
+#: durations vary, while staying coarse enough that per-chunk compilation of
+#: the cell's victim bitmasks stays negligible.
+_CHUNKS_PER_WORKER = 2
+
+# -- worker-process state -----------------------------------------------------
+#
+# The executor initializer builds one CompromiseSimulation per worker process;
+# its compiled exploitable pool is shared by every chunk the worker executes.
+_WORKER_SIMULATION: Optional[CompromiseSimulation] = None
+
+
+def _init_worker(
+    entries: Sequence[VulnerabilityEntry],
+    configuration: ServerConfiguration,
+    seed: int,
+    engine: str,
+    catalogued: bool,
+) -> None:
+    global _WORKER_SIMULATION
+    _WORKER_SIMULATION = CompromiseSimulation(
+        entries,
+        configuration=configuration,
+        seed=seed,
+        engine=engine,
+        catalogued=catalogued,
+    )
+
+
+def _run_chunk(
+    cell_index: int, cell: GridCell, run_start: int, run_stop: int
+) -> Tuple[int, RunRangeTallies]:
+    """Execute one run range of one cell inside a worker process."""
+    assert _WORKER_SIMULATION is not None, "worker initializer did not run"
+    tallies = _WORKER_SIMULATION.run_range(
+        cell.os_names, run_start, run_stop, **cell.campaign_kwargs()
+    )
+    return cell_index, tallies
+
+
+def chunk_ranges(runs: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``[0, runs)`` into at most ``chunks`` contiguous ranges.
+
+    Earlier ranges get the remainder, so sizes differ by at most one.  The
+    split has **no** effect on merged results (each run is independently
+    seeded); it only controls scheduling granularity.
+    """
+    if runs <= 0:
+        raise SimulationError("the number of runs must be positive")
+    chunks = max(1, min(chunks, runs))
+    base, remainder = divmod(runs, chunks)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < remainder else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed (or cache-served) cell of a sweep."""
+
+    cell: GridCell
+    result: SimulationResult
+    cached: bool
+
+
+@dataclass(frozen=True)
+class SweepReport:
+    """The merged outcome of one grid sweep.
+
+    ``cells`` is in grid-expansion order, independent of worker scheduling
+    and cache state.  The payload produced by :meth:`to_json_payload` is
+    fully deterministic (no timings, no paths), which is what the golden CLI
+    tests pin down.
+    """
+
+    cells: Tuple[CellResult, ...]
+    seed: int
+    engine: str
+    workers: int
+    corpus_digest: str
+    elapsed_seconds: float
+
+    @property
+    def cached_cells(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+    @property
+    def simulated_cells(self) -> int:
+        return len(self.cells) - self.cached_cells
+
+    def results(self) -> List[SimulationResult]:
+        return [cell.result for cell in self.cells]
+
+    def to_json_payload(self) -> Dict[str, object]:
+        """Deterministic JSON payload (excludes timings by design)."""
+        return {
+            "engine": self.engine,
+            "seed": self.seed,
+            "corpus_digest": self.corpus_digest,
+            "cells": [
+                {
+                    "cell_id": cell.cell.cell_id,
+                    "params": cell.cell.params(),
+                    "result": result_to_json(cell.result),
+                }
+                for cell in self.cells
+            ],
+        }
+
+    # CSV view ---------------------------------------------------------------
+
+    CSV_HEADERS: Tuple[str, ...] = (
+        "cell_id", "configuration", "os_names", "quorum_model",
+        "recovery_interval", "arrival", "shape", "adversary", "runs",
+        "exploit_rate", "horizon", "safety_violation_probability",
+        "safety_ci_low", "safety_ci_high", "mean_compromised",
+        "mean_time_to_violation", "liveness_loss_probability", "cached",
+    )
+
+    def csv_rows(self) -> List[Tuple[object, ...]]:
+        """One row per cell, aligned with :attr:`CSV_HEADERS`."""
+        rows: List[Tuple[object, ...]] = []
+        for cell_result in self.cells:
+            cell, result = cell_result.cell, cell_result.result
+            rows.append(
+                (
+                    cell.cell_id,
+                    cell.configuration,
+                    "+".join(cell.os_names),
+                    cell.quorum_model,
+                    "" if cell.recovery_interval is None else cell.recovery_interval,
+                    cell.arrival.process,
+                    cell.arrival.shape,
+                    cell.adversary,
+                    cell.runs,
+                    cell.exploit_rate,
+                    cell.horizon,
+                    result.safety_violation_probability,
+                    result.safety_violation_ci[0],
+                    result.safety_violation_ci[1],
+                    result.mean_compromised,
+                    "" if result.mean_time_to_violation is None
+                    else result.mean_time_to_violation,
+                    result.liveness_loss_probability,
+                    int(cell_result.cached),
+                )
+            )
+        return rows
+
+
+class GridRunner:
+    """Executes experiment grids over a corpus, in parallel, deterministically.
+
+    ``workers=1`` runs every chunk inline in this process (the reference
+    path); ``workers>1`` fans chunks out to a ``ProcessPoolExecutor``.  Both
+    paths merge chunk tallies sorted by run-range start, so they produce the
+    same :class:`~repro.itsys.simulation.SimulationResult` per cell bit for
+    bit.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[VulnerabilityEntry],
+        seed: int = 7,
+        engine: str = "bitset",
+        configuration: ServerConfiguration = ServerConfiguration.ISOLATED_THIN,
+        catalogued: bool = True,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if workers < 1:
+            raise SimulationError("the runner needs at least one worker")
+        self._entries = list(entries)
+        self._seed = seed
+        self._engine = engine
+        self._configuration = configuration
+        self._catalogued = catalogued
+        self._workers = workers
+        self._cache = cache
+        self._digest = corpus_digest(self._entries)
+        self._local: Optional[CompromiseSimulation] = None
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    @property
+    def corpus_digest(self) -> str:
+        return self._digest
+
+    def _local_simulation(self) -> CompromiseSimulation:
+        if self._local is None:
+            self._local = CompromiseSimulation(
+                self._entries,
+                configuration=self._configuration,
+                seed=self._seed,
+                engine=self._engine,
+                catalogued=self._catalogued,
+            )
+        return self._local
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, grid: ExperimentGrid) -> SweepReport:
+        """Execute every cell of the grid and return the merged report."""
+        started = time.perf_counter()
+        cells = grid.expand()
+        merged: Dict[int, SimulationResult] = {}
+        cached: Dict[int, bool] = {}
+        pending: List[Tuple[int, GridCell]] = []
+        keys: Dict[int, str] = {}
+        for index, cell in enumerate(cells):
+            if self._cache is not None:
+                keys[index] = cell_key(
+                    self._digest,
+                    cell,
+                    self._seed,
+                    self._engine,
+                    configuration=self._configuration.value,
+                    catalogued=self._catalogued,
+                )
+                hit = self._cache.get(keys[index])
+                if hit is not None:
+                    merged[index] = hit
+                    cached[index] = True
+                    continue
+            pending.append((index, cell))
+            cached[index] = False
+        if pending:
+            if self._workers == 1:
+                self._run_inline(pending, merged)
+            else:
+                self._run_pooled(pending, merged)
+            if self._cache is not None:
+                for index, cell in pending:
+                    self._cache.put(keys[index], cell, merged[index])
+        return SweepReport(
+            cells=tuple(
+                CellResult(cell=cell, result=merged[index], cached=cached[index])
+                for index, cell in enumerate(cells)
+            ),
+            seed=self._seed,
+            engine=self._engine,
+            workers=self._workers,
+            corpus_digest=self._digest,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _run_inline(
+        self,
+        pending: Sequence[Tuple[int, GridCell]],
+        merged: Dict[int, SimulationResult],
+    ) -> None:
+        simulation = self._local_simulation()
+        for index, cell in pending:
+            partials = [
+                simulation.run_range(
+                    cell.os_names, start, stop, **cell.campaign_kwargs()
+                )
+                for start, stop in chunk_ranges(cell.runs, _CHUNKS_PER_WORKER)
+            ]
+            merged[index] = result_from_tallies(
+                cell.cell_id, cell.os_names, merge_run_ranges(partials)
+            )
+
+    def _run_pooled(
+        self,
+        pending: Sequence[Tuple[int, GridCell]],
+        merged: Dict[int, SimulationResult],
+    ) -> None:
+        chunks_per_cell = self._workers * _CHUNKS_PER_WORKER
+        by_cell: Dict[int, GridCell] = dict(pending)
+        partials: Dict[int, List[RunRangeTallies]] = {index: [] for index in by_cell}
+        with ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_init_worker,
+            initargs=(
+                self._entries,
+                self._configuration,
+                self._seed,
+                self._engine,
+                self._catalogued,
+            ),
+        ) as pool:
+            futures: List[Future] = [
+                pool.submit(_run_chunk, index, cell, start, stop)
+                for index, cell in pending
+                for start, stop in chunk_ranges(cell.runs, chunks_per_cell)
+            ]
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, tallies = future.result()
+                    partials[index].append(tallies)
+        for index, cell in by_cell.items():
+            merged[index] = result_from_tallies(
+                cell.cell_id, cell.os_names, merge_run_ranges(partials[index])
+            )

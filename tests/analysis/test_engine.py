@@ -190,3 +190,46 @@ class TestDatasetFacade:
             assert fast.affecting_at_least(k) == naive.affecting_at_least(k)
         group = ("Debian", "RedHat", "OpenBSD")
         assert fast.compromising(group) == naive.compromising(group)
+
+
+class TestPickling:
+    """Compiled engine state must ship cleanly between runner processes."""
+
+    def test_incidence_index_round_trips_through_pickle(self, index, entries):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone.os_names == index.os_names
+        assert clone.entries == index.entries
+        for name in index.os_names:
+            assert clone.os_mask(name) == index.os_mask(name)
+        for position in range(len(entries)):
+            assert clone.entry_mask(position) == index.entry_mask(position)
+        assert clone.pair_matrix(("Debian", "RedHat", "OpenBSD")) == index.pair_matrix(
+            ("Debian", "RedHat", "OpenBSD")
+        )
+
+    def test_replica_incidence_round_trips_through_pickle(self, entries):
+        import pickle
+
+        from repro.analysis.engine import ReplicaIncidence
+
+        incidence = ReplicaIncidence(entries, ("Debian", "Debian", "OpenBSD", "RedHat"))
+        clone = pickle.loads(pickle.dumps(incidence))
+        assert clone.replica_os_names == incidence.replica_os_names
+        assert clone.victim_masks == incidence.victim_masks
+        assert clone.victim_mask_for(("Debian",)) == incidence.victim_mask_for(("Debian",))
+
+    def test_compromise_simulation_round_trips_through_pickle(self, entries):
+        """The compiled pool survives pickling and keeps producing identical results."""
+        import pickle
+
+        from repro.itsys.simulation import CompromiseSimulation
+
+        simulation = CompromiseSimulation(entries, seed=11)
+        simulation._compiled_pool()  # force compilation before pickling
+        clone = pickle.loads(pickle.dumps(simulation))
+        group = ("Debian", "RedHat", "OpenBSD", "FreeBSD")
+        assert clone.run_configuration(
+            "g", group, runs=10, horizon=3.0
+        ) == simulation.run_configuration("g", group, runs=10, horizon=3.0)

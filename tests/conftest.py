@@ -66,3 +66,36 @@ def valid_dataset(dataset: VulnerabilityDataset) -> VulnerabilityDataset:
 def entry_factory():
     """Expose the entry factory as a fixture for convenience."""
     return make_entry
+
+
+@pytest.fixture()
+def golden(request):
+    """Compare text against a committed golden file under ``tests/golden/``.
+
+    Usage: ``golden("simulate.json", actual_text)``.  With ``pytest
+    --update-golden`` (see the repository-root conftest) the golden file is
+    rewritten from ``actual_text`` instead of compared, which is how the
+    committed outputs are refreshed after an intentional CLI change.
+    """
+    from pathlib import Path as _Path
+
+    update = request.config.getoption("--update-golden")
+    golden_dir = _Path(__file__).resolve().parent / "golden"
+
+    def check(name: str, actual: str) -> None:
+        path = golden_dir / name
+        if update:
+            golden_dir.mkdir(parents=True, exist_ok=True)
+            path.write_text(actual, encoding="utf-8")
+            return
+        assert path.exists(), (
+            f"golden file tests/golden/{name} is missing; "
+            "run `pytest --update-golden` to create it"
+        )
+        expected = path.read_text(encoding="utf-8")
+        assert actual == expected, (
+            f"output differs from tests/golden/{name}; if the change is "
+            "intentional, refresh with `pytest --update-golden`"
+        )
+
+    return check

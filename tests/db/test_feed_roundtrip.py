@@ -1,0 +1,143 @@
+"""End-to-end round trip: XML feed -> parse -> normalise -> ingest -> query.
+
+The collection pipeline of Section III spans four layers (``nvd.feed_parser``,
+``nvd.normalize``, ``db.ingest``, ``db.queries``); the existing suites test
+each in isolation, so this module pins the *hand-offs*: a small hand-written
+fixture feed travels the whole pipeline twice (once written through
+``nvd.feed_writer``, once re-loaded from the database) and every count must
+survive each hop.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.db.ingest import IngestPipeline
+from repro.db.queries import os_validity_counts, pair_shared_counts
+from repro.nvd.feed_parser import RawFeedEntry, parse_xml_feed
+from repro.nvd.feed_writer import write_xml_feed
+
+REMOTE = "AV:N/AC:L/Au:N/C:P/I:P/A:P"
+LOCAL = "AV:L/AC:L/Au:N/C:P/I:P/A:P"
+
+#: Fixture feed: 4 in-scope entries, 1 out-of-scope (application CPE only),
+#: with one shared Debian+RedHat flaw and one Disputed entry.
+FIXTURE_ENTRIES = (
+    RawFeedEntry(
+        cve_id="CVE-2004-0001",
+        published=dt.date(2004, 2, 10),
+        summary="A buffer overflow in the kernel allows remote attackers to "
+                "execute arbitrary code.",
+        cvss_vector=REMOTE,
+        cpe_uris=("cpe:/o:debian:debian_linux:3.0",),
+    ),
+    RawFeedEntry(
+        cve_id="CVE-2004-0002",
+        published=dt.date(2004, 5, 17),
+        summary="A race condition in the virtual filesystem allows local "
+                "users to gain privileges.",
+        cvss_vector=LOCAL,
+        # The same product under two NVD alias spellings plus RedHat: the
+        # normaliser must collapse the aliases onto one Debian.
+        cpe_uris=(
+            "cpe:/o:debian:debian_linux:3.1",
+            "cpe:/o:debian:linux:3.1",
+            "cpe:/o:redhat:enterprise_linux:4",
+        ),
+    ),
+    RawFeedEntry(
+        cve_id="CVE-2004-0003",
+        published=dt.date(2004, 8, 2),
+        summary="An integer overflow in the network stack allows remote "
+                "attackers to cause a denial of service.",
+        cvss_vector=REMOTE,
+        cpe_uris=("cpe:/o:openbsd:openbsd:3.5",),
+    ),
+    RawFeedEntry(
+        cve_id="CVE-2004-0004",
+        published=dt.date(2004, 9, 20),
+        summary="** DISPUTED ** A flaw in the scheduler may allow remote "
+                "attackers to crash the system.",
+        cvss_vector=REMOTE,
+        cpe_uris=("cpe:/o:microsoft:windows_2000:sp4",),
+    ),
+    RawFeedEntry(
+        cve_id="CVE-2004-0005",
+        published=dt.date(2004, 11, 5),
+        summary="A flaw in a web application allows remote attackers to "
+                "inject script.",
+        cvss_vector=REMOTE,
+        # Application CPE only: no OS resolves, so ingest must skip it.
+        cpe_uris=("cpe:/a:apache:http_server:2.0",),
+    ),
+)
+
+
+@pytest.fixture()
+def feed_path(tmp_path):
+    return write_xml_feed(FIXTURE_ENTRIES, tmp_path / "nvdcve-2004.xml")
+
+
+class TestFeedRoundTrip:
+    def test_writer_output_parses_back_verbatim(self, feed_path):
+        parsed = parse_xml_feed(feed_path)
+        assert [raw.cve_id for raw in parsed] == [
+            raw.cve_id for raw in FIXTURE_ENTRIES
+        ]
+        by_id = {raw.cve_id: raw for raw in parsed}
+        original = FIXTURE_ENTRIES[1]
+        round_tripped = by_id[original.cve_id]
+        assert round_tripped.published == original.published
+        assert round_tripped.summary == original.summary
+        assert round_tripped.cvss_vector == original.cvss_vector
+        assert round_tripped.cpe_uris == original.cpe_uris
+
+    def test_ingest_counts_survive_the_trip(self, feed_path):
+        pipeline = IngestPipeline()
+        report = pipeline.ingest_xml_feeds([feed_path])
+        assert report.parsed_entries == 5
+        assert report.skipped_no_os == 1  # the application-only entry
+        assert report.ingested_entries == 4
+        assert report.valid_entries == 3
+        assert report.excluded_entries == 1  # the Disputed Windows entry
+        assert report.by_validity == {"Valid": 3, "Disputed": 1}
+
+    def test_normalised_oses_survive_into_the_database(self, feed_path):
+        pipeline = IngestPipeline()
+        pipeline.ingest_xml_feeds([feed_path])
+        entries = {
+            entry.cve_id: entry for entry in pipeline.database.load_entries()
+        }
+        assert len(entries) == 4
+        # Alias spellings collapsed: one Debian, despite two Debian CPEs.
+        assert entries["CVE-2004-0002"].affected_os == {"Debian", "RedHat"}
+        assert entries["CVE-2004-0001"].affected_os == {"Debian"}
+        assert entries["CVE-2004-0003"].affected_os == {"OpenBSD"}
+        assert entries["CVE-2004-0004"].affected_os == {"Windows2000"}
+        assert not entries["CVE-2004-0004"].is_valid
+
+    def test_sql_aggregations_match_the_fixture(self, feed_path):
+        pipeline = IngestPipeline()
+        pipeline.ingest_xml_feeds([feed_path])
+        validity = os_validity_counts(pipeline.database)
+        assert validity["Debian"] == {"Valid": 2}
+        assert validity["RedHat"] == {"Valid": 1}
+        assert validity["OpenBSD"] == {"Valid": 1}
+        assert validity["Windows2000"] == {"Disputed": 1}
+        shared = pair_shared_counts(pipeline.database)
+        assert shared.get(("Debian", "RedHat")) == 1
+        # Local-only flaws drop out of the remote-only (Isolated Thin) view.
+        remote_only = pair_shared_counts(pipeline.database, only_remote=True)
+        assert ("Debian", "RedHat") not in remote_only
+
+    def test_database_reload_preserves_validity_and_versions(self, feed_path):
+        pipeline = IngestPipeline()
+        pipeline.ingest_xml_feeds([feed_path])
+        valid_only = pipeline.database.load_entries(only_valid=True)
+        assert sorted(entry.cve_id for entry in valid_only) == [
+            "CVE-2004-0001", "CVE-2004-0002", "CVE-2004-0003",
+        ]
+        full = {entry.cve_id: entry for entry in pipeline.database.load_entries()}
+        assert tuple(full["CVE-2004-0001"].affected_versions.get("Debian", ())) == ("3.0",)
+        assert full["CVE-2004-0002"].is_remote is False
+        assert full["CVE-2004-0001"].is_remote is True

@@ -115,6 +115,7 @@ class TestExperiments:
         assert {
             "Table I", "Table II", "Table III", "Table IV", "Table V", "Table VI",
             "Figure 2", "Figure 3", "Section IV-B", "Section IV-E", "Simulation",
+            "Sweep",
         } == set(EXPERIMENTS)
 
     def test_every_experiment_names_a_bench_target(self):

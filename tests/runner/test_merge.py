@@ -1,0 +1,120 @@
+"""Partial-run merging: order independence, contiguity, engine equivalence.
+
+The merge-order regression matters because parallel workers complete chunks
+in nondeterministic order: ``merge_run_ranges`` must therefore sort partials
+by run-range start before concatenating, or per-run sequences (and with them
+``mean_compromised`` / ``mean_time_to_violation``) would depend on worker
+scheduling.
+"""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.itsys.simulation import (
+    CompromiseSimulation,
+    RunRangeTallies,
+    merge_run_ranges,
+    result_from_tallies,
+)
+
+SET1 = ("Windows2003", "Solaris", "Debian", "OpenBSD")
+
+
+@pytest.fixture(scope="module")
+def simulation(request):
+    corpus = request.getfixturevalue("corpus")
+    return CompromiseSimulation(corpus.valid_entries, seed=123)
+
+
+class TestRunRangeTallies:
+    def test_rejects_inverted_ranges(self):
+        with pytest.raises(SimulationError):
+            RunRangeTallies(5, 5, 0, 0, (), ())
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SimulationError):
+            RunRangeTallies(-1, 2, 0, 0, (0, 0, 0), ())
+
+    def test_rejects_count_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            RunRangeTallies(0, 3, 0, 0, (1, 1), ())
+
+    def test_rejects_violation_time_mismatch(self):
+        with pytest.raises(SimulationError):
+            RunRangeTallies(0, 2, 1, 0, (1, 1), ())
+
+
+class TestMergeOrderIndependence:
+    def test_shuffled_partials_merge_identically(self, simulation):
+        """Regression: merging must not depend on worker completion order."""
+        boundaries = [0, 7, 11, 24, 30, 40]
+        partials = [
+            simulation.run_range(SET1, start, stop, horizon=3.0)
+            for start, stop in zip(boundaries, boundaries[1:])
+        ]
+        reference = merge_run_ranges(partials)
+        rng = random.Random(5)
+        for _ in range(10):
+            shuffled = list(partials)
+            rng.shuffle(shuffled)
+            assert merge_run_ranges(shuffled) == reference
+
+    def test_merge_is_associative_over_groupings(self, simulation):
+        partials = [
+            simulation.run_range(SET1, start, stop, horizon=3.0)
+            for start, stop in ((0, 5), (5, 12), (12, 20))
+        ]
+        left_first = merge_run_ranges(
+            [merge_run_ranges(partials[:2]), partials[2]]
+        )
+        right_first = merge_run_ranges(
+            [partials[0], merge_run_ranges(partials[1:])]
+        )
+        assert left_first == right_first == merge_run_ranges(partials)
+
+    def test_gap_rejected(self, simulation):
+        first = simulation.run_range(SET1, 0, 5, horizon=3.0)
+        late = simulation.run_range(SET1, 6, 10, horizon=3.0)
+        with pytest.raises(SimulationError, match="not contiguous"):
+            merge_run_ranges([first, late])
+
+    def test_overlap_rejected(self, simulation):
+        first = simulation.run_range(SET1, 0, 5, horizon=3.0)
+        overlapping = simulation.run_range(SET1, 4, 10, horizon=3.0)
+        with pytest.raises(SimulationError, match="not contiguous"):
+            merge_run_ranges([first, overlapping])
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(SimulationError):
+            merge_run_ranges([])
+
+
+class TestRunRangeEquivalence:
+    @pytest.mark.parametrize("engine", ["bitset", "naive"])
+    def test_chunked_equals_single_campaign(self, corpus, engine):
+        """Any chunking merges to the exact single-process result."""
+        simulation = CompromiseSimulation(
+            corpus.valid_entries, seed=99, engine=engine
+        )
+        campaign = dict(horizon=3.0, recovery_interval=1.5)
+        whole = simulation.run_configuration("set1", SET1, runs=30, **campaign)
+        for boundaries in ([0, 30], [0, 1, 30], [0, 10, 20, 30], list(range(31))):
+            partials = [
+                simulation.run_range(SET1, start, stop, **campaign)
+                for start, stop in zip(boundaries, boundaries[1:])
+            ]
+            merged = result_from_tallies("set1", SET1, merge_run_ranges(partials))
+            assert merged == whole
+
+    def test_result_requires_complete_tallies(self, simulation):
+        partial = simulation.run_range(SET1, 5, 10, horizon=3.0)
+        with pytest.raises(SimulationError, match="run 0"):
+            result_from_tallies("set1", SET1, partial)
+
+    def test_run_range_validates_bounds(self, simulation):
+        with pytest.raises(SimulationError):
+            simulation.run_range(SET1, 3, 3)
+        with pytest.raises(SimulationError):
+            simulation.run_range(SET1, -1, 4)

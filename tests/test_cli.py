@@ -62,6 +62,26 @@ class TestCommands:
         naive_out = capsys.readouterr().out
         assert bitset_out.replace("engine bitset", "") == naive_out.replace("engine naive", "")
 
+    def test_sweep_command_text_output(self, capsys):
+        assert main(["sweep", "--runs", "5", "--horizon", "2.0",
+                     "--no-cache", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("sweep: 3 cells")
+        assert "cells from cache" in out
+
+    def test_sweep_rejects_non_positive_workers(self, capsys):
+        assert main(["sweep", "--runs", "5", "--workers", "0", "--no-cache"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_os(self, capsys):
+        assert main(["sweep", "--runs", "5", "--os", "BeOS", "--no-cache"]) == 2
+        assert "unknown operating system" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_grid_axis(self, capsys):
+        assert main(["sweep", "--runs", "5", "--quorum-models", "9f+9",
+                     "--no-cache"]) == 2
+        assert "invalid grid" in capsys.readouterr().err
+
     def test_simulate_custom_configurations(self, capsys):
         assert main([
             "simulate", "--runs", "5", "--horizon", "2.0",
