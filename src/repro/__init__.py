@@ -9,13 +9,19 @@ rebuilds that study end to end:
 * :mod:`repro.nvd` -- NVD feed parsing (XML/JSON), CPE and CVSS handling;
 * :mod:`repro.synthetic` -- a calibrated synthetic corpus standing in for the
   live NVD feeds (not downloadable in the offline reproduction environment);
-* :mod:`repro.db` -- the SQL database of the paper's Figure 1 (SQLite);
+* :mod:`repro.db` -- the SQL database of the paper's Figure 1 (SQLite),
+  with incremental upserts and tombstones;
+* :mod:`repro.snapshots` -- incremental feed ingestion: content-addressed
+  dataset snapshots, the snapshot ledger, delta application, time travel
+  and snapshot diffs;
 * :mod:`repro.classify` -- component-class classification and the validity /
   server-configuration filters;
 * :mod:`repro.analysis` -- every table and figure of the evaluation plus the
   replica-set selection strategies;
 * :mod:`repro.itsys` -- an executable intrusion-tolerance model (replica
   groups, attacker, BFT service, Monte-Carlo comparison);
+* :mod:`repro.runner` -- the parallel experiment-grid runner with a
+  content-addressed, selectively-invalidated result cache;
 * :mod:`repro.reports` -- table/figure rendering and the experiment registry.
 
 Quickstart
@@ -54,7 +60,8 @@ from repro.core import (
 from repro.db import IngestPipeline, VulnerabilityDatabase
 from repro.itsys import BFTService, CompromiseSimulation, ReplicaGroup
 from repro.reports import run_experiment
-from repro.synthetic import SyntheticCorpus, build_corpus
+from repro.snapshots import DeltaIngestPipeline, SnapshotStore
+from repro.synthetic import SyntheticCorpus, build_corpus, evolve_corpus
 
 __version__ = "1.0.0"
 
@@ -76,6 +83,10 @@ __all__ = [
     "IngestPipeline",
     "ComponentClassifier",
     "ValidityFilter",
+    # incremental ingestion and snapshots
+    "DeltaIngestPipeline",
+    "SnapshotStore",
+    "evolve_corpus",
     # analyses
     "VulnerabilityDataset",
     "PairAnalysis",

@@ -24,13 +24,27 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.engine import IncidenceIndex
 from repro.classify.filters import ServerConfigurationFilter, ValidityFilter
 from repro.core.constants import OS_NAMES
 from repro.core.enums import ServerConfiguration, ValidityStatus
 from repro.core.models import VulnerabilityEntry
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.snapshots.store import SnapshotRecord
 
 #: Engines understood by :class:`VulnerabilityDataset`.
 ENGINES: Tuple[str, ...] = ("bitset", "naive")
@@ -55,12 +69,15 @@ class VulnerabilityDataset:
         entries: Iterable[VulnerabilityEntry],
         os_names: Sequence[str] = OS_NAMES,
         engine: str = "bitset",
+        snapshot: Optional["SnapshotRecord"] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self._entries: List[VulnerabilityEntry] = list(entries)
         self._os_names: Tuple[str, ...] = tuple(os_names)
         self._engine = engine
+        self._snapshot = snapshot
+        self._digest: Optional[str] = None
         self._incidence: Optional[IncidenceIndex] = None
         self._by_os: Dict[str, List[VulnerabilityEntry]] = {name: [] for name in self._os_names}
         for entry in self._entries:
@@ -90,6 +107,32 @@ class VulnerabilityDataset:
         return self._engine
 
     @property
+    def snapshot(self) -> Optional["SnapshotRecord"]:
+        """The ledger record this dataset is pinned to, if it came from one.
+
+        Set by :meth:`repro.snapshots.store.SnapshotStore.dataset_at`;
+        ``None`` for datasets built directly from entries.  Derived datasets
+        (``valid()``, ``filtered()``, ``between()``) are *not* pinned -- they
+        no longer hold the snapshot's exact entry set.
+        """
+        return self._snapshot
+
+    def digest(self) -> str:
+        """Content address of this dataset's entry set (computed lazily).
+
+        Equals the owning snapshot's ledger digest when the dataset is an
+        unmodified snapshot materialisation, because both are
+        :func:`repro.snapshots.digests.dataset_digest` over the same
+        normalized entries -- the property that makes exported results
+        traceable to an exact dataset state.
+        """
+        if self._digest is None:
+            from repro.snapshots.digests import dataset_digest_of
+
+            self._digest = dataset_digest_of(self._entries)
+        return self._digest
+
+    @property
     def incidence(self) -> IncidenceIndex:
         """The bitset incidence index over this dataset (built lazily).
 
@@ -104,7 +147,9 @@ class VulnerabilityDataset:
         """The same dataset routed through a different engine."""
         if engine == self._engine:
             return self
-        return VulnerabilityDataset(self._entries, self._os_names, engine=engine)
+        return VulnerabilityDataset(
+            self._entries, self._os_names, engine=engine, snapshot=self._snapshot
+        )
 
     def for_os(self, os_name: str) -> List[VulnerabilityEntry]:
         """All entries affecting the given OS."""

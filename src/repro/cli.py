@@ -10,13 +10,18 @@ Usage (after ``pip install -e .`` or from the repository root)::
     python -m repro sweep --workers 4      # parallel cached parameter-grid sweep
     python -m repro export --output out/   # write all tables/figures as text+CSV
     python -m repro feeds --output feeds/  # write the corpus as NVD-style XML feeds
+    python -m repro ingest --db data.db    # ingest into a persistent snapshot store
+    python -m repro ingest --db data.db --delta mod.xml   # apply a modified feed
+    python -m repro snapshot list --db data.db            # inspect the ledger
 
 All commands operate on the calibrated synthetic corpus by default; pass
 ``--feeds DIR`` to run the analyses on a directory of NVD XML feeds instead
-(e.g. the real ones, in an online environment).  ``--engine bitset|naive``
-selects the shared-vulnerability engine (the precompiled bitset incidence
-index by default; the naive set re-intersection for cross-checking).  Worked
-examples for every command live in ``docs/cli.md``.
+(e.g. the real ones, in an online environment), or ``--db PATH`` (optionally
+with ``--snapshot ID``) to run them on a snapshot state of a persistent
+ingested database.  ``--engine bitset|naive`` selects the
+shared-vulnerability engine (the precompiled bitset incidence index by
+default; the naive set re-intersection for cross-checking).  Worked examples
+for every command live in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -59,9 +64,49 @@ _TABLES = {
 _FIGURES = {"Figure 2": figure2, "Figure 3": figure3}
 
 
+def _resolve_snapshot(store, spec: Optional[str]):
+    """Resolve a ``--snapshot`` selector (id or digest prefix) to a record."""
+    from repro.core.exceptions import DatabaseError
+
+    if spec is None:
+        head = store.head()
+        if head is None:
+            raise SystemExit("the database has no snapshots; run `repro ingest` first")
+        return head
+    if spec.isdigit():
+        # Prefer the ledger-id reading, but an all-digit string can also be
+        # a hex digest prefix (e.g. "2778"), so fall through on a miss.
+        try:
+            return store.get(int(spec))
+        except DatabaseError:
+            pass
+    try:
+        return store.by_digest(spec)
+    except DatabaseError as error:
+        # Clean CLI failure instead of a DatabaseError traceback.
+        raise SystemExit(str(error)) from error
+
+
 def _load_dataset(args: argparse.Namespace) -> VulnerabilityDataset:
-    """Dataset from NVD feeds when ``--feeds`` is given, else the synthetic corpus."""
+    """Dataset from ``--db`` (snapshot-pinned) or ``--feeds``, else synthetic."""
     engine = getattr(args, "engine", "bitset")
+    if getattr(args, "db", None):
+        from repro.db.database import VulnerabilityDatabase
+        from repro.snapshots.store import SnapshotStore
+
+        if not Path(args.db).exists():
+            # Opening would create (and schema-initialise) a stray file.
+            raise SystemExit(
+                f"database {args.db} does not exist; run "
+                f"`repro --db {args.db} ingest` first"
+            )
+        database = VulnerabilityDatabase(args.db)
+        try:
+            store = SnapshotStore(database)
+            record = _resolve_snapshot(store, getattr(args, "snapshot", None))
+            return store.dataset_at(record.snapshot_id, engine=engine)
+        finally:
+            database.close()
     if getattr(args, "feeds", None):
         feed_dir = Path(args.feeds)
         paths = sorted(feed_dir.glob("*.xml"))
@@ -324,13 +369,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     report = runner.run(grid)
 
+    # Dataset provenance: every exported result is traceable to the exact
+    # dataset state it was computed from (and the snapshot, when pinned).
+    dataset_meta = {
+        "digest": dataset.digest(),
+        "source": "db" if args.db else ("feeds" if args.feeds else "synthetic"),
+        "snapshot_id": dataset.snapshot.snapshot_id if dataset.snapshot else None,
+        "snapshot_digest": dataset.snapshot.digest if dataset.snapshot else None,
+    }
     if args.csv:
         to_csv(report.CSV_HEADERS, report.csv_rows(), Path(args.csv))
-        print(f"wrote {len(report.cells)} cells to {args.csv}", file=sys.stderr)
+        print(f"wrote {len(report.cells)} cells to {args.csv} "
+              f"(dataset digest {dataset_meta['digest'][:12]})", file=sys.stderr)
     if args.json:
         import json
 
-        print(json.dumps(report.to_json_payload(), indent=2, sort_keys=True))
+        payload = report.to_json_payload()
+        payload["dataset"] = dataset_meta
+        print(json.dumps(payload, indent=2, sort_keys=True))
         print(f"swept {len(report.cells)} cells "
               f"({report.cached_cells} cached) in {report.elapsed_seconds:.2f}s "
               f"with {args.workers} worker(s)", file=sys.stderr)
@@ -343,6 +399,125 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"done in {report.elapsed_seconds:.2f}s "
           f"({report.cached_cells}/{len(report.cells)} cells from cache)")
     return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.db.database import VulnerabilityDatabase
+    from repro.snapshots.delta import DeltaIngestPipeline
+    from repro.snapshots.store import SnapshotStore
+
+    if not args.db:
+        print("ingest requires --db PATH (the persistent snapshot store)",
+              file=sys.stderr)
+        return 2
+    database = VulnerabilityDatabase(args.db)
+    try:
+        pipeline = IngestPipeline(database=database)
+        store = SnapshotStore(database)
+        if args.delta:
+            delta = DeltaIngestPipeline(pipeline, store)
+            report = delta.apply_feed(
+                args.delta,
+                source=args.source or str(args.delta),
+                commit=not args.no_snapshot,
+            )
+            print(report.summary())
+            if report.snapshot is not None:
+                print(report.snapshot.summary())
+            return 0
+        if database.entry_count() > 0:
+            print(f"{args.db} already holds entries; apply changes with "
+                  "`repro ingest --delta FEED` instead of a full re-ingest",
+                  file=sys.stderr)
+            return 2
+        if args.feeds:
+            feed_dir = Path(args.feeds)
+            paths = sorted(feed_dir.glob("*.xml"))
+            if not paths:
+                print(f"no .xml feeds found in {feed_dir}", file=sys.stderr)
+                return 2
+            ingest_report = pipeline.ingest_xml_feeds(paths)
+            source = args.source or str(feed_dir)
+        else:
+            corpus = build_corpus(seed=args.seed)
+            ingest_report = pipeline.ingest_raw(corpus.to_raw_feed_entries())
+            source = args.source or f"synthetic corpus (seed {args.seed})"
+        print(f"ingested {ingest_report.ingested_entries} entries "
+              f"({ingest_report.valid_entries} valid, "
+              f"{ingest_report.excluded_entries} excluded, "
+              f"{ingest_report.skipped_no_os} out of scope)")
+        if not args.no_snapshot:
+            print(store.commit(source=source).summary())
+        return 0
+    finally:
+        database.close()
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.db.database import VulnerabilityDatabase
+    from repro.snapshots.export import write_snapshot_feeds
+    from repro.snapshots.store import SnapshotStore
+
+    if not args.db:
+        print("snapshot commands require --db PATH", file=sys.stderr)
+        return 2
+    if not Path(args.db).exists():
+        print(f"database {args.db} does not exist; run `repro ingest --db "
+              f"{args.db}` first", file=sys.stderr)
+        return 2
+    database = VulnerabilityDatabase(args.db)
+    try:
+        store = SnapshotStore(database)
+        if args.action == "list":
+            records = store.list()
+            if not records:
+                print("no snapshots yet")
+                return 0
+            for record in records:
+                print(record.summary())
+            return 0
+        if args.action == "diff":
+            to_record = _resolve_snapshot(store, args.to)
+            if args.__dict__["from"] is not None:
+                from_record = _resolve_snapshot(store, args.__dict__["from"])
+            elif to_record.parent_digest is not None:
+                from_record = store.by_digest(to_record.parent_digest)
+            else:
+                print(f"snapshot #{to_record.snapshot_id} has no parent; "
+                      "pass --from explicitly", file=sys.stderr)
+                return 2
+            diff = store.diff(from_record.snapshot_id, to_record.snapshot_id)
+            print(diff.summary())
+            if args.cves and not diff.is_empty:
+                for cve_id in diff.added:
+                    print(f"  + {cve_id}")
+                for cve_id in diff.modified:
+                    print(f"  ~ {cve_id}")
+                for cve_id in diff.removed:
+                    print(f"  - {cve_id}")
+            return 0
+        if args.action == "checkout":
+            record = _resolve_snapshot(store, args.id)
+            if not args.output:
+                print("snapshot checkout requires --output DIR", file=sys.stderr)
+                return 2
+            paths = write_snapshot_feeds(store, record.snapshot_id, args.output)
+            print(f"checked out snapshot #{record.snapshot_id} "
+                  f"({record.short_digest}) as {len(paths)} feeds in {args.output}")
+            return 0
+        if args.action == "drift":
+            from repro.reports.drift import snapshot_drift
+
+            report = snapshot_drift(store)
+            if not report.rows:
+                print("no snapshots yet")
+                return 0
+            print(report.text)
+            return 0
+        print(f"unknown snapshot action {args.action!r}", file=sys.stderr)
+        return 2
+    finally:
+        database.close()
 
 
 def cmd_export(args: argparse.Namespace) -> int:
@@ -394,6 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed for the synthetic corpus (default: 20110627)")
     parser.add_argument("--feeds", type=str, default=None,
                         help="directory of NVD XML feeds to analyse instead of the synthetic corpus")
+    parser.add_argument("--db", type=str, default=None,
+                        help="path of a persistent ingested database (snapshot store); "
+                             "analyses run on its head snapshot unless --snapshot is given")
+    parser.add_argument("--snapshot", type=str, default=None, metavar="ID",
+                        help="with --db: pin analyses to this snapshot "
+                             "(a ledger id or a digest prefix) instead of the head")
     parser.add_argument("--engine", choices=ENGINES, default="bitset",
                         help="shared-vulnerability engine: the precompiled bitset "
                              "incidence index (default) or the naive set "
@@ -594,6 +775,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_parser.add_argument("--output", required=True)
     export_parser.set_defaults(func=cmd_export)
+
+    ingest_parser = add_command(
+        "ingest",
+        "ingest feeds into a persistent snapshot store (full or delta)",
+        "examples:\n"
+        "  python -m repro --db data.db ingest                  # synthetic corpus\n"
+        "  python -m repro --db data.db --feeds feeds/ ingest   # a feed directory\n"
+        "  python -m repro --db data.db ingest --delta modified.xml\n"
+        "  python -m repro --db data.db ingest --delta modified.xml --source nvd\n"
+        "\n"
+        "A full ingest populates an empty database and commits snapshot #1;\n"
+        "--delta applies an NVD-style modified feed (changed entries plus\n"
+        "** REJECT ** tombstones) incrementally and commits one new snapshot.\n"
+        "Re-applying an already-applied delta changes nothing (same digest).",
+    )
+    ingest_parser.add_argument(
+        "--delta", metavar="FEED", default=None,
+        help="apply this modified feed (.xml or .json) as an incremental delta",
+    )
+    ingest_parser.add_argument(
+        "--source", default=None,
+        help="feed-provenance label recorded in the snapshot ledger",
+    )
+    ingest_parser.add_argument(
+        "--no-snapshot", action="store_true",
+        help="mutate the database without committing a snapshot",
+    )
+    ingest_parser.set_defaults(func=cmd_ingest)
+
+    snapshot_parser = add_command(
+        "snapshot",
+        "inspect the snapshot ledger: list, diff, checkout, drift",
+        "examples:\n"
+        "  python -m repro --db data.db snapshot list\n"
+        "  python -m repro --db data.db snapshot diff            # parent -> head\n"
+        "  python -m repro --db data.db snapshot diff --from 1 --to 3 --cves\n"
+        "  python -m repro --db data.db snapshot checkout --id 2 --output feeds/\n"
+        "  python -m repro --db data.db snapshot drift           # Table-1 over time",
+    )
+    snapshot_parser.add_argument(
+        "action", choices=("list", "diff", "checkout", "drift"),
+        help="ledger operation to perform",
+    )
+    snapshot_parser.add_argument(
+        "--from", default=None, metavar="ID",
+        help="diff base snapshot (default: the target's parent)",
+    )
+    snapshot_parser.add_argument(
+        "--to", default=None, metavar="ID",
+        help="diff target snapshot (default: the head)",
+    )
+    snapshot_parser.add_argument(
+        "--id", default=None, metavar="ID",
+        help="snapshot to check out (default: the head)",
+    )
+    snapshot_parser.add_argument(
+        "--output", default=None,
+        help="directory for checked-out feeds (checkout only)",
+    )
+    snapshot_parser.add_argument(
+        "--cves", action="store_true",
+        help="list every changed CVE id in diffs",
+    )
+    snapshot_parser.set_defaults(func=cmd_snapshot)
 
     feeds_parser = add_command(
         "feeds",

@@ -149,6 +149,17 @@ class VulnerabilityEntry:
     def __post_init__(self) -> None:
         if not isinstance(self.affected_os, frozenset):
             object.__setattr__(self, "affected_os", frozenset(self.affected_os))
+        # Canonicalise the version mapping: values become tuples and OSes
+        # with no recorded versions ("all versions") are dropped, since
+        # ``affected_versions.get(name, ())`` reads both spellings the same.
+        # Entries built directly, loaded from the database or reconstructed
+        # from a snapshot payload therefore compare (and digest) equal.
+        canonical = {
+            name: tuple(versions)
+            for name, versions in self.affected_versions.items()
+            if tuple(versions)
+        }
+        object.__setattr__(self, "affected_versions", canonical)
 
     # -- convenience -------------------------------------------------------
 

@@ -11,7 +11,12 @@ from repro.core.constants import OS_CATALOG
 from repro.core.enums import AccessVector, ComponentClass, ValidityStatus
 from repro.core.exceptions import DatabaseError
 from repro.core.models import CVSSVector, OperatingSystem, VulnerabilityEntry
-from repro.db.schema import SCHEMA_STATEMENTS
+from repro.db.schema import migrate_connection
+from repro.snapshots.digests import entry_digest
+
+#: Batch size for ``cve_id IN (...)`` queries; safely below the 999-variable
+#: limit of older SQLite builds (SQLITE_MAX_VARIABLE_NUMBER).
+_CVE_ID_CHUNK = 500
 
 
 class VulnerabilityDatabase:
@@ -34,9 +39,7 @@ class VulnerabilityDatabase:
     # -- lifecycle -----------------------------------------------------------
 
     def _create_schema(self) -> None:
-        with self._conn:
-            for statement in SCHEMA_STATEMENTS:
-                self._conn.execute(statement)
+        migrate_connection(self._conn)
 
     def close(self) -> None:
         self._conn.close()
@@ -103,49 +106,148 @@ class VulnerabilityDatabase:
         try:
             with self._conn:
                 cursor = self._conn.execute(
-                    "INSERT INTO vulnerability (cve_id, published, summary, validity)"
-                    " VALUES (?, ?, ?, ?)",
+                    "INSERT INTO vulnerability"
+                    " (cve_id, published, summary, validity, entry_digest, tombstoned)"
+                    " VALUES (?, ?, ?, ?, ?, 0)",
                     (
                         entry.cve_id,
                         entry.published.isoformat(),
                         entry.summary,
                         entry.validity.value,
+                        entry_digest(entry),
                     ),
                 )
                 vuln_id = cursor.lastrowid
-                self._conn.execute(
-                    "INSERT INTO vulnerability_type (vuln_id, component_class) VALUES (?, ?)",
-                    (
-                        vuln_id,
-                        entry.component_class.value if entry.component_class else None,
-                    ),
-                )
-                cvss = entry.cvss
-                self._conn.execute(
-                    "INSERT INTO cvss (vuln_id, access_vector, access_complexity,"
-                    " authentication, confidentiality_impact, integrity_impact,"
-                    " availability_impact, base_score) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        vuln_id,
-                        cvss.access_vector.value,
-                        cvss.access_complexity,
-                        cvss.authentication,
-                        cvss.confidentiality_impact,
-                        cvss.integrity_impact,
-                        cvss.availability_impact,
-                        cvss.base_score,
-                    ),
-                )
-                for name in sorted(entry.affected_os):
-                    versions = ",".join(entry.affected_versions.get(name, ()))
-                    self._conn.execute(
-                        "INSERT OR IGNORE INTO os_vuln (os_id, vuln_id, versions)"
-                        " VALUES (?, ?, ?)",
-                        (self._os_id(name), vuln_id, versions),
-                    )
+                self._insert_relationships(vuln_id, entry)
         except sqlite3.IntegrityError as exc:
             raise DatabaseError(f"cannot insert {entry.cve_id}: {exc}") from exc
         return vuln_id
+
+    def _insert_relationships(self, vuln_id: int, entry: VulnerabilityEntry) -> None:
+        """Insert the type, CVSS and OS rows of an entry (inside a txn)."""
+        self._conn.execute(
+            "INSERT INTO vulnerability_type (vuln_id, component_class) VALUES (?, ?)",
+            (
+                vuln_id,
+                entry.component_class.value if entry.component_class else None,
+            ),
+        )
+        cvss = entry.cvss
+        self._conn.execute(
+            "INSERT INTO cvss (vuln_id, access_vector, access_complexity,"
+            " authentication, confidentiality_impact, integrity_impact,"
+            " availability_impact, base_score) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                vuln_id,
+                cvss.access_vector.value,
+                cvss.access_complexity,
+                cvss.authentication,
+                cvss.confidentiality_impact,
+                cvss.integrity_impact,
+                cvss.availability_impact,
+                cvss.base_score,
+            ),
+        )
+        for name in sorted(entry.affected_os):
+            versions = ",".join(entry.affected_versions.get(name, ()))
+            self._conn.execute(
+                "INSERT OR IGNORE INTO os_vuln (os_id, vuln_id, versions)"
+                " VALUES (?, ?, ?)",
+                (self._os_id(name), vuln_id, versions),
+            )
+
+    # -- incremental (delta) operations ---------------------------------------
+
+    def upsert_entry(self, entry: VulnerabilityEntry) -> str:
+        """Insert or update one entry by CVE id; returns what happened.
+
+        The outcome is one of ``"added"`` (no row existed), ``"modified"``
+        (the stored normalized content differed, including resurrecting a
+        tombstoned entry) or ``"unchanged"`` (same content digest -- the
+        update is skipped entirely, which is what makes delta re-application
+        idempotent and cheap).
+        """
+        digest = entry_digest(entry)
+        row = self._conn.execute(
+            "SELECT vuln_id, entry_digest, tombstoned FROM vulnerability"
+            " WHERE cve_id = ?",
+            (entry.cve_id,),
+        ).fetchone()
+        if row is None:
+            self.insert_entry(entry)
+            return "added"
+        if row["entry_digest"] == digest and not row["tombstoned"]:
+            return "unchanged"
+        vuln_id = row["vuln_id"]
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "UPDATE vulnerability SET published = ?, summary = ?,"
+                    " validity = ?, entry_digest = ?, tombstoned = 0"
+                    " WHERE vuln_id = ?",
+                    (
+                        entry.published.isoformat(),
+                        entry.summary,
+                        entry.validity.value,
+                        digest,
+                        vuln_id,
+                    ),
+                )
+                for table in ("vulnerability_type", "cvss", "os_vuln",
+                              "security_protection"):
+                    self._conn.execute(
+                        f"DELETE FROM {table} WHERE vuln_id = ?", (vuln_id,)
+                    )
+                self._insert_relationships(vuln_id, entry)
+        except sqlite3.IntegrityError as exc:
+            raise DatabaseError(f"cannot update {entry.cve_id}: {exc}") from exc
+        return "modified"
+
+    def tombstone_entry(self, cve_id: str) -> bool:
+        """Soft-delete an entry; returns whether a live row was tombstoned.
+
+        The row (and its relationships) stays in place so snapshot history
+        can still reference it; every load/count/digest path excludes
+        tombstoned rows.  Tombstoning an already-tombstoned or unknown entry
+        is a no-op returning ``False``.
+        """
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE vulnerability SET tombstoned = 1"
+                " WHERE cve_id = ? AND tombstoned = 0",
+                (cve_id,),
+            )
+        return cursor.rowcount > 0
+
+    def live_state(self) -> Dict[str, str]:
+        """Mapping of live (non-tombstoned) CVE ids to entry digests.
+
+        Digests missing from the stored rows (databases migrated from schema
+        version 1) are backfilled on the fly, so the result is always
+        complete.
+        """
+        state: Dict[str, str] = {}
+        missing: List[str] = []
+        for row in self._conn.execute(
+            "SELECT cve_id, entry_digest FROM vulnerability WHERE tombstoned = 0"
+        ):
+            if row["entry_digest"]:
+                state[row["cve_id"]] = row["entry_digest"]
+            else:
+                missing.append(row["cve_id"])
+        if missing:
+            backfilled = {
+                entry.cve_id: entry_digest(entry)
+                for entry in self.load_entries(cve_ids=missing)
+            }
+            with self._conn:
+                for cve_id, digest in backfilled.items():
+                    self._conn.execute(
+                        "UPDATE vulnerability SET entry_digest = ? WHERE cve_id = ?",
+                        (digest, cve_id),
+                    )
+            state.update(backfilled)
+        return state
 
     def insert_entries(self, entries: Iterable[VulnerabilityEntry]) -> int:
         """Insert a batch of entries; returns the number inserted."""
@@ -156,14 +258,46 @@ class VulnerabilityDatabase:
         return count
 
     def entry_count(self, only_valid: bool = False) -> int:
-        query = "SELECT COUNT(*) AS n FROM vulnerability"
+        query = "SELECT COUNT(*) AS n FROM vulnerability WHERE tombstoned = 0"
         if only_valid:
-            query += " WHERE validity = 'Valid'"
+            query += " AND validity = 'Valid'"
         return int(self._conn.execute(query).fetchone()["n"])
 
-    def load_entries(self, only_valid: bool = False) -> List[VulnerabilityEntry]:
-        """Materialise database rows back into :class:`VulnerabilityEntry` objects."""
-        where = "WHERE v.validity = 'Valid'" if only_valid else ""
+    def load_entries(
+        self,
+        only_valid: bool = False,
+        cve_ids: Optional[Sequence[str]] = None,
+    ) -> List[VulnerabilityEntry]:
+        """Materialise database rows back into :class:`VulnerabilityEntry` objects.
+
+        Tombstoned entries are never returned.  ``cve_ids`` restricts the
+        load to the given identifiers (used by the snapshot store to fetch
+        only the entries a commit actually changed).
+        """
+        conditions = ["v.tombstoned = 0"]
+        parameters: List[object] = []
+        if only_valid:
+            conditions.append("v.validity = 'Valid'")
+        if cve_ids is not None:
+            if not cve_ids:
+                return []
+            if len(cve_ids) > _CVE_ID_CHUNK:
+                # Stay under SQLITE_MAX_VARIABLE_NUMBER (999 on older
+                # builds): query in chunks, then restore the global order.
+                entries: List[VulnerabilityEntry] = []
+                for start in range(0, len(cve_ids), _CVE_ID_CHUNK):
+                    entries.extend(
+                        self.load_entries(
+                            only_valid=only_valid,
+                            cve_ids=cve_ids[start : start + _CVE_ID_CHUNK],
+                        )
+                    )
+                entries.sort(key=lambda entry: (entry.published, entry.cve_id))
+                return entries
+            placeholders = ",".join("?" for _ in cve_ids)
+            conditions.append(f"v.cve_id IN ({placeholders})")
+            parameters.extend(cve_ids)
+        where = "WHERE " + " AND ".join(conditions)
         rows = self._conn.execute(
             f"""
             SELECT v.vuln_id, v.cve_id, v.published, v.summary, v.validity,
@@ -176,14 +310,32 @@ class VulnerabilityDatabase:
             JOIN cvss c ON c.vuln_id = v.vuln_id
             {where}
             ORDER BY v.published, v.cve_id
-            """
+            """,
+            parameters,
         ).fetchall()
-        os_rows = self._conn.execute(
-            """
-            SELECT ov.vuln_id, o.name, ov.versions
-            FROM os_vuln ov JOIN os o ON o.os_id = ov.os_id
-            """
-        ).fetchall()
+        if cve_ids is None:
+            os_rows = self._conn.execute(
+                """
+                SELECT ov.vuln_id, o.name, ov.versions
+                FROM os_vuln ov JOIN os o ON o.os_id = ov.os_id
+                """
+            ).fetchall()
+        else:
+            # Restricted loads only need the matched rows' relationships --
+            # not a full os_vuln scan per call (or per chunk).
+            vuln_ids = [row["vuln_id"] for row in rows]
+            os_rows = (
+                self._conn.execute(
+                    f"""
+                    SELECT ov.vuln_id, o.name, ov.versions
+                    FROM os_vuln ov JOIN os o ON o.os_id = ov.os_id
+                    WHERE ov.vuln_id IN ({",".join("?" for _ in vuln_ids)})
+                    """,
+                    vuln_ids,
+                ).fetchall()
+                if vuln_ids
+                else []
+            )
         affected: Dict[int, Dict[str, Tuple[str, ...]]] = {}
         for row in os_rows:
             versions = tuple(v for v in row["versions"].split(",") if v)

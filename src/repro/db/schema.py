@@ -15,11 +15,30 @@ Tables:
 * ``security_protection`` -- the security attribute affected on exploitation;
 * ``os_vuln`` -- the many-to-many relationship between vulnerabilities and
   operating systems, with the affected versions.
+
+Since schema version 2 the store is additionally *incremental*:
+
+* ``vulnerability`` carries an ``entry_digest`` (the content address of the
+  normalized entry, see :mod:`repro.snapshots.digests`) and a ``tombstoned``
+  flag (soft deletion, so removed entries keep their history);
+* ``snapshot`` is the snapshot ledger: one row per committed dataset state
+  with its content digest, the parent snapshot's digest (digest chaining),
+  the feed provenance and the entry-count deltas;
+* ``entry_version`` is the append-only version history behind time-travel
+  queries: one row per entry *change* per snapshot, holding the canonical
+  JSON payload (or a tombstone marker).
+
+Databases created before version 2 are upgraded in place by
+:func:`migrate_connection`, which is driven by ``PRAGMA user_version``.
 """
 
 from __future__ import annotations
 
+import sqlite3
 from typing import Tuple
+
+#: Current schema version, recorded in ``PRAGMA user_version``.
+SCHEMA_VERSION = 2
 
 SCHEMA_STATEMENTS: Tuple[str, ...] = (
     """
@@ -46,7 +65,9 @@ SCHEMA_STATEMENTS: Tuple[str, ...] = (
         cve_id TEXT NOT NULL UNIQUE,
         published DATE NOT NULL,
         summary TEXT NOT NULL,
-        validity TEXT NOT NULL DEFAULT 'Valid'
+        validity TEXT NOT NULL DEFAULT 'Valid',
+        entry_digest TEXT,
+        tombstoned INTEGER NOT NULL DEFAULT 0
     )
     """,
     """
@@ -82,7 +103,69 @@ SCHEMA_STATEMENTS: Tuple[str, ...] = (
         PRIMARY KEY (os_id, vuln_id)
     )
     """,
+    """
+    CREATE TABLE IF NOT EXISTS snapshot (
+        snapshot_id INTEGER PRIMARY KEY,
+        digest TEXT NOT NULL,
+        parent_digest TEXT,
+        created TEXT NOT NULL,
+        source TEXT NOT NULL DEFAULT '',
+        entry_count INTEGER NOT NULL,
+        added INTEGER NOT NULL DEFAULT 0,
+        modified INTEGER NOT NULL DEFAULT 0,
+        removed INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS entry_version (
+        version_id INTEGER PRIMARY KEY,
+        snapshot_id INTEGER NOT NULL REFERENCES snapshot(snapshot_id),
+        cve_id TEXT NOT NULL,
+        entry_digest TEXT,
+        payload TEXT,
+        deleted INTEGER NOT NULL DEFAULT 0
+    )
+    """,
     "CREATE INDEX IF NOT EXISTS idx_os_vuln_vuln ON os_vuln(vuln_id)",
     "CREATE INDEX IF NOT EXISTS idx_vuln_published ON vulnerability(published)",
     "CREATE INDEX IF NOT EXISTS idx_vuln_validity ON vulnerability(validity)",
+    "CREATE INDEX IF NOT EXISTS idx_snapshot_digest ON snapshot(digest)",
+    "CREATE INDEX IF NOT EXISTS idx_entry_version_cve"
+    " ON entry_version(cve_id, snapshot_id)",
 )
+
+
+def _columns(conn: sqlite3.Connection, table: str) -> Tuple[str, ...]:
+    return tuple(
+        row[1] for row in conn.execute(f"PRAGMA table_info({table})").fetchall()
+    )
+
+
+def migrate_connection(conn: sqlite3.Connection) -> int:
+    """Bring a database up to :data:`SCHEMA_VERSION`; returns the version.
+
+    Idempotent: fresh databases get the full current schema, version-1
+    databases (created before the snapshot subsystem) gain the new columns
+    and tables in place, and up-to-date databases are untouched.  Existing
+    rows keep ``entry_digest = NULL``; the snapshot store backfills digests
+    lazily on the first commit.
+    """
+    version = int(conn.execute("PRAGMA user_version").fetchone()[0])
+    if version >= SCHEMA_VERSION:
+        return version
+    with conn:
+        for statement in SCHEMA_STATEMENTS:
+            conn.execute(statement)
+        # A pre-versioning database already has the vulnerability table but
+        # lacks the version-2 columns (CREATE TABLE IF NOT EXISTS does not
+        # add columns to existing tables).
+        existing = _columns(conn, "vulnerability")
+        if "entry_digest" not in existing:
+            conn.execute("ALTER TABLE vulnerability ADD COLUMN entry_digest TEXT")
+        if "tombstoned" not in existing:
+            conn.execute(
+                "ALTER TABLE vulnerability"
+                " ADD COLUMN tombstoned INTEGER NOT NULL DEFAULT 0"
+            )
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+    return SCHEMA_VERSION

@@ -25,6 +25,11 @@ from repro.nvd.cpe import parse_cpe_uri
 
 FeedSource = Union[str, Path, IO[str], IO[bytes]]
 
+#: Summary prefix NVD uses to withdraw a published entry.  Entries carrying
+#: it in a *modified* feed are treated as tombstones by the delta-ingest
+#: pipeline (:mod:`repro.snapshots.delta`).
+REJECTED_MARKER = "** REJECT **"
+
 
 @dataclass
 class RawFeedEntry:
@@ -37,6 +42,11 @@ class RawFeedEntry:
     cpe_uris: Tuple[str, ...] = ()
     #: CPE names that failed to parse (kept for diagnostics).
     invalid_cpes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def is_rejected(self) -> bool:
+        """Whether the entry withdraws its CVE (NVD's ``** REJECT **`` mark)."""
+        return self.summary.lstrip().startswith(REJECTED_MARKER)
 
     def parsed_cpes(self) -> List[CPEName]:
         """Parse the entry's CPE URIs, silently skipping malformed ones."""

@@ -13,7 +13,41 @@ import xml.etree.ElementTree as ET
 from pathlib import Path
 from typing import Iterable, List, Mapping, Sequence, Union
 
-from repro.nvd.feed_parser import RawFeedEntry
+from repro.nvd.feed_parser import REJECTED_MARKER, RawFeedEntry
+
+
+def rejection_entry(cve_id: str, published: _dt.date) -> RawFeedEntry:
+    """A tombstone entry withdrawing ``cve_id``, as NVD modified feeds do.
+
+    The entry carries the ``** REJECT **`` summary marker and no CPE names;
+    parsers flag it via :attr:`RawFeedEntry.is_rejected` and the delta-ingest
+    pipeline turns it into a database tombstone.
+    """
+    return RawFeedEntry(
+        cve_id=cve_id,
+        published=published,
+        summary=f"{REJECTED_MARKER} DO NOT USE THIS CANDIDATE NUMBER.",
+        cvss_vector="",
+        cpe_uris=(),
+    )
+
+
+def write_modified_feed(
+    entries: Sequence[RawFeedEntry],
+    path: Union[str, Path],
+    feed_name: str = "modified",
+) -> Path:
+    """Write a *modified* feed: only changed entries (and tombstones).
+
+    This mirrors NVD's ``nvdcve-2.0-modified.xml`` delta feed: a regular
+    feed document whose entries are the ones republished since the last
+    pull (corrections and additions), plus ``** REJECT **`` tombstones for
+    withdrawn entries (:func:`rejection_entry`).  Entries are sorted by
+    (publication date, CVE id) so a given delta always serialises to the
+    same bytes.
+    """
+    ordered = sorted(entries, key=lambda e: (e.published, e.cve_id))
+    return write_xml_feed(ordered, path, feed_name=feed_name)
 
 
 def _entry_element(entry: RawFeedEntry) -> ET.Element:

@@ -14,11 +14,19 @@ from repro.reports.tables import (
     table5,
     table6,
 )
+from repro.reports.drift import (
+    SnapshotDriftReport,
+    SnapshotDriftRow,
+    snapshot_drift,
+)
 from repro.reports.figures import figure2, figure3
 from repro.reports.experiments import EXPERIMENTS, Experiment, run_experiment
 from repro.reports.export import render_table, to_csv
 
 __all__ = [
+    "SnapshotDriftReport",
+    "SnapshotDriftRow",
+    "snapshot_drift",
     "table1",
     "table2",
     "table3",

@@ -1,0 +1,120 @@
+"""SnapshotDrift: Table-1 numbers tracked across dataset snapshots.
+
+The paper's Table I (valid/excluded vulnerability counts per OS) is a
+function of one dataset *state*; once the store holds a snapshot chain, the
+interesting question becomes how those numbers **drift** as NVD republishes
+entries.  :func:`snapshot_drift` time-travels every ledger snapshot
+(:meth:`~repro.snapshots.store.SnapshotStore.dataset_at`), recomputes the
+Table-1 validity summary on each, and reports the per-OS valid counts side
+by side with the deltas between consecutive snapshots -- the incremental
+analogue of the static Table-1 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.constants import OS_NAMES
+from repro.core.enums import ValidityStatus
+from repro.snapshots.store import SnapshotRecord, SnapshotStore
+
+
+@dataclass(frozen=True)
+class SnapshotDriftRow:
+    """Table-1 figures of one snapshot."""
+
+    snapshot: SnapshotRecord
+    #: Valid entries per OS at this snapshot.
+    valid_per_os: Mapping[str, int]
+    #: Distinct valid entries at this snapshot.
+    distinct_valid: int
+    #: Distinct excluded (non-valid) entries at this snapshot.
+    distinct_excluded: int
+
+
+@dataclass(frozen=True)
+class SnapshotDriftReport:
+    """Table-1 numbers across a snapshot chain, oldest first."""
+
+    rows: Tuple[SnapshotDriftRow, ...]
+    os_names: Tuple[str, ...]
+
+    def deltas(self) -> List[Dict[str, int]]:
+        """Per-OS valid-count changes between consecutive snapshots.
+
+        One mapping per transition (snapshot ``i`` -> ``i+1``), holding only
+        the OSes whose counts moved.
+        """
+        transitions: List[Dict[str, int]] = []
+        for before, after in zip(self.rows, self.rows[1:]):
+            delta = {
+                name: after.valid_per_os[name] - before.valid_per_os[name]
+                for name in self.os_names
+                if after.valid_per_os[name] != before.valid_per_os[name]
+            }
+            transitions.append(delta)
+        return transitions
+
+    @property
+    def text(self) -> str:
+        """Rendered drift table (snapshots as rows, OSes as columns)."""
+        headers = ["snapshot", "digest", "valid", "excl", *self.os_names]
+        table: List[List[str]] = [headers]
+        for row in self.rows:
+            table.append(
+                [
+                    f"#{row.snapshot.snapshot_id}",
+                    row.snapshot.short_digest,
+                    str(row.distinct_valid),
+                    str(row.distinct_excluded),
+                    *[str(row.valid_per_os[name]) for name in self.os_names],
+                ]
+            )
+        widths = [
+            max(len(line[column]) for line in table)
+            for column in range(len(headers))
+        ]
+        lines = [
+            "SnapshotDrift: Table-1 valid counts across snapshots",
+            "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        ]
+        for line in table[1:]:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(line, widths))
+            )
+        for index, delta in enumerate(self.deltas()):
+            moved = (
+                ", ".join(f"{name}{change:+d}" for name, change in sorted(delta.items()))
+                or "no per-OS changes"
+            )
+            lines.append(
+                f"#{self.rows[index].snapshot.snapshot_id} -> "
+                f"#{self.rows[index + 1].snapshot.snapshot_id}: {moved}"
+            )
+        return "\n".join(lines)
+
+
+def snapshot_drift(
+    store: SnapshotStore, os_names: Sequence[str] = OS_NAMES
+) -> SnapshotDriftReport:
+    """Recompute the Table-1 validity summary at every snapshot of a store."""
+    rows: List[SnapshotDriftRow] = []
+    for record in store.list():
+        dataset = store.dataset_at(record.snapshot_id)
+        summary = dataset.validity_summary()
+        rows.append(
+            SnapshotDriftRow(
+                snapshot=record,
+                valid_per_os={
+                    name: summary.valid_count(name) for name in os_names
+                },
+                distinct_valid=summary.distinct[ValidityStatus.VALID],
+                distinct_excluded=sum(
+                    count
+                    for status, count in summary.distinct.items()
+                    if status is not ValidityStatus.VALID
+                ),
+            )
+        )
+    return SnapshotDriftReport(rows=tuple(rows), os_names=tuple(os_names))

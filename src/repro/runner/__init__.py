@@ -11,7 +11,9 @@ operation:
   which chunks each cell's runs, executes chunks across a process pool and
   merges them so ``workers=1`` and ``workers=N`` agree bit for bit;
 * :mod:`repro.runner.cache` -- a content-addressed JSON result cache keyed
-  by corpus digest + cell parameters + seed + engine.
+  by the cell's *scoped* corpus digest (the sub-corpus the cell can
+  observe) + cell parameters + seed + engine, so incremental corpus deltas
+  invalidate only the cells whose OSes they touch.
 
 Surfaced on the command line as ``python -m repro sweep`` (see
 ``docs/cli.md``) and benchmarked by ``benchmarks/bench_sweep.py``.
@@ -24,6 +26,8 @@ from repro.runner.cache import (
     corpus_digest,
     result_from_json,
     result_to_json,
+    scoped_corpus_digest,
+    scoped_pool,
 )
 from repro.runner.grid import (
     ADVERSARY_MODES,
@@ -48,4 +52,6 @@ __all__ = [
     "corpus_digest",
     "result_from_json",
     "result_to_json",
+    "scoped_corpus_digest",
+    "scoped_pool",
 ]

@@ -39,7 +39,13 @@ from repro.itsys.simulation import (
     merge_run_ranges,
     result_from_tallies,
 )
-from repro.runner.cache import ResultCache, cell_key, corpus_digest, result_to_json
+from repro.runner.cache import (
+    ResultCache,
+    cell_key,
+    corpus_digest,
+    result_to_json,
+    scoped_corpus_digest,
+)
 from repro.runner.grid import ExperimentGrid, GridCell
 
 #: Chunks scheduled per worker per cell; >1 keeps the pool busy when chunk
@@ -109,6 +115,9 @@ class CellResult:
     cell: GridCell
     result: SimulationResult
     cached: bool
+    #: Digest of the sub-corpus the cell can observe (its cache-key scope);
+    #: unchanged across corpus deltas that do not touch the cell's OSes.
+    scope_digest: str = ""
 
 
 @dataclass(frozen=True)
@@ -140,7 +149,13 @@ class SweepReport:
         return [cell.result for cell in self.cells]
 
     def to_json_payload(self) -> Dict[str, object]:
-        """Deterministic JSON payload (excludes timings by design)."""
+        """Deterministic JSON payload (excludes timings by design).
+
+        ``corpus_digest`` addresses the exact entry set the sweep ran over;
+        each cell additionally carries its ``scope_digest`` (the sub-corpus
+        it can observe, i.e. its cache-key scope), so every number in the
+        payload is traceable to a dataset state.
+        """
         return {
             "engine": self.engine,
             "seed": self.seed,
@@ -149,6 +164,7 @@ class SweepReport:
                 {
                     "cell_id": cell.cell.cell_id,
                     "params": cell.cell.params(),
+                    "scope_digest": cell.scope_digest,
                     "result": result_to_json(cell.result),
                 }
                 for cell in self.cells
@@ -163,6 +179,7 @@ class SweepReport:
         "exploit_rate", "horizon", "safety_violation_probability",
         "safety_ci_low", "safety_ci_high", "mean_compromised",
         "mean_time_to_violation", "liveness_loss_probability", "cached",
+        "corpus_digest", "scope_digest",
     )
 
     def csv_rows(self) -> List[Tuple[object, ...]]:
@@ -191,6 +208,8 @@ class SweepReport:
                     else result.mean_time_to_violation,
                     result.liveness_loss_probability,
                     int(cell_result.cached),
+                    self.corpus_digest,
+                    cell_result.scope_digest,
                 )
             )
         return rows
@@ -226,6 +245,12 @@ class GridRunner:
         self._workers = workers
         self._cache = cache
         self._digest = corpus_digest(self._entries)
+        #: Scoped digests memoized per (targeted, group OS set) -- many grid
+        #: cells share a configuration, and the scope only depends on it.
+        self._scope_digests: Dict[Tuple[bool, frozenset], str] = {}
+        #: Normalized per-entry digests (id(entry) -> digest), computed once
+        #: and shared by every scope digest over this corpus.
+        self._entry_digests: Optional[Dict[int, str]] = None
         self._local: Optional[CompromiseSimulation] = None
 
     @property
@@ -239,6 +264,30 @@ class GridRunner:
     @property
     def corpus_digest(self) -> str:
         return self._digest
+
+    def scope_digest(self, cell: GridCell) -> str:
+        """Digest of the sub-corpus the cell can observe (its cache scope).
+
+        Targeted cells observe only configuration-admitted entries affecting
+        their OSes; untargeted cells observe the whole admitted pool.  Cells
+        whose scope a corpus delta leaves untouched keep their digest -- and
+        therefore their cache key -- across the delta.
+        """
+        scope = (cell.targeted, frozenset(cell.os_names) if cell.targeted else frozenset())
+        if scope not in self._scope_digests:
+            if self._entry_digests is None:
+                from repro.snapshots.digests import entry_digest
+
+                self._entry_digests = {
+                    id(entry): entry_digest(entry) for entry in self._entries
+                }
+            self._scope_digests[scope] = scoped_corpus_digest(
+                self._entries,
+                cell.os_names if cell.targeted else None,
+                self._configuration,
+                digests=self._entry_digests,
+            )
+        return self._scope_digests[scope]
 
     def _local_simulation(self) -> CompromiseSimulation:
         if self._local is None:
@@ -261,10 +310,12 @@ class GridRunner:
         cached: Dict[int, bool] = {}
         pending: List[Tuple[int, GridCell]] = []
         keys: Dict[int, str] = {}
+        scopes: Dict[int, str] = {}
         for index, cell in enumerate(cells):
+            scopes[index] = self.scope_digest(cell)
             if self._cache is not None:
                 keys[index] = cell_key(
-                    self._digest,
+                    scopes[index],
                     cell,
                     self._seed,
                     self._engine,
@@ -288,7 +339,12 @@ class GridRunner:
                     self._cache.put(keys[index], cell, merged[index])
         return SweepReport(
             cells=tuple(
-                CellResult(cell=cell, result=merged[index], cached=cached[index])
+                CellResult(
+                    cell=cell,
+                    result=merged[index],
+                    cached=cached[index],
+                    scope_digest=scopes[index],
+                )
                 for index, cell in enumerate(cells)
             ),
             seed=self._seed,

@@ -1,0 +1,153 @@
+"""Incremental (NVD *modified*-feed) ingestion.
+
+The batch :class:`~repro.db.ingest.IngestPipeline` re-parses and re-inserts
+the whole corpus on every run; this module applies a **delta**: a feed that
+carries only the entries republished since the last pull, plus
+``** REJECT **`` tombstones for withdrawn ones -- the shape of NVD's
+``nvdcve-2.0-modified.xml``.
+
+For every raw delta entry the pipeline:
+
+* tombstones the stored entry when the delta rejects it
+  (:attr:`~repro.nvd.feed_parser.RawFeedEntry.is_rejected`) **or** when its
+  republished form no longer resolves to any catalogued OS (it left the
+  study's scope);
+* otherwise converts it through the same normalisation/classification path
+  as a full ingest and upserts it -- insert when new, update when the
+  normalized content digest changed, *no-op* when identical.  Digest-equal
+  re-application therefore touches nothing, which makes replaying a delta
+  idempotent.
+
+After the database mutation the attached snapshot store commits, so each
+applied delta yields exactly one ledger entry (or none, when the delta was
+already applied) whose digest identifies the resulting dataset state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from repro.db.ingest import IngestPipeline
+from repro.nvd.feed_parser import RawFeedEntry, parse_xml_feed
+from repro.nvd.json_feed import parse_json_feed
+from repro.snapshots.store import SnapshotRecord, SnapshotStore
+
+
+@dataclass
+class DeltaReport:
+    """Summary of one applied delta."""
+
+    parsed_entries: int = 0
+    added: int = 0
+    modified: int = 0
+    unchanged: int = 0
+    removed: int = 0
+    #: Delta entries that neither matched a catalogued OS nor a stored row.
+    skipped_no_os: int = 0
+    #: Snapshot committed after the delta (``None`` with ``commit=False``).
+    snapshot: Optional[SnapshotRecord] = None
+    by_outcome: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def changed(self) -> int:
+        """Number of database mutations the delta caused."""
+        return self.added + self.modified + self.removed
+
+    def summary(self) -> str:
+        digest = self.snapshot.short_digest if self.snapshot else "uncommitted"
+        return (
+            f"delta: {self.parsed_entries} entries -> +{self.added} added, "
+            f"~{self.modified} modified, -{self.removed} removed, "
+            f"{self.unchanged} unchanged, {self.skipped_no_os} out of scope "
+            f"[snapshot {digest}]"
+        )
+
+
+class DeltaIngestPipeline:
+    """Applies modified-feed deltas to an existing ingested database."""
+
+    def __init__(
+        self,
+        pipeline: IngestPipeline,
+        store: Optional[SnapshotStore] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.database = pipeline.database
+        self.store = store or SnapshotStore(self.database)
+
+    # -- application ------------------------------------------------------------
+
+    def apply_raw(
+        self,
+        raw_entries: Sequence[RawFeedEntry],
+        source: str = "delta",
+        commit: bool = True,
+    ) -> DeltaReport:
+        """Apply already-parsed delta entries; returns the report.
+
+        ``source`` is recorded as the committed snapshot's feed provenance.
+        With ``commit=False`` the database is mutated but no snapshot is
+        cut (callers batching several deltas commit once at the end).
+        """
+        report = DeltaReport(parsed_entries=len(raw_entries))
+        for raw in raw_entries:
+            outcome = self._apply_one(raw)
+            report.by_outcome[outcome] = report.by_outcome.get(outcome, 0) + 1
+            if outcome == "added":
+                report.added += 1
+            elif outcome == "modified":
+                report.modified += 1
+            elif outcome == "unchanged":
+                report.unchanged += 1
+            elif outcome == "removed":
+                report.removed += 1
+            else:
+                report.skipped_no_os += 1
+        if commit:
+            report.snapshot = self.store.commit(source=source)
+        return report
+
+    def _apply_one(self, raw: RawFeedEntry) -> str:
+        if raw.is_rejected:
+            return "removed" if self.database.tombstone_entry(raw.cve_id) else "skipped"
+        entry = self.pipeline.convert(raw)
+        if entry is None:
+            # Republished outside the catalogue: the stored entry (if any)
+            # left the study's scope and is withdrawn from the live set.
+            return "removed" if self.database.tombstone_entry(raw.cve_id) else "skipped"
+        return self.database.upsert_entry(entry)
+
+    def apply_xml_feed(
+        self,
+        path: Union[str, Path],
+        source: Optional[str] = None,
+        commit: bool = True,
+    ) -> DeltaReport:
+        """Parse and apply one XML modified feed."""
+        return self.apply_raw(
+            parse_xml_feed(path), source=source or str(path), commit=commit
+        )
+
+    def apply_json_feed(
+        self,
+        path: Union[str, Path],
+        source: Optional[str] = None,
+        commit: bool = True,
+    ) -> DeltaReport:
+        """Parse and apply one JSON modified feed."""
+        return self.apply_raw(
+            parse_json_feed(path), source=source or str(path), commit=commit
+        )
+
+    def apply_feed(
+        self,
+        path: Union[str, Path],
+        source: Optional[str] = None,
+        commit: bool = True,
+    ) -> DeltaReport:
+        """Apply a feed file, dispatching on its suffix (.xml or .json)."""
+        if str(path).endswith(".json"):
+            return self.apply_json_feed(path, source=source, commit=commit)
+        return self.apply_xml_feed(path, source=source, commit=commit)

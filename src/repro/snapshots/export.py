@@ -1,0 +1,74 @@
+"""Materialising snapshots back into NVD-style feeds (``snapshot checkout``).
+
+Time-travelled entries carry no raw CPE names (those are feed provenance,
+not normalized content), so exporting a snapshot as a feed synthesises one
+CPE 2.2 URI per affected (OS, version) from the catalogue's canonical alias
+-- the same (product, vendor) pairs the ingest normaliser resolves, which
+makes the export a fixed point: re-ingesting a checked-out feed reproduces
+the snapshot's dataset digest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.constants import OS_CATALOG
+from repro.core.enums import CPEPart
+from repro.core.models import CPEName, VulnerabilityEntry
+from repro.nvd.cpe import format_cpe_uri
+from repro.nvd.cvss import format_cvss_vector
+from repro.nvd.feed_parser import RawFeedEntry
+from repro.nvd.feed_writer import write_yearly_feeds
+from repro.snapshots.store import SnapshotStore
+
+
+def entry_to_raw(entry: VulnerabilityEntry) -> RawFeedEntry:
+    """Serialise a normalized entry as a raw feed entry.
+
+    Prefers the entry's original raw CPE names when present; otherwise
+    synthesises URIs from the catalogue's canonical aliases, one per
+    affected version (or a versionless URI when the entry affects all
+    versions of an OS).
+    """
+    if entry.raw_cpes:
+        uris = [format_cpe_uri(cpe) for cpe in entry.raw_cpes]
+    else:
+        uris = []
+        for os_name in sorted(entry.affected_os):
+            catalogued = OS_CATALOG.get(os_name)
+            if catalogued is None or not catalogued.cpe_aliases:
+                continue
+            product, vendor = catalogued.cpe_aliases[0]
+            versions = entry.affected_versions.get(os_name, ()) or ("",)
+            for version in versions:
+                uris.append(
+                    format_cpe_uri(
+                        CPEName(
+                            part=CPEPart.OPERATING_SYSTEM,
+                            vendor=vendor,
+                            product=product,
+                            version=version,
+                        )
+                    )
+                )
+    return RawFeedEntry(
+        cve_id=entry.cve_id,
+        published=entry.published,
+        summary=entry.summary,
+        cvss_vector=format_cvss_vector(entry.cvss),
+        cpe_uris=tuple(uris),
+    )
+
+
+def write_snapshot_feeds(
+    store: SnapshotStore, snapshot_id: int, directory: Union[str, Path]
+) -> List[Path]:
+    """Write a snapshot's live entries as per-year NVD-style XML feeds.
+
+    The standard round trip -- ``repro snapshot checkout`` then
+    ``repro ingest --feeds`` into a fresh database -- reproduces the
+    snapshot's dataset digest.
+    """
+    entries = store.entries_at(snapshot_id)
+    return write_yearly_feeds([entry_to_raw(entry) for entry in entries], directory)

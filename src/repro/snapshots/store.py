@@ -1,0 +1,307 @@
+"""The snapshot ledger: content-addressed dataset states with time travel.
+
+A :class:`SnapshotStore` wraps a :class:`~repro.db.database
+.VulnerabilityDatabase` and materialises *snapshots* of its live entry set:
+
+* :meth:`SnapshotStore.commit` computes the dataset's content digest
+  (:func:`~repro.snapshots.digests.dataset_digest` -- sha256 over the sorted
+  ``cve_id:entry_digest`` pairs), records a ledger row (digest, parent
+  digest, creation time, feed provenance, entry-count deltas) and appends
+  one :mod:`entry_version <repro.db.schema>` row per entry that *changed*
+  relative to the parent snapshot.  Committing an unchanged database is a
+  no-op that returns the existing head -- the property behind idempotent
+  delta re-application.
+* :meth:`SnapshotStore.dataset_at` reconstructs the entry set of any
+  historical snapshot from the version chain and returns it as a
+  :class:`~repro.analysis.dataset.VulnerabilityDataset`, ordered exactly
+  like a fresh :meth:`~repro.db.database.VulnerabilityDatabase.load_entries`
+  (by publication date, then CVE id) so time-travelled datasets are
+  indistinguishable from from-scratch ingests.
+* :meth:`SnapshotStore.diff` compares two snapshots and reports which CVEs
+  -- and therefore which OSes, OS pairs and k-sets -- are affected, which is
+  what selective cache invalidation keys off.
+
+Storage is delta-compressed: snapshot ``N`` stores payloads only for the
+entries it changed, so a long chain of small deltas stays small.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import DatabaseError
+from repro.snapshots.digests import (
+    dataset_digest,
+    entry_from_json,
+    entry_to_json,
+)
+from repro.snapshots.diff import SnapshotDiff
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (db imports digests)
+    from repro.analysis.dataset import VulnerabilityDataset
+    from repro.core.models import VulnerabilityEntry
+    from repro.db.database import VulnerabilityDatabase
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One row of the snapshot ledger."""
+
+    snapshot_id: int
+    digest: str
+    parent_digest: Optional[str]
+    created: str
+    source: str
+    entry_count: int
+    added: int
+    modified: int
+    removed: int
+
+    @property
+    def short_digest(self) -> str:
+        return self.digest[:12]
+
+    def summary(self) -> str:
+        """One-line human-readable ledger line."""
+        parent = self.parent_digest[:12] if self.parent_digest else "-"
+        return (
+            f"#{self.snapshot_id} {self.short_digest} parent={parent} "
+            f"entries={self.entry_count} (+{self.added} ~{self.modified} "
+            f"-{self.removed}) source={self.source or '-'} at {self.created}"
+        )
+
+
+class SnapshotStore:
+    """Snapshot ledger and time-travel queries over one database."""
+
+    def __init__(self, database: "VulnerabilityDatabase") -> None:
+        self._db = database
+        self._conn = database.connection
+
+    @property
+    def database(self) -> "VulnerabilityDatabase":
+        return self._db
+
+    # -- ledger ----------------------------------------------------------------
+
+    @staticmethod
+    def _record(row) -> SnapshotRecord:
+        return SnapshotRecord(
+            snapshot_id=row["snapshot_id"],
+            digest=row["digest"],
+            parent_digest=row["parent_digest"],
+            created=row["created"],
+            source=row["source"],
+            entry_count=row["entry_count"],
+            added=row["added"],
+            modified=row["modified"],
+            removed=row["removed"],
+        )
+
+    def head(self) -> Optional[SnapshotRecord]:
+        """The most recent snapshot, or ``None`` on a fresh database."""
+        row = self._conn.execute(
+            "SELECT * FROM snapshot ORDER BY snapshot_id DESC LIMIT 1"
+        ).fetchone()
+        return self._record(row) if row is not None else None
+
+    def list(self) -> List[SnapshotRecord]:
+        """All snapshots, oldest first."""
+        return [
+            self._record(row)
+            for row in self._conn.execute(
+                "SELECT * FROM snapshot ORDER BY snapshot_id"
+            )
+        ]
+
+    def get(self, snapshot_id: int) -> SnapshotRecord:
+        """The ledger row for one snapshot id."""
+        row = self._conn.execute(
+            "SELECT * FROM snapshot WHERE snapshot_id = ?", (snapshot_id,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no snapshot with id {snapshot_id}")
+        return self._record(row)
+
+    def by_digest(self, digest: str) -> SnapshotRecord:
+        """The most recent snapshot carrying the given (possibly short) digest.
+
+        Prefix matching uses ``substr`` rather than ``LIKE``, so selectors
+        containing SQL wildcards (``%``, ``_``) cannot match arbitrary rows.
+        """
+        if not digest:
+            raise DatabaseError("an empty digest matches no snapshot")
+        row = self._conn.execute(
+            "SELECT * FROM snapshot WHERE substr(digest, 1, ?) = ?"
+            " ORDER BY snapshot_id DESC LIMIT 1",
+            (len(digest), digest),
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no snapshot with digest {digest!r}")
+        return self._record(row)
+
+    # -- commit ----------------------------------------------------------------
+
+    def commit(self, source: str = "") -> SnapshotRecord:
+        """Snapshot the database's current live state.
+
+        Returns the new ledger record -- or the existing head unchanged when
+        the live state digests identically to it (idempotence: re-applying
+        an already-applied delta and committing produces no new snapshot).
+        ``source`` records feed provenance (a path, URL or label).
+        """
+        live = self._db.live_state()
+        digest = dataset_digest(live)
+        head = self.head()
+        if head is not None and head.digest == digest:
+            return head
+        parent_state = self._state_at(head.snapshot_id) if head is not None else {}
+        added = sorted(set(live) - set(parent_state))
+        removed = sorted(set(parent_state) - set(live))
+        modified = sorted(
+            cve_id
+            for cve_id in set(live) & set(parent_state)
+            if live[cve_id] != parent_state[cve_id]
+        )
+        created = _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO snapshot (digest, parent_digest, created, source,"
+                " entry_count, added, modified, removed)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    digest,
+                    head.digest if head is not None else None,
+                    created,
+                    source,
+                    len(live),
+                    len(added),
+                    len(modified),
+                    len(removed),
+                ),
+            )
+            snapshot_id = cursor.lastrowid
+            changed = added + modified
+            payloads = {
+                entry.cve_id: entry_to_json(entry)
+                for entry in self._db.load_entries(cve_ids=changed)
+            }
+            for cve_id in changed:
+                self._conn.execute(
+                    "INSERT INTO entry_version"
+                    " (snapshot_id, cve_id, entry_digest, payload, deleted)"
+                    " VALUES (?, ?, ?, ?, 0)",
+                    (snapshot_id, cve_id, live[cve_id], payloads[cve_id]),
+                )
+            for cve_id in removed:
+                self._conn.execute(
+                    "INSERT INTO entry_version"
+                    " (snapshot_id, cve_id, entry_digest, payload, deleted)"
+                    " VALUES (?, ?, NULL, NULL, 1)",
+                    (snapshot_id, cve_id),
+                )
+        return self.get(snapshot_id)
+
+    # -- time travel ------------------------------------------------------------
+
+    def _version_rows_at(self, snapshot_id: int):
+        """Latest version row per CVE as of ``snapshot_id`` (incl. tombstones)."""
+        return self._conn.execute(
+            """
+            SELECT ev.cve_id, ev.entry_digest, ev.payload, ev.deleted
+            FROM entry_version ev
+            JOIN (
+                SELECT cve_id, MAX(version_id) AS latest
+                FROM entry_version
+                WHERE snapshot_id <= ?
+                GROUP BY cve_id
+            ) last ON last.latest = ev.version_id
+            """,
+            (snapshot_id,),
+        ).fetchall()
+
+    def _state_at(self, snapshot_id: int) -> Dict[str, str]:
+        """Mapping of live CVE ids to entry digests as of a snapshot."""
+        return {
+            row["cve_id"]: row["entry_digest"]
+            for row in self._version_rows_at(snapshot_id)
+            if not row["deleted"]
+        }
+
+    def entries_at(self, snapshot_id: int) -> List["VulnerabilityEntry"]:
+        """The live entries of a snapshot, ordered by (published, cve_id).
+
+        The ordering matches :meth:`~repro.db.database.VulnerabilityDatabase
+        .load_entries`, so a time-travelled entry list is byte-compatible
+        with a from-scratch ingest of the same feed state -- the equality
+        property ``tests/snapshots`` pins down.
+        """
+        self.get(snapshot_id)  # raises on unknown ids
+        entries = [
+            entry_from_json(row["payload"])
+            for row in self._version_rows_at(snapshot_id)
+            if not row["deleted"]
+        ]
+        entries.sort(key=lambda entry: (entry.published, entry.cve_id))
+        return entries
+
+    def dataset_at(
+        self, snapshot_id: int, engine: str = "bitset"
+    ) -> "VulnerabilityDataset":
+        """The dataset pinned to a snapshot (see :meth:`entries_at`)."""
+        from repro.analysis.dataset import VulnerabilityDataset
+
+        record = self.get(snapshot_id)
+        return VulnerabilityDataset(
+            self.entries_at(snapshot_id),
+            engine=engine,
+            snapshot=record,
+        )
+
+    # -- diffing ----------------------------------------------------------------
+
+    def diff(self, from_id: int, to_id: int) -> SnapshotDiff:
+        """What changed between two snapshots (in either direction).
+
+        The diff carries the changed CVE ids, the old/new entry payloads and
+        the derived blast radius (affected OS names, pairs, k-sets) consumed
+        by selective cache invalidation and the CLI.
+        """
+        from_record = self.get(from_id)
+        to_record = self.get(to_id)
+        before = {
+            row["cve_id"]: (row["entry_digest"], row["payload"])
+            for row in self._version_rows_at(from_id)
+            if not row["deleted"]
+        }
+        after = {
+            row["cve_id"]: (row["entry_digest"], row["payload"])
+            for row in self._version_rows_at(to_id)
+            if not row["deleted"]
+        }
+        added = sorted(set(after) - set(before))
+        removed = sorted(set(before) - set(after))
+        modified = sorted(
+            cve_id
+            for cve_id in set(before) & set(after)
+            if before[cve_id][0] != after[cve_id][0]
+        )
+        old_entries = {
+            cve_id: entry_from_json(before[cve_id][1])
+            for cve_id in (*modified, *removed)
+        }
+        new_entries = {
+            cve_id: entry_from_json(after[cve_id][1])
+            for cve_id in (*added, *modified)
+        }
+        return SnapshotDiff(
+            from_snapshot=from_record,
+            to_snapshot=to_record,
+            added=tuple(added),
+            modified=tuple(modified),
+            removed=tuple(removed),
+            old_entries=old_entries,
+            new_entries=new_entries,
+        )

@@ -14,6 +14,7 @@ targets; every table and figure is recomputed from the generated corpus.
 
 from repro.synthetic.calibration import PaperCalibration
 from repro.synthetic.corpus import SyntheticCorpus, build_corpus
+from repro.synthetic.evolution import CorpusDelta, evolve_corpus
 from repro.synthetic.generator import (
     CorpusGenerator,
     ScaledCatalogue,
@@ -22,8 +23,10 @@ from repro.synthetic.generator import (
 
 __all__ = [
     "PaperCalibration",
+    "CorpusDelta",
     "CorpusGenerator",
     "ScaledCatalogue",
+    "evolve_corpus",
     "generate_scaled_catalogue",
     "SyntheticCorpus",
     "build_corpus",

@@ -1,0 +1,129 @@
+"""Synthetic corpus evolution: deterministic NVD *modified*-feed deltas.
+
+The study's corpus is not static -- NVD keeps republishing entries with
+corrected descriptions, CPE lists and even withdrawals.  This module
+fabricates that process for the synthetic corpus so the incremental
+pipeline (:mod:`repro.snapshots`) can be exercised, property-tested and
+benchmarked offline:
+
+:func:`evolve_corpus` picks a deterministic sample of entries (optionally
+restricted to those affecting a target OS), perturbs their summaries (a
+content change that shifts the entry digest without moving the entry's
+position in publication order), optionally withdraws a few entries with
+``** REJECT **`` tombstones, and returns a :class:`CorpusDelta` ready to be
+serialised as a modified feed (:func:`~repro.nvd.feed_writer
+.write_modified_feed`) or applied directly via
+:meth:`~repro.snapshots.delta.DeltaIngestPipeline.apply_raw`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.models import VulnerabilityEntry
+from repro.nvd.feed_parser import RawFeedEntry
+from repro.nvd.feed_writer import rejection_entry, write_modified_feed
+from repro.synthetic.corpus import SyntheticCorpus
+
+
+@dataclass(frozen=True)
+class CorpusDelta:
+    """One synthetic modified-feed delta over a corpus."""
+
+    #: Republished entries (changed content), in publication order.
+    modified: Tuple[RawFeedEntry, ...]
+    #: Tombstone entries withdrawing CVEs, in publication order.
+    rejected: Tuple[RawFeedEntry, ...]
+    #: The seed the delta was derived from (provenance).
+    seed: int
+
+    @property
+    def entries(self) -> Tuple[RawFeedEntry, ...]:
+        """All feed entries of the delta (modifications plus tombstones)."""
+        return (*self.modified, *self.rejected)
+
+    @property
+    def modified_ids(self) -> Tuple[str, ...]:
+        return tuple(entry.cve_id for entry in self.modified)
+
+    @property
+    def rejected_ids(self) -> Tuple[str, ...]:
+        return tuple(entry.cve_id for entry in self.rejected)
+
+    def write_feed(self, path: Union[str, Path]) -> Path:
+        """Serialise the delta as a modified XML feed."""
+        return write_modified_feed(list(self.entries), path)
+
+
+def _revision_suffix(rng: random.Random) -> str:
+    """A neutral advisory-revision sentence appended to a summary.
+
+    The wording avoids every validity-filter keyword (*unknown*,
+    *unspecified*, *disputed*), so a revision changes the entry's content
+    digest without flipping its validity status or component class.
+    """
+    revision = rng.randrange(2, 9)
+    return f" Advisory revised (rev {revision}) with additional references."
+
+
+def evolve_corpus(
+    corpus: SyntheticCorpus,
+    fraction: float = 0.01,
+    seed: int = 20110627,
+    target_os: Optional[str] = None,
+    rejections: int = 0,
+    entry_filter: Optional[Callable[[VulnerabilityEntry], bool]] = None,
+) -> CorpusDelta:
+    """Derive a deterministic modified-feed delta from a corpus.
+
+    ``fraction`` of the corpus (at least one entry) is republished with a
+    revised summary; ``target_os`` restricts the sample to entries affecting
+    that OS, which is how the selective-invalidation tests build deltas with
+    a known blast radius (``entry_filter`` narrows the candidates further,
+    e.g. to entries a server-configuration filter admits).  ``rejections``
+    additionally withdraws that many *other* sampled entries via
+    ``** REJECT **`` tombstones.  The same input parameters always yield the
+    same delta.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if rejections < 0:
+        raise ValueError("rejections must be non-negative")
+    rng = random.Random(seed)
+    candidates = [
+        entry
+        for entry in corpus.entries
+        if (target_os is None or target_os in entry.affected_os)
+        and (entry_filter is None or entry_filter(entry))
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no corpus entries affect {target_os!r}; cannot derive a delta"
+        )
+    wanted = max(1, round(len(candidates) * fraction))
+    if wanted + rejections > len(candidates):
+        raise ValueError(
+            f"cannot sample {wanted} modifications plus {rejections} rejections "
+            f"from {len(candidates)} candidate entries"
+        )
+    sampled = rng.sample(sorted(candidates, key=lambda e: e.cve_id), wanted + rejections)
+    to_modify, to_reject = sampled[:wanted], sampled[wanted:]
+
+    raw_by_id = {raw.cve_id: raw for raw in corpus.to_raw_feed_entries()}
+    modified: List[RawFeedEntry] = []
+    for entry in sorted(to_modify, key=lambda e: (e.published, e.cve_id)):
+        raw = raw_by_id[entry.cve_id]
+        modified.append(
+            dataclasses.replace(raw, summary=raw.summary + _revision_suffix(rng))
+        )
+    rejected = [
+        rejection_entry(entry.cve_id, entry.published)
+        for entry in sorted(to_reject, key=lambda e: (e.published, e.cve_id))
+    ]
+    return CorpusDelta(
+        modified=tuple(modified), rejected=tuple(rejected), seed=seed
+    )

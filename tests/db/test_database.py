@@ -57,7 +57,10 @@ class TestInsertAndLoad:
         assert loaded.component_class is ComponentClass.SYSTEM_SOFTWARE
         assert loaded.cvss.access_vector is AccessVector.LOCAL
         assert loaded.affected_versions["Debian"] == ("4.0",)
-        assert loaded.affected_versions["RedHat"] == ()
+        # An OS with no recorded versions means "all versions"; the
+        # canonical representation drops the key, and .get reads it back.
+        assert loaded.affected_versions.get("RedHat", ()) == ()
+        assert loaded == original
 
     def test_duplicate_cve_rejected(self, db):
         db.insert_entry(make_entry())

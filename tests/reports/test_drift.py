@@ -1,0 +1,50 @@
+"""SnapshotDrift: Table-1 numbers tracked across snapshots."""
+
+from repro.db.database import VulnerabilityDatabase
+from repro.reports.drift import snapshot_drift
+from repro.snapshots.store import SnapshotStore
+from tests.conftest import make_entry
+
+
+def _store_with_chain():
+    database = VulnerabilityDatabase()
+    database.register_os_catalog()
+    store = SnapshotStore(database)
+    database.insert_entry(make_entry("CVE-2005-0001", oses=("Debian",)))
+    database.insert_entry(make_entry("CVE-2005-0002", oses=("Solaris", "Debian")))
+    store.commit(source="seed")
+    database.upsert_entry(
+        make_entry("CVE-2005-0003", oses=("OpenBSD",))
+    )
+    database.tombstone_entry("CVE-2005-0001")
+    store.commit(source="delta")
+    return store
+
+
+class TestSnapshotDrift:
+    def test_rows_track_per_snapshot_valid_counts(self):
+        report = snapshot_drift(_store_with_chain())
+        assert len(report.rows) == 2
+        first, second = report.rows
+        assert first.distinct_valid == 2
+        assert first.valid_per_os["Debian"] == 2
+        assert second.distinct_valid == 2
+        assert second.valid_per_os["Debian"] == 1
+        assert second.valid_per_os["OpenBSD"] == 1
+
+    def test_deltas_name_only_moved_oses(self):
+        report = snapshot_drift(_store_with_chain())
+        (delta,) = report.deltas()
+        assert delta == {"Debian": -1, "OpenBSD": +1}
+
+    def test_text_rendering(self):
+        report = snapshot_drift(_store_with_chain())
+        text = report.text
+        assert "SnapshotDrift" in text
+        assert "#1 -> #2: Debian-1, OpenBSD+1" in text
+
+    def test_empty_store_renders_empty_report(self):
+        database = VulnerabilityDatabase()
+        report = snapshot_drift(SnapshotStore(database))
+        assert report.rows == ()
+        assert report.deltas() == []

@@ -1,0 +1,189 @@
+"""Scoped cache digests and selective invalidation (runner.cache schema 2)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.enums import AccessVector, ComponentClass, ServerConfiguration
+from repro.runner import (
+    ExperimentGrid,
+    GridRunner,
+    ResultCache,
+    scoped_corpus_digest,
+    scoped_pool,
+)
+from tests.conftest import make_entry
+
+
+def _corpus():
+    return [
+        make_entry("CVE-2005-0001", oses=("Debian",)),
+        make_entry("CVE-2005-0002", oses=("Solaris", "OpenBSD")),
+        make_entry("CVE-2005-0003", oses=("Windows2000", "Windows2003")),
+        make_entry("CVE-2005-0004", oses=("Debian", "RedHat")),
+        make_entry("CVE-2005-0005", oses=("NetBSD",),
+                   access=AccessVector.LOCAL),
+        make_entry("CVE-2005-0006", oses=("NetBSD",),
+                   component_class=ComponentClass.APPLICATION),
+    ]
+
+
+class TestScopedPool:
+    def test_targeted_scope_keeps_only_group_entries(self):
+        pool = scoped_pool(_corpus(), ("Debian", "RedHat"))
+        assert [entry.cve_id for entry in pool] == [
+            "CVE-2005-0001", "CVE-2005-0004",
+        ]
+
+    def test_untargeted_scope_is_the_admitted_pool(self):
+        pool = scoped_pool(_corpus(), None)
+        # Isolated Thin drops the local and the application entry.
+        assert [entry.cve_id for entry in pool] == [
+            "CVE-2005-0001", "CVE-2005-0002", "CVE-2005-0003", "CVE-2005-0004",
+        ]
+
+    def test_configuration_filter_applies(self):
+        fat = scoped_pool(_corpus(), ("NetBSD",), ServerConfiguration.FAT)
+        isolated = scoped_pool(
+            _corpus(), ("NetBSD",), ServerConfiguration.ISOLATED_THIN
+        )
+        assert len(fat) == 2 and isolated == []
+
+    def test_scope_preserves_corpus_order(self):
+        entries = list(reversed(_corpus()))
+        pool = scoped_pool(entries, ("Debian", "RedHat"))
+        assert [entry.cve_id for entry in pool] == [
+            "CVE-2005-0004", "CVE-2005-0001",
+        ]
+
+
+class TestScopedDigest:
+    def test_unrelated_change_keeps_scoped_digest(self):
+        before = _corpus()
+        after = list(before)
+        after[2] = make_entry("CVE-2005-0003", oses=("Windows2000", "Windows2003"),
+                              summary="A revised Windows flaw, remote attack.")
+        group = ("Debian", "RedHat")
+        assert scoped_corpus_digest(before, group) == scoped_corpus_digest(after, group)
+        windows = ("Windows2000", "Windows2003")
+        assert scoped_corpus_digest(before, windows) != scoped_corpus_digest(
+            after, windows
+        )
+
+    def test_membership_change_moves_the_digest(self):
+        before = _corpus()
+        after = list(before)
+        # CVE-2005-0004 stops affecting RedHat: it leaves the group's scope.
+        after[3] = make_entry("CVE-2005-0004", oses=("Debian",))
+        group = ("RedHat",)
+        assert scoped_corpus_digest(before, group) != scoped_corpus_digest(
+            after, group
+        )
+
+    def test_untargeted_digest_tracks_any_admitted_change(self):
+        before = _corpus()
+        after = list(before)
+        after[0] = make_entry("CVE-2005-0001", oses=("Debian",),
+                              summary="A revised Debian flaw, remote attack.")
+        assert scoped_corpus_digest(before, None) != scoped_corpus_digest(after, None)
+
+
+class TestSelectiveInvalidation:
+    GRID = dict(runs=6, horizon=1.5)
+
+    def _grid(self):
+        return ExperimentGrid(
+            configurations={
+                "debians": ("Debian", "Debian", "Debian", "Debian"),
+                "windows": ("Windows2000", "Windows2003", "Windows2000",
+                            "Windows2003"),
+            },
+            **self.GRID,
+        )
+
+    def test_warm_sweep_reruns_only_touched_cells(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        before = _corpus()
+        cold = GridRunner(before, seed=3, cache=cache).run(self._grid())
+        assert all(not cell.cached for cell in cold.cells)
+
+        # Modify only the Windows entry.
+        after = list(before)
+        after[2] = make_entry("CVE-2005-0003", oses=("Windows2000", "Windows2003"),
+                              summary="A revised Windows flaw, remote attack.")
+        warm = GridRunner(after, seed=3, cache=cache).run(self._grid())
+        by_name = {cell.cell.configuration: cell for cell in warm.cells}
+        assert by_name["debians"].cached is True
+        assert by_name["windows"].cached is False
+
+        # The untouched cell's result is byte-identical to the cold run.
+        cold_by_name = {cell.cell.configuration: cell for cell in cold.cells}
+        assert by_name["debians"].result == cold_by_name["debians"].result
+        assert by_name["debians"].scope_digest == cold_by_name["debians"].scope_digest
+
+    def test_untargeted_cells_invalidate_on_any_change(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        grid = ExperimentGrid(
+            configurations={"debians": ("Debian",) * 4},
+            adversaries=("untargeted",),
+            **self.GRID,
+        )
+        before = _corpus()
+        GridRunner(before, seed=3, cache=cache).run(grid)
+        after = list(before)
+        after[2] = make_entry("CVE-2005-0003", oses=("Windows2000", "Windows2003"),
+                              summary="A revised Windows flaw, remote attack.")
+        warm = GridRunner(after, seed=3, cache=cache).run(grid)
+        assert warm.cells[0].cached is False
+
+    def test_report_carries_scope_digests(self, tmp_path):
+        report = GridRunner(_corpus(), seed=3).run(self._grid())
+        payload = report.to_json_payload()
+        for cell_payload, cell in zip(payload["cells"], report.cells):
+            assert cell_payload["scope_digest"] == cell.scope_digest
+            assert len(cell.scope_digest) == 64
+        headers = report.CSV_HEADERS
+        rows = report.csv_rows()
+        assert "scope_digest" in headers and "corpus_digest" in headers
+        digest_column = headers.index("scope_digest")
+        assert rows[0][digest_column] == report.cells[0].scope_digest
+
+
+class TestDigestMemoization:
+    def test_precomputed_digest_map_matches_direct_hashing(self):
+        from repro.snapshots.digests import entry_digest
+
+        entries = _corpus()
+        digests = {id(entry): entry_digest(entry) for entry in entries}
+        group = ("Debian", "RedHat")
+        assert scoped_corpus_digest(entries, group, digests=digests) == \
+            scoped_corpus_digest(entries, group)
+
+    def test_runner_computes_each_entry_digest_once(self, monkeypatch):
+        import repro.runner.runner as runner_module
+
+        calls = {"n": 0}
+        from repro.snapshots import digests as digests_module
+
+        original = digests_module.entry_digest
+
+        def counting(entry):
+            calls["n"] += 1
+            return original(entry)
+
+        monkeypatch.setattr(digests_module, "entry_digest", counting)
+        entries = _corpus()
+        runner = GridRunner(entries, seed=3)
+        grid = ExperimentGrid(
+            configurations={
+                "a": ("Debian",) * 4,
+                "b": ("Solaris", "OpenBSD", "Solaris", "OpenBSD"),
+                "c": ("Windows2000", "Windows2003", "Windows2000",
+                      "Windows2003"),
+            },
+            runs=2,
+            horizon=1.0,
+        )
+        for cell in grid.expand():
+            runner.scope_digest(cell)
+        assert calls["n"] == len(entries)

@@ -1,0 +1,257 @@
+"""Delta ingestion: upserts, tombstones, idempotence, schema migration."""
+
+import dataclasses
+import sqlite3
+
+import pytest
+
+from repro.core.enums import ValidityStatus
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline
+from repro.db.schema import SCHEMA_VERSION, migrate_connection
+from repro.nvd.feed_parser import RawFeedEntry, parse_xml_feed
+from repro.nvd.feed_writer import rejection_entry, write_modified_feed
+from repro.snapshots.delta import DeltaIngestPipeline
+from repro.snapshots.digests import entry_digest
+from repro.snapshots.store import SnapshotStore
+from tests.conftest import make_entry
+
+
+@pytest.fixture()
+def pipeline():
+    return IngestPipeline()
+
+
+@pytest.fixture()
+def delta(pipeline):
+    return DeltaIngestPipeline(pipeline)
+
+
+def raw(cve_id="CVE-2005-0001", summary="A kernel flaw in Debian allows "
+        "remote attackers to crash the system.", year=2005,
+        cpes=("cpe:/o:debian:debian_linux:4.0",)):
+    import datetime as dt
+
+    return RawFeedEntry(
+        cve_id=cve_id,
+        published=dt.date(year, 6, 15),
+        summary=summary,
+        cvss_vector="AV:N/AC:L/Au:N/C:P/I:P/A:P",
+        cpe_uris=tuple(cpes),
+    )
+
+
+class TestUpsert:
+    def test_new_entry_is_added(self, delta):
+        report = delta.apply_raw([raw()])
+        assert (report.added, report.modified, report.unchanged) == (1, 0, 0)
+        assert delta.database.entry_count() == 1
+
+    def test_identical_reapplication_is_unchanged(self, delta):
+        delta.apply_raw([raw()])
+        report = delta.apply_raw([raw()])
+        assert (report.added, report.modified, report.unchanged) == (0, 0, 1)
+        assert report.changed == 0
+
+    def test_content_change_is_modified(self, delta):
+        delta.apply_raw([raw()])
+        revised = raw(summary="A kernel flaw in Debian allows remote "
+                      "attackers to crash the system. Revised advisory.")
+        report = delta.apply_raw([revised])
+        assert report.modified == 1
+        entries = delta.database.load_entries()
+        assert len(entries) == 1
+        assert "Revised advisory" in entries[0].summary
+
+    def test_upsert_replaces_relationships(self, delta):
+        delta.apply_raw([raw()])
+        moved = raw(cpes=("cpe:/o:redhat:enterprise_linux:5",))
+        delta.apply_raw([moved])
+        (entry,) = delta.database.load_entries()
+        assert entry.affected_os == frozenset({"RedHat"})
+
+    def test_upsert_entry_outcomes_directly(self):
+        database = VulnerabilityDatabase()
+        database.register_os_catalog()
+        entry = make_entry()
+        assert database.upsert_entry(entry) == "added"
+        assert database.upsert_entry(entry) == "unchanged"
+        revised = make_entry(summary="A revised kernel flaw.")
+        assert database.upsert_entry(revised) == "modified"
+        stored = database.load_entries()[0]
+        assert entry_digest(stored) == entry_digest(revised)
+
+
+class TestTombstones:
+    def test_rejection_tombstones_the_entry(self, delta):
+        delta.apply_raw([raw()])
+        report = delta.apply_raw([rejection_entry("CVE-2005-0001", raw().published)])
+        assert report.removed == 1
+        assert delta.database.entry_count() == 0
+        assert delta.database.load_entries() == []
+
+    def test_rejecting_unknown_entry_is_skipped(self, delta):
+        report = delta.apply_raw([rejection_entry("CVE-1999-9999", raw().published)])
+        assert report.removed == 0
+        assert report.skipped_no_os == 1
+
+    def test_out_of_scope_republication_tombstones(self, delta):
+        delta.apply_raw([raw()])
+        # Republished with only an application CPE: leaves the study scope.
+        out = raw(cpes=("cpe:/a:apache:http_server:2.2",))
+        report = delta.apply_raw([out])
+        assert report.removed == 1
+        assert delta.database.entry_count() == 0
+
+    def test_tombstoned_entry_can_be_resurrected(self, delta):
+        delta.apply_raw([raw()])
+        delta.apply_raw([rejection_entry("CVE-2005-0001", raw().published)])
+        report = delta.apply_raw([raw()])
+        assert report.modified == 1  # same id, content restored
+        assert delta.database.entry_count() == 1
+
+    def test_tombstone_excluded_from_counts_and_digests(self):
+        database = VulnerabilityDatabase()
+        database.register_os_catalog()
+        database.insert_entry(make_entry("CVE-2005-0001"))
+        database.insert_entry(make_entry("CVE-2005-0002"))
+        database.tombstone_entry("CVE-2005-0001")
+        assert database.entry_count() == 1
+        assert set(database.live_state()) == {"CVE-2005-0002"}
+
+
+class TestFeedApplication:
+    def test_apply_xml_feed_commits_snapshot(self, delta, tmp_path):
+        path = write_modified_feed([raw()], tmp_path / "modified.xml")
+        report = delta.apply_feed(path)
+        assert report.added == 1
+        assert report.snapshot is not None
+        assert report.snapshot.source == str(path)
+
+    def test_rejection_survives_the_feed_round_trip(self, tmp_path):
+        tombstone = rejection_entry("CVE-2005-0001", raw().published)
+        path = write_modified_feed([tombstone], tmp_path / "modified.xml")
+        (parsed,) = parse_xml_feed(path)
+        assert parsed.is_rejected
+        assert parsed.cve_id == "CVE-2005-0001"
+
+    def test_commit_false_leaves_no_snapshot(self, delta):
+        report = delta.apply_raw([raw()], commit=False)
+        assert report.snapshot is None
+        assert SnapshotStore(delta.database).head() is None
+
+
+class TestSchemaMigration:
+    V1_STATEMENTS = (
+        """
+        CREATE TABLE vulnerability (
+            vuln_id INTEGER PRIMARY KEY,
+            cve_id TEXT NOT NULL UNIQUE,
+            published DATE NOT NULL,
+            summary TEXT NOT NULL,
+            validity TEXT NOT NULL DEFAULT 'Valid'
+        )
+        """,
+        """
+        CREATE TABLE vulnerability_type (
+            vuln_id INTEGER PRIMARY KEY REFERENCES vulnerability(vuln_id),
+            component_class TEXT
+        )
+        """,
+    )
+
+    def test_v1_database_is_upgraded_in_place(self, tmp_path):
+        path = tmp_path / "old.db"
+        conn = sqlite3.connect(path)
+        for statement in self.V1_STATEMENTS:
+            conn.execute(statement)
+        conn.execute(
+            "INSERT INTO vulnerability (cve_id, published, summary)"
+            " VALUES ('CVE-2001-0001', '2001-05-01', 'An old flaw.')"
+        )
+        conn.commit()
+        conn.close()
+
+        database = VulnerabilityDatabase(path)
+        version = database.connection.execute("PRAGMA user_version").fetchone()[0]
+        assert version == SCHEMA_VERSION
+        columns = {
+            row[1]
+            for row in database.connection.execute(
+                "PRAGMA table_info(vulnerability)"
+            )
+        }
+        assert {"entry_digest", "tombstoned"} <= columns
+        # The pre-existing row survived with NULL digest and live status.
+        row = database.connection.execute(
+            "SELECT entry_digest, tombstoned FROM vulnerability"
+        ).fetchone()
+        assert row["entry_digest"] is None
+        assert row["tombstoned"] == 0
+        database.close()
+
+    def test_migration_is_idempotent(self, tmp_path):
+        path = tmp_path / "fresh.db"
+        with VulnerabilityDatabase(path):
+            pass
+        conn = sqlite3.connect(path)
+        conn.row_factory = sqlite3.Row
+        assert migrate_connection(conn) == SCHEMA_VERSION
+        assert migrate_connection(conn) == SCHEMA_VERSION
+        conn.close()
+
+    def test_live_state_backfills_missing_digests(self):
+        database = VulnerabilityDatabase()
+        database.register_os_catalog()
+        entry = make_entry()
+        database.insert_entry(entry)
+        with database.connection:
+            database.connection.execute(
+                "UPDATE vulnerability SET entry_digest = NULL"
+            )
+        state = database.live_state()
+        assert state == {entry.cve_id: entry_digest(entry)}
+        # The backfill is persisted.
+        row = database.connection.execute(
+            "SELECT entry_digest FROM vulnerability"
+        ).fetchone()
+        assert row["entry_digest"] == entry_digest(entry)
+
+
+class TestLoadEntriesChunking:
+    def test_large_cve_id_filters_are_chunked(self, monkeypatch):
+        import repro.db.database as database_module
+
+        monkeypatch.setattr(database_module, "_CVE_ID_CHUNK", 2)
+        database = VulnerabilityDatabase()
+        database.register_os_catalog()
+        entries = [
+            make_entry(f"CVE-2005-{index:04d}", month=(index % 12) + 1)
+            for index in range(1, 8)
+        ]
+        for entry in entries:
+            database.insert_entry(entry)
+        wanted = [entry.cve_id for entry in entries]
+        loaded = database.load_entries(cve_ids=wanted)
+        # Chunked loads return the same entries in the same global order as
+        # an unfiltered load.
+        assert loaded == database.load_entries()
+
+    def test_full_corpus_commit_exceeding_chunk_size(self, monkeypatch):
+        # The first commit passes every CVE id through load_entries at once;
+        # with a tiny chunk size this exercises the chunked path end to end.
+        import repro.db.database as database_module
+
+        monkeypatch.setattr(database_module, "_CVE_ID_CHUNK", 3)
+        database = VulnerabilityDatabase()
+        database.register_os_catalog()
+        entries = [
+            make_entry(f"CVE-2005-{index:04d}", month=(index % 12) + 1)
+            for index in range(1, 11)
+        ]
+        for entry in entries:
+            database.insert_entry(entry)
+        record = SnapshotStore(database).commit(source="chunked")
+        assert record.added == len(entries)
+        store = SnapshotStore(database)
+        assert list(store.dataset_at(record.snapshot_id)) == database.load_entries()

@@ -1,0 +1,93 @@
+"""Content-addressing unit tests (repro.snapshots.digests)."""
+
+import dataclasses
+
+import pytest
+
+from repro.snapshots.digests import (
+    dataset_digest,
+    dataset_digest_of,
+    entry_digest,
+    entry_from_json,
+    entry_from_payload,
+    entry_payload,
+    entry_to_json,
+)
+from tests.conftest import make_entry
+
+
+class TestEntryDigest:
+    def test_is_deterministic(self):
+        entry = make_entry()
+        assert entry_digest(entry) == entry_digest(make_entry())
+
+    def test_changes_with_every_normalized_field(self):
+        base = make_entry()
+        variants = [
+            make_entry(cve_id="CVE-2005-0002"),
+            make_entry(summary="A different remote kernel flaw crashes the system."),
+            make_entry(year=2006),
+            make_entry(oses=("Debian", "RedHat")),
+            make_entry(versions={"Debian": ("3.0",)}),
+            make_entry(component_class=None),
+            dataclasses.replace(base, cvss=dataclasses.replace(base.cvss, base_score=9.1)),
+        ]
+        digests = {entry_digest(variant) for variant in variants}
+        assert entry_digest(base) not in digests
+        assert len(digests) == len(variants)
+
+    def test_ignores_raw_cpes(self):
+        # Raw CPE names are feed provenance, not normalized content.
+        base = make_entry()
+        with_cpes = dataclasses.replace(base, raw_cpes=())
+        assert entry_digest(base) == entry_digest(with_cpes)
+
+    def test_affected_os_order_does_not_matter(self):
+        a = make_entry(oses=("Debian", "RedHat", "Solaris"))
+        b = make_entry(oses=("Solaris", "Debian", "RedHat"))
+        assert entry_digest(a) == entry_digest(b)
+
+
+class TestPayloadRoundTrip:
+    def test_payload_round_trips_exactly(self):
+        entry = make_entry(
+            oses=("Debian", "OpenBSD"), versions={"Debian": ("3.0", "4.0")}
+        )
+        rebuilt = entry_from_payload(entry_payload(entry))
+        assert rebuilt == dataclasses.replace(entry, raw_cpes=())
+        assert entry_digest(rebuilt) == entry_digest(entry)
+
+    def test_json_round_trip(self, corpus):
+        for entry in corpus.entries[:50]:
+            rebuilt = entry_from_json(entry_to_json(entry))
+            assert entry_digest(rebuilt) == entry_digest(entry)
+            assert rebuilt.affected_os == entry.affected_os
+            assert rebuilt.validity == entry.validity
+
+
+class TestDatasetDigest:
+    def test_is_order_insensitive(self):
+        a, b = make_entry("CVE-2005-0001"), make_entry("CVE-2005-0002")
+        assert dataset_digest_of([a, b]) == dataset_digest_of([b, a])
+
+    def test_depends_on_membership_and_content(self):
+        a, b = make_entry("CVE-2005-0001"), make_entry("CVE-2005-0002")
+        changed = make_entry("CVE-2005-0002", summary="A revised kernel flaw.")
+        digests = {
+            dataset_digest_of([a, b]),
+            dataset_digest_of([a]),
+            dataset_digest_of([a, changed]),
+        }
+        assert len(digests) == 3
+
+    def test_empty_state_digest_is_stable(self):
+        assert dataset_digest({}) == dataset_digest({})
+
+    def test_raw_mapping_and_entry_list_agree(self):
+        entries = [make_entry("CVE-2005-0001"), make_entry("CVE-2005-0002")]
+        state = {entry.cve_id: entry_digest(entry) for entry in entries}
+        assert dataset_digest(state) == dataset_digest_of(entries)
+
+    def test_duplicate_cve_ids_collapse(self):
+        entry = make_entry()
+        assert dataset_digest_of([entry, entry]) == dataset_digest_of([entry])

@@ -169,3 +169,185 @@ class TestCommands:
     def test_feeds_option_empty_directory_fails(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["--feeds", str(tmp_path), "tables"])
+
+
+class TestIngestAndSnapshotCommands:
+    """The incremental pipeline surfaced on the CLI (ingest + snapshot)."""
+
+    @pytest.fixture(scope="class")
+    def base_db(self, tmp_path_factory):
+        """A database populated by `repro ingest` once per class (copied below)."""
+        db_path = tmp_path_factory.mktemp("cli-ingest") / "base.db"
+        assert main(["--db", str(db_path), "ingest"]) == 0
+        return db_path
+
+    @pytest.fixture()
+    def ingested_db(self, base_db, tmp_path, capsys):
+        """A private copy of the ingested database (tests mutate it)."""
+        import shutil
+
+        db_path = tmp_path / "data.db"
+        shutil.copy(base_db, db_path)
+        capsys.readouterr()
+        return db_path
+
+    def _write_delta(self, tmp_path, seed=42, **kwargs):
+        from repro.synthetic import build_corpus, evolve_corpus
+
+        delta = evolve_corpus(build_corpus(), fraction=0.005, seed=seed, **kwargs)
+        return delta.write_feed(tmp_path / f"modified-{seed}.xml")
+
+    def test_ingest_requires_db(self, capsys):
+        assert main(["ingest"]) == 2
+        assert "--db" in capsys.readouterr().err
+
+    def test_ingest_populates_and_commits(self, ingested_db, capsys):
+        assert main(["--db", str(ingested_db), "snapshot", "list"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("#1 ")
+        assert "parent=-" in out
+
+    def test_full_reingest_into_populated_db_is_refused(self, ingested_db, capsys):
+        assert main(["--db", str(ingested_db), "ingest"]) == 2
+        assert "--delta" in capsys.readouterr().err
+
+    def test_delta_ingest_commits_one_snapshot(self, ingested_db, tmp_path, capsys):
+        feed = self._write_delta(tmp_path)
+        assert main(["--db", str(ingested_db), "ingest", "--delta", str(feed)]) == 0
+        out = capsys.readouterr().out
+        assert "modified" in out and "#2" in out
+
+    def test_delta_reapplication_is_a_noop(self, ingested_db, tmp_path, capsys):
+        feed = self._write_delta(tmp_path)
+        assert main(["--db", str(ingested_db), "ingest", "--delta", str(feed)]) == 0
+        capsys.readouterr()
+        assert main(["--db", str(ingested_db), "ingest", "--delta", str(feed)]) == 0
+        out = capsys.readouterr().out
+        assert "~0 modified" in out  # second apply changed nothing
+        capsys.readouterr()
+        assert main(["--db", str(ingested_db), "snapshot", "list"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_snapshot_diff_defaults_to_parent_vs_head(self, ingested_db, tmp_path,
+                                                      capsys):
+        feed = self._write_delta(tmp_path)
+        assert main(["--db", str(ingested_db), "ingest", "--delta", str(feed)]) == 0
+        capsys.readouterr()
+        assert main(["--db", str(ingested_db), "snapshot", "diff", "--cves"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot #1" in out and "-> #2" in out
+        assert "affected OSes:" in out
+        assert "~ CVE-" in out
+
+    def test_snapshot_diff_on_rootless_head_fails(self, ingested_db, capsys):
+        assert main(["--db", str(ingested_db), "snapshot", "diff"]) == 2
+        assert "no parent" in capsys.readouterr().err
+
+    def test_snapshot_checkout_round_trips(self, ingested_db, tmp_path, capsys):
+        out_dir = tmp_path / "checkout"
+        assert main(["--db", str(ingested_db), "snapshot", "checkout",
+                     "--output", str(out_dir)]) == 0
+        assert list(out_dir.glob("*.xml"))
+        capsys.readouterr()
+        # Re-ingesting the checkout reproduces the snapshot digest.
+        verify = tmp_path / "verify.db"
+        assert main(["--db", str(verify), "--feeds", str(out_dir), "ingest"]) == 0
+        capsys.readouterr()
+        from repro.db.database import VulnerabilityDatabase
+        from repro.snapshots.store import SnapshotStore
+
+        with VulnerabilityDatabase(ingested_db) as original, \
+                VulnerabilityDatabase(verify) as copy:
+            assert SnapshotStore(original).head().digest == \
+                SnapshotStore(copy).head().digest
+
+    def test_snapshot_drift_reports_table1_numbers(self, ingested_db, tmp_path,
+                                                   capsys):
+        feed = self._write_delta(tmp_path, rejections=2)
+        assert main(["--db", str(ingested_db), "ingest", "--delta", str(feed)]) == 0
+        capsys.readouterr()
+        assert main(["--db", str(ingested_db), "snapshot", "drift"]) == 0
+        out = capsys.readouterr().out
+        assert "SnapshotDrift" in out
+        assert "#1 -> #2" in out
+
+    def test_snapshot_commands_require_existing_db(self, tmp_path, capsys):
+        missing = tmp_path / "nope.db"
+        assert main(["--db", str(missing), "snapshot", "list"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_analyses_run_on_pinned_snapshot(self, ingested_db, tmp_path, capsys):
+        feed = self._write_delta(tmp_path)
+        assert main(["--db", str(ingested_db), "ingest", "--delta", str(feed)]) == 0
+        capsys.readouterr()
+        assert main(["--db", str(ingested_db), "--snapshot", "1",
+                     "table", "--id", "Table I"]) == 0
+        pinned = capsys.readouterr().out
+        assert main(["table", "--id", "Table I"]) == 0
+        synthetic = capsys.readouterr().out
+        assert pinned == synthetic  # snapshot 1 is the untouched full corpus
+
+    def test_sweep_json_embeds_dataset_digest(self, ingested_db, capsys):
+        import json
+
+        assert main(["--db", str(ingested_db), "sweep", "--runs", "4",
+                     "--horizon", "1.0", "--os", "Debian,OpenBSD",
+                     "--no-cache", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dataset"]["source"] == "db"
+        assert payload["dataset"]["snapshot_id"] == 1
+        assert len(payload["dataset"]["digest"]) == 64
+        assert payload["dataset"]["snapshot_digest"] == payload["dataset"]["digest"]
+        for cell in payload["cells"]:
+            assert len(cell["scope_digest"]) == 64
+
+    def test_sweep_csv_embeds_digests(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        assert main(["sweep", "--runs", "4", "--horizon", "1.0",
+                     "--os", "Debian,OpenBSD", "--no-cache",
+                     "--csv", str(csv_path)]) == 0
+        header, first = csv_path.read_text(encoding="utf-8").splitlines()[:2]
+        assert "corpus_digest" in header and "scope_digest" in header
+        assert first.count(",") == header.count(",")
+
+
+class TestSnapshotSelector:
+    def test_all_digit_digest_prefix_falls_back_to_digest_lookup(self):
+        from repro.cli import _resolve_snapshot
+        from repro.db.database import VulnerabilityDatabase
+        from repro.snapshots.store import SnapshotStore
+
+        database = VulnerabilityDatabase()
+        store = SnapshotStore(database)
+        with database.connection:
+            database.connection.execute(
+                "INSERT INTO snapshot (digest, parent_digest, created, source,"
+                " entry_count, added, modified, removed)"
+                " VALUES ('123abc456def', NULL, '2011-06-27T00:00:00', 's',"
+                " 0, 0, 0, 0)"
+            )
+        # "123" is all digits but names no ledger id -> digest-prefix match.
+        assert _resolve_snapshot(store, "123").digest == "123abc456def"
+        # A real ledger id still wins.
+        assert _resolve_snapshot(store, "1").snapshot_id == 1
+
+    def test_unknown_snapshot_selector_fails_cleanly(self, tmp_path, capsys):
+        from repro.db.database import VulnerabilityDatabase
+        from repro.snapshots.store import SnapshotStore
+        from tests.conftest import make_entry
+
+        db_path = tmp_path / "sel.db"
+        with VulnerabilityDatabase(db_path) as database:
+            database.register_os_catalog()
+            database.insert_entry(make_entry())
+            SnapshotStore(database).commit(source="seed")
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--db", str(db_path), "--snapshot", "ffff", "tables"])
+        assert "no snapshot" in str(exc_info.value)
+
+    def test_db_option_does_not_create_stray_files(self, tmp_path):
+        missing = tmp_path / "typo.db"
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--db", str(missing), "tables"])
+        assert "does not exist" in str(exc_info.value)
+        assert not missing.exists()

@@ -1,0 +1,91 @@
+"""Docs-system guards: link checker, API-reference drift, examples matrix.
+
+These tests keep the documentation machinery honest from inside the tier-1
+suite, so doc drift fails fast locally rather than only in the dedicated CI
+jobs.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+TOOLS = ROOT / "tools"
+
+sys.path.insert(0, str(TOOLS))
+
+import check_docs_links  # noqa: E402
+import gen_api_docs  # noqa: E402
+
+
+class TestDocsLinks:
+    def test_all_docs_pass_every_audit(self, capsys):
+        assert check_docs_links.main([]) == 0
+
+    def test_broken_anchor_is_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Title\n\n[x](#no-such-section)\n", encoding="utf-8")
+        assert check_docs_links.main([str(page)]) == 1
+
+    def test_valid_anchor_passes(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "# Title\n\n## My `fancy` — section\n\n[x](#my-fancy--section)\n",
+            encoding="utf-8",
+        )
+        assert check_docs_links.main([str(page)]) == 0
+
+    def test_stale_code_reference_is_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see `src/repro/cli.py:999999`\n", encoding="utf-8")
+        assert check_docs_links.main([str(page)]) == 1
+
+    def test_valid_code_reference_passes(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see `src/repro/cli.py:1`\n", encoding="utf-8")
+        assert check_docs_links.main([str(page)]) == 0
+
+    def test_cli_doc_flag_audit_catches_stale_flag(self, tmp_path, monkeypatch):
+        fake_cli = tmp_path / "cli.md"
+        fake_cli.write_text("`tables` uses `--no-such-flag`\n", encoding="utf-8")
+        failures = check_docs_links.check_cli_doc(fake_cli)
+        assert any("--no-such-flag" in failure for failure in failures)
+
+
+class TestApiReference:
+    def test_generated_pages_match_committed_docs(self):
+        problems = gen_api_docs.check_pages(gen_api_docs.build_pages())
+        assert problems == [], (
+            "docs/api drifted; regenerate with "
+            "`PYTHONPATH=src python tools/gen_api_docs.py`"
+        )
+
+    def test_generation_is_deterministic(self):
+        assert gen_api_docs.build_pages() == gen_api_docs.build_pages()
+
+    def test_every_subpackage_has_a_page(self):
+        pages = set(gen_api_docs.build_pages())
+        for package_dir in sorted((ROOT / "src" / "repro").iterdir()):
+            if package_dir.is_dir() and (package_dir / "__init__.py").exists():
+                assert f"repro.{package_dir.name}.md" in pages
+
+
+class TestExamplesCoverage:
+    def examples(self):
+        return sorted(path.name for path in (ROOT / "examples").glob("*.py"))
+
+    def test_ci_matrix_runs_every_example(self):
+        workflow = (ROOT / ".github" / "workflows" / "ci.yml").read_text(
+            encoding="utf-8"
+        )
+        matrix = re.findall(r"^\s+- (\w+\.py)\s*$", workflow, re.MULTILINE)
+        assert sorted(matrix) == self.examples()
+
+    def test_readme_links_every_example(self):
+        readme = (ROOT / "README.md").read_text(encoding="utf-8")
+        for example in self.examples():
+            assert f"examples/{example}" in readme, (
+                f"README.md does not cross-link examples/{example}"
+            )

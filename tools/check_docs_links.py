@@ -1,12 +1,24 @@
 #!/usr/bin/env python3
-"""Check that relative links in the Markdown docs resolve to real files.
+"""Static checks for the Markdown docs: links, anchors, code refs, CLI flags.
 
-Scans the given Markdown files (default: README.md, CHANGES.md and
-docs/*.md) for inline links and verifies that every non-external target
-exists relative to the linking file. External links (http/https/mailto)
-are not fetched -- this is an offline check.
+Four audits over the given Markdown files (default: README.md, CHANGES.md,
+docs/*.md and docs/api/*.md):
 
-Exit status 0 when every link resolves, 1 otherwise.  Used by CI.
+1. **Relative links** -- every non-external link target must exist relative
+   to the linking file.
+2. **Anchors** -- fragment links (``#section`` and ``file.md#section``) must
+   name a real heading of the target file, using GitHub's slug rules.
+3. **file:line code references** -- inline references like
+   ``src/repro/cli.py:42`` must point at an existing file with at least
+   that many lines, so refactors cannot leave the docs pointing into the
+   void.
+4. **CLI flag audit** (docs/cli.md only) -- every flag the ``repro``
+   argument parser defines must be documented, and every ``--flag`` token
+   the document mentions must exist in the parser; stale and undocumented
+   flags both fail.
+
+External links (http/https/mailto) are not fetched -- this is an offline
+check.  Exit status 0 when every audit passes, 1 otherwise.  Used by CI.
 """
 
 from __future__ import annotations
@@ -15,48 +27,167 @@ import re
 import sys
 from pathlib import Path
 
+ROOT = Path(__file__).resolve().parent.parent
+
 #: Inline Markdown links: [text](target), ignoring images' leading "!".
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
 
+#: Headings (``#`` .. ``######``), captured for anchor validation.
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
 
-def iter_links(markdown: str):
-    for match in LINK_PATTERN.finditer(markdown):
-        yield match.group(1)
+#: ``path/to/file.py:123`` style code references in inline code spans.
+CODE_REF_PATTERN = re.compile(
+    r"`((?:src|tests|tools|benchmarks|examples|docs)/[\w./-]+):(\d+)`"
+)
+
+#: ``--flag`` tokens (for the CLI flag audit).
+FLAG_PATTERN = re.compile(r"(?<![\w-])(--[a-z][\w-]*)")
+
+#: Fenced code blocks -- excluded from *link* checks but kept for flags
+#: (usage examples in fences are documentation too).
+FENCE_PATTERN = re.compile(r"```.*?```", re.DOTALL)
 
 
-def check_file(path: Path) -> list[str]:
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug for a heading text (with duplicate suffixes)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    # GitHub maps every space to a hyphen without collapsing runs, so a
+    # removed em dash between spaces yields a double hyphen.
+    slug = text.strip().replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_slugs(path: Path, cache: dict) -> set:
+    """All anchor slugs a Markdown file defines."""
+    if path not in cache:
+        seen: dict = {}
+        slugs = set()
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            cache[path] = set()
+            return cache[path]
+        text = FENCE_PATTERN.sub("", text)
+        for match in HEADING_PATTERN.finditer(text):
+            slugs.add(github_slug(match.group(2), seen))
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_links(path: Path, slug_cache: dict) -> list:
+    """Audit 1 + 2: relative link targets and anchors."""
     failures = []
-    for target in iter_links(path.read_text(encoding="utf-8")):
-        if target.startswith(EXTERNAL_SCHEMES) or target.startswith("#"):
+    text = FENCE_PATTERN.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_SCHEMES):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        if not (path.parent / relative).exists():
-            failures.append(f"{path}: broken link -> {target}")
+        relative, _, fragment = target.partition("#")
+        if relative:
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                failures.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if fragment:
+            if resolved.suffix != ".md" or resolved.is_dir():
+                continue
+            if fragment not in heading_slugs(resolved, slug_cache):
+                failures.append(f"{path}: broken anchor -> {target}")
     return failures
 
 
-def main(argv: list[str]) -> int:
-    root = Path(__file__).resolve().parent.parent
+def check_code_refs(path: Path) -> list:
+    """Audit 3: ``file:line`` references point inside real files."""
+    failures = []
+    for match in CODE_REF_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        referenced = ROOT / match.group(1)
+        line = int(match.group(2))
+        if not referenced.is_file():
+            failures.append(
+                f"{path}: code reference to missing file -> {match.group(0)}"
+            )
+            continue
+        lines = referenced.read_text(encoding="utf-8").count("\n") + 1
+        if line < 1 or line > lines:
+            failures.append(
+                f"{path}: code reference past end of file "
+                f"({referenced.name} has {lines} lines) -> {match.group(0)}"
+            )
+    return failures
+
+
+def cli_flags() -> tuple:
+    """(known flags, subcommand names) from the repro argument parser."""
+    src = ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    known = set()
+    commands = set()
+
+    def collect(target) -> None:
+        for action in target._actions:
+            known.update(
+                option for option in action.option_strings
+                if option.startswith("--")
+            )
+            if hasattr(action, "choices") and isinstance(action.choices, dict):
+                for name, sub in action.choices.items():
+                    commands.add(name)
+                    collect(sub)
+
+    collect(parser)
+    return known, commands
+
+
+def check_cli_doc(path: Path) -> list:
+    """Audit 4: docs/cli.md covers exactly the flags the parser defines."""
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    documented = set(FLAG_PATTERN.findall(text))
+    known, commands = cli_flags()
+    for flag in sorted(documented - known):
+        failures.append(f"{path}: documents unknown flag {flag}")
+    for flag in sorted(known - documented - {"--help"}):
+        failures.append(f"{path}: flag {flag} is undocumented")
+    for command in sorted(commands):
+        if f"`{command}`" not in text:
+            failures.append(f"{path}: subcommand {command} is undocumented")
+    return failures
+
+
+def main(argv: list) -> int:
     if argv:
         paths = [Path(arg) for arg in argv]
     else:
-        paths = [root / "README.md", root / "CHANGES.md"]
-        paths.extend(sorted((root / "docs").glob("*.md")))
-    failures: list[str] = []
+        paths = [ROOT / "README.md", ROOT / "CHANGES.md"]
+        paths.extend(sorted((ROOT / "docs").glob("*.md")))
+        paths.extend(sorted((ROOT / "docs" / "api").glob("*.md")))
+    failures: list = []
     checked = 0
+    slug_cache: dict = {}
     for path in paths:
         if not path.exists():
             failures.append(f"{path}: file not found")
             continue
-        failures.extend(check_file(path))
+        failures.extend(check_links(path, slug_cache))
+        failures.extend(check_code_refs(path))
+        if path.resolve() == (ROOT / "docs" / "cli.md").resolve():
+            failures.extend(check_cli_doc(path))
         checked += 1
     for failure in failures:
         print(failure, file=sys.stderr)
     print(f"checked {checked} file(s): "
-          f"{'OK' if not failures else f'{len(failures)} broken link(s)'}")
+          f"{'OK' if not failures else f'{len(failures)} problem(s)'}")
     return 1 if failures else 0
 
 

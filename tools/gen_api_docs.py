@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Generate (and drift-check) the API reference under docs/api/.
+
+Walks every module of the ``repro`` package, imports it, and renders one
+Markdown page per subpackage (plus ``repro.md`` for the top-level modules
+and an index).  Only public API is documented: module docstrings, public
+classes with their public methods/properties, and public module-level
+functions, each with its signature and the first paragraph of its
+docstring.
+
+The output is deterministic (members are listed in source order, pages and
+the index in alphabetical order), so the rendered files can be committed
+and CI can fail when code and docs drift apart::
+
+    PYTHONPATH=src python tools/gen_api_docs.py           # (re)write docs/api/
+    PYTHONPATH=src python tools/gen_api_docs.py --check   # fail on drift
+
+No third-party documentation tool is required -- the generator is stdlib
+only, which keeps it runnable in the offline reproduction environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+API_DIR = ROOT / "docs" / "api"
+PACKAGE = "repro"
+
+#: Modules that are implementation entry points rather than API surface.
+SKIPPED_MODULES = {"repro.__main__"}
+
+#: Cap for rendered signatures; long default reprs are elided beyond this.
+MAX_SIGNATURE = 110
+
+
+def discover_modules() -> List[str]:
+    """Every importable module name under the package, sorted."""
+    if str(SRC) not in sys.path:
+        sys.path.insert(0, str(SRC))
+    package = importlib.import_module(PACKAGE)
+    names = [PACKAGE]
+    for info in pkgutil.walk_packages(package.__path__, prefix=f"{PACKAGE}."):
+        if info.name not in SKIPPED_MODULES:
+            names.append(info.name)
+    return sorted(names)
+
+
+def first_paragraph(obj) -> str:
+    """The first docstring paragraph, joined onto single lines."""
+    doc = inspect.getdoc(obj) or ""
+    paragraph = doc.split("\n\n", 1)[0].strip()
+    return " ".join(line.strip() for line in paragraph.splitlines())
+
+
+def render_signature(name: str, obj) -> str:
+    """``name(params)`` with long parameter lists elided."""
+    try:
+        signature = str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        signature = "(...)"
+    if len(name + signature) > MAX_SIGNATURE:
+        signature = signature[: MAX_SIGNATURE - len(name) - 3] + "...)"
+    return f"{name}{signature}"
+
+
+def source_line(obj) -> int:
+    try:
+        return inspect.getsourcelines(obj)[1]
+    except (OSError, TypeError):
+        return 0
+
+
+def public_members(module) -> Tuple[List[tuple], List[tuple]]:
+    """(classes, functions) defined by the module itself, in source order."""
+    classes, functions = [], []
+    for name, obj in vars(module).items():
+        if name.startswith("_") or getattr(obj, "__module__", None) != module.__name__:
+            continue
+        if inspect.isclass(obj):
+            classes.append((source_line(obj), name, obj))
+        elif inspect.isfunction(obj):
+            functions.append((source_line(obj), name, obj))
+    return sorted(classes), sorted(functions)
+
+
+def class_members(cls) -> List[tuple]:
+    """Public methods and properties defined directly on the class."""
+    members = []
+    for name, obj in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(obj, property):
+            members.append((source_line(obj.fget) if obj.fget else 0,
+                            name, obj, "property"))
+        elif isinstance(obj, staticmethod):
+            members.append((source_line(obj.__func__), name, obj.__func__,
+                            "staticmethod"))
+        elif isinstance(obj, classmethod):
+            members.append((source_line(obj.__func__), name, obj.__func__,
+                            "classmethod"))
+        elif inspect.isfunction(obj):
+            members.append((source_line(obj), name, obj, "method"))
+    return sorted(members)
+
+
+def render_module(module_name: str) -> List[str]:
+    """Markdown lines documenting one module."""
+    module = importlib.import_module(module_name)
+    lines = [f"## `{module_name}`", ""]
+    summary = first_paragraph(module)
+    if summary:
+        lines += [summary, ""]
+    classes, functions = public_members(module)
+    for _, name, cls in classes:
+        lines.append(f"### class `{render_signature(name, cls)}`")
+        lines.append("")
+        doc = first_paragraph(cls)
+        if doc:
+            lines += [doc, ""]
+        for _, member_name, member, kind in class_members(cls):
+            if kind == "property":
+                doc = first_paragraph(member)
+                lines.append(f"- `{member_name}` *(property)*"
+                             + (f" — {doc}" if doc else ""))
+            else:
+                doc = first_paragraph(member)
+                label = f" *({kind})*" if kind != "method" else ""
+                lines.append(
+                    f"- `{render_signature(member_name, member)}`{label}"
+                    + (f" — {doc}" if doc else "")
+                )
+        if class_members(cls):
+            lines.append("")
+    for _, name, function in functions:
+        lines.append(f"### `{render_signature(name, function)}`")
+        lines.append("")
+        doc = first_paragraph(function)
+        if doc:
+            lines += [doc, ""]
+    return lines
+
+
+def page_name(module_name: str) -> str:
+    """The docs/api page a module belongs to (grouped by subpackage)."""
+    parts = module_name.split(".")
+    if len(parts) == 1:
+        return f"{PACKAGE}.md"
+    return f"{parts[0]}.{parts[1]}.md"
+
+
+def build_pages() -> Dict[str, str]:
+    """All rendered pages (filename -> content), including the index."""
+    grouped: Dict[str, List[str]] = {}
+    for module_name in discover_modules():
+        grouped.setdefault(page_name(module_name), []).append(module_name)
+
+    pages: Dict[str, str] = {}
+    index_rows: List[str] = []
+    for filename in sorted(grouped):
+        modules = grouped[filename]
+        title = filename[: -len(".md")]
+        lines = [
+            f"# `{title}` API reference",
+            "",
+            "<!-- Generated by tools/gen_api_docs.py; do not edit by hand. -->",
+            "",
+        ]
+        for module_name in modules:
+            lines.extend(render_module(module_name))
+        pages[filename] = "\n".join(lines).rstrip() + "\n"
+        hook = first_paragraph(importlib.import_module(modules[0]))
+        short = hook.split(". ")[0].rstrip(".") + "." if hook else ""
+        index_rows.append(f"| [`{title}`]({filename}) | {short} |")
+
+    index = [
+        "# API reference",
+        "",
+        "<!-- Generated by tools/gen_api_docs.py; do not edit by hand. -->",
+        "",
+        "One page per subpackage, regenerated by `tools/gen_api_docs.py`",
+        "(CI fails when these files drift from the code — regenerate with",
+        "`PYTHONPATH=src python tools/gen_api_docs.py`).",
+        "",
+        "| page | summary |",
+        "| --- | --- |",
+        *index_rows,
+    ]
+    pages["README.md"] = "\n".join(index) + "\n"
+    return pages
+
+
+def write_pages(pages: Dict[str, str]) -> List[Path]:
+    API_DIR.mkdir(parents=True, exist_ok=True)
+    written = []
+    for filename, content in sorted(pages.items()):
+        path = API_DIR / filename
+        path.write_text(content, encoding="utf-8")
+        written.append(path)
+    # Remove stale pages for subpackages that no longer exist.
+    for path in API_DIR.glob("*.md"):
+        if path.name not in pages:
+            path.unlink()
+    return written
+
+
+def check_pages(pages: Dict[str, str]) -> List[str]:
+    """Mismatches between the rendered pages and docs/api on disk."""
+    problems = []
+    on_disk = {path.name for path in API_DIR.glob("*.md")} if API_DIR.exists() else set()
+    for filename, content in pages.items():
+        path = API_DIR / filename
+        if not path.exists():
+            problems.append(f"missing page: docs/api/{filename}")
+        elif path.read_text(encoding="utf-8") != content:
+            problems.append(f"stale page: docs/api/{filename}")
+    for filename in sorted(on_disk - set(pages)):
+        problems.append(f"orphaned page: docs/api/{filename}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify docs/api matches the code instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+    pages = build_pages()
+    if args.check:
+        problems = check_pages(pages)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            print(
+                "API docs drifted; regenerate with "
+                "`PYTHONPATH=src python tools/gen_api_docs.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"docs/api is up to date ({len(pages)} pages)")
+        return 0
+    written = write_pages(pages)
+    print(f"wrote {len(written)} pages to {API_DIR.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
