@@ -1,0 +1,223 @@
+"""Serving-layer load generator: warm-cache throughput and delta freshness.
+
+The service's acceptance criteria, held on a live server (real sockets,
+threaded clients):
+
+* **throughput** -- on a 100-OS scaled catalogue, warm digest-cache
+  throughput (registry + response cache populated) is at least ``10x``
+  cold-compile throughput (both caches cleared before every request, so
+  each request pays the full corpus compile);
+* **latency** -- warm p50 is reported alongside both throughputs, so
+  regressions are visible in CI logs even before a gate trips;
+* **freshness** -- after an incremental delta lands, a request presenting
+  the pre-delta ``ETag`` for a *touched* scope misses revalidation and is
+  answered fresh -- with no server restart -- while an untouched scope
+  keeps its ``304``.
+
+Run the smoke subset (what CI does)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q -s -k smoke
+
+The same tests constitute the full gate; the suffix only mirrors the
+other benchmarks' CI convention.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.classify.filters import ServerConfigurationFilter
+from repro.core.enums import ServerConfiguration
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline
+from repro.service import (
+    DiversityService,
+    ServiceConfig,
+    ServiceServer,
+    SnapshotDatasetProvider,
+    StaticDatasetProvider,
+)
+from repro.snapshots.delta import DeltaIngestPipeline
+from repro.snapshots.store import SnapshotStore
+from repro.synthetic.evolution import evolve_corpus
+from repro.synthetic.generator import generate_scaled_catalogue
+
+#: Acceptance gate: warm digest-cache vs cold-compile throughput.
+WARM_SPEEDUP_FLOOR = 10.0
+
+#: Request counts: cold requests pay a full 100-OS compile each, so a
+#: handful suffices; warm requests are cheap, so many sharpen the p50.
+COLD_REQUESTS = 5
+WARM_REQUESTS = 200
+
+
+def _get(base_url: str, path: str, etag=None):
+    headers = {"If-None-Match": etag} if etag else {}
+    request = urllib.request.Request(base_url + path, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture(scope="module")
+def scaled_server():
+    """A live server over the 100-OS scaled catalogue."""
+    catalogue = generate_scaled_catalogue()  # 10 families x 10 releases
+    app = DiversityService(
+        ServiceConfig(),
+        StaticDatasetProvider(
+            catalogue.entries, os_names=catalogue.os_names,
+            label="scaled catalogue (100 OS)",
+        ),
+    )
+    service = ServiceServer(app)
+    base_url = service.start()
+    yield base_url, app, catalogue
+    service.stop()
+
+
+def test_service_smoke_warm_cache_throughput(scaled_server):
+    """Warm digest-cache throughput >= 10x cold-compile throughput."""
+    base_url, app, catalogue = scaled_server
+    path = "/v1/shared?os=" + ",".join(catalogue.os_names[:3])
+
+    # Cold: every request recompiles the corpus from scratch.
+    cold_latencies = []
+    for _ in range(COLD_REQUESTS):
+        app.reset_caches()
+        started = time.perf_counter()
+        status, _headers, _body = _get(base_url, path)
+        cold_latencies.append(time.perf_counter() - started)
+        assert status == 200
+    cold_throughput = COLD_REQUESTS / sum(cold_latencies)
+
+    # Warm: the registry holds the compiled corpus, the response cache the
+    # rendered bytes.  One priming request, then the measured volley.
+    status, _headers, reference = _get(base_url, path)
+    assert status == 200
+    warm_latencies = []
+    for _ in range(WARM_REQUESTS):
+        started = time.perf_counter()
+        status, _headers, body = _get(base_url, path)
+        warm_latencies.append(time.perf_counter() - started)
+        assert status == 200
+        assert body == reference  # warm hits are byte-identical
+    warm_throughput = WARM_REQUESTS / sum(warm_latencies)
+    speedup = warm_throughput / cold_throughput
+
+    print(f"\n=== service: warm vs cold throughput "
+          f"({len(catalogue.os_names)} OSes, {len(catalogue.entries)} entries) ===")
+    print(f"  cold (compile per request): {cold_throughput:8.1f} req/s "
+          f"(p50 {statistics.median(cold_latencies) * 1e3:7.2f}ms)")
+    print(f"  warm (digest-keyed caches): {warm_throughput:8.1f} req/s "
+          f"(p50 {statistics.median(warm_latencies) * 1e3:7.2f}ms)")
+    print(f"  speedup                   : {speedup:8.1f}x "
+          f"(floor {WARM_SPEEDUP_FLOOR}x)")
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm-cache speedup {speedup:.1f}x below the "
+        f"{WARM_SPEEDUP_FLOOR}x acceptance floor"
+    )
+
+
+def test_service_smoke_post_delta_freshness(corpus, tmp_path_factory):
+    """A delta makes touched ETags stale -- fresh answers, no restart."""
+    root = tmp_path_factory.mktemp("service-bench")
+    db_path = root / "serve.db"
+    database = VulnerabilityDatabase(db_path)
+    pipeline = IngestPipeline(database=database)
+    pipeline.ingest_raw(corpus.to_raw_feed_entries())
+    SnapshotStore(database).commit(source="full ingest")
+
+    app = DiversityService(
+        ServiceConfig(db=str(db_path)), SnapshotDatasetProvider(str(db_path))
+    )
+    service = ServiceServer(app)
+    base_url = service.start()
+    try:
+        windows = {"Windows2000", "Windows2003", "Windows2008"}
+        debian_path = "/v1/shared?os=Debian,OpenBSD"
+        windows_path = "/v1/shared?os=Windows2000,Windows2003"
+        status, headers, debian_before = _get(base_url, debian_path)
+        assert status == 200
+        debian_etag = headers["ETag"]
+        status, headers, _body = _get(base_url, windows_path)
+        windows_etag = headers["ETag"]
+        compiles_before = app.registry.compile_count
+
+        # Land a Debian-only delta on the database the server is serving.
+        admits = ServerConfigurationFilter(ServerConfiguration.ISOLATED_THIN).admits
+        delta = evolve_corpus(
+            corpus, fraction=0.005, seed=47, target_os="Debian",
+            entry_filter=lambda entry: admits(entry)
+            and not entry.affected_os & windows,
+        )
+        report = DeltaIngestPipeline(pipeline, SnapshotStore(database)).apply_raw(
+            delta.entries, source="bench delta"
+        )
+        assert report.modified > 0
+
+        # Touched scope: the stale ETag misses and fresh bytes arrive.
+        status, headers, debian_after = _get(
+            base_url, debian_path, etag=debian_etag
+        )
+        assert status == 200
+        assert headers["ETag"] != debian_etag
+        assert debian_after != debian_before
+        assert app.registry.compile_count == compiles_before + 1
+
+        # Untouched scope: the pre-delta ETag still revalidates to 304.
+        status, headers, body = _get(base_url, windows_path, etag=windows_etag)
+        assert status == 304
+        assert body == b""
+
+        print("\n=== service: post-delta freshness ===")
+        print(f"  delta        : ~{report.modified} modified (Debian-scoped)")
+        print(f"  touched scope: stale ETag -> 200 with fresh payload")
+        print(f"  untouched    : old ETag -> 304 (no recompute)")
+    finally:
+        service.stop()
+        database.close()
+
+
+def test_service_smoke_job_throughput(scaled_server):
+    """Submitting a job never blocks queries: the 202 returns immediately."""
+    base_url, app, catalogue = scaled_server
+    body = json.dumps(
+        {
+            "configurations": {"quad": list(catalogue.os_names[:4])},
+            "runs": 50,
+            "horizon": 2.0,
+        }
+    ).encode("utf-8")
+    request = urllib.request.Request(
+        base_url + "/v1/simulations", data=body,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    started = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 202
+        job_id = json.loads(response.read())["job_id"]
+    submit_latency = time.perf_counter() - started
+
+    # Queries stay fast while the job runs in the background.
+    status, _headers, _body = _get(base_url, "/healthz")
+    assert status == 200
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        status, _headers, payload = _get(base_url, f"/v1/jobs/{job_id}")
+        state = json.loads(payload)["state"]
+        if state in ("done", "failed"):
+            break
+        time.sleep(0.05)
+    assert state == "done"
+    print(f"\n=== service: background job ===")
+    print(f"  submit -> 202 in {submit_latency * 1e3:.2f}ms; "
+          f"job finished as {state!r}")

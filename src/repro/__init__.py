@@ -22,6 +22,9 @@ rebuilds that study end to end:
   groups, attacker, BFT service, Monte-Carlo comparison);
 * :mod:`repro.runner` -- the parallel experiment-grid runner with a
   content-addressed, selectively-invalidated result cache;
+* :mod:`repro.service` -- the long-lived asyncio diversity-query API
+  server (``repro serve``): digest-keyed compile memoization, scoped
+  ETags with 304 revalidation, background simulation jobs;
 * :mod:`repro.reports` -- table/figure rendering and the experiment registry.
 
 Quickstart
@@ -60,6 +63,7 @@ from repro.core import (
 from repro.db import IngestPipeline, VulnerabilityDatabase
 from repro.itsys import BFTService, CompromiseSimulation, ReplicaGroup
 from repro.reports import run_experiment
+from repro.service import DiversityService, ServiceConfig, serve
 from repro.snapshots import DeltaIngestPipeline, SnapshotStore
 from repro.synthetic import SyntheticCorpus, build_corpus, evolve_corpus
 
@@ -101,4 +105,8 @@ __all__ = [
     "ReplicaGroup",
     "BFTService",
     "CompromiseSimulation",
+    # serving layer
+    "DiversityService",
+    "ServiceConfig",
+    "serve",
 ]

@@ -143,6 +143,17 @@ class VulnerabilityDataset:
             self._incidence = IncidenceIndex(self._entries, self._os_names)
         return self._incidence
 
+    def compile(self) -> "VulnerabilityDataset":
+        """Build the bitset incidence index eagerly and return ``self``.
+
+        The index is otherwise built lazily on first query; long-lived
+        callers (the serving layer's artifact registry) call this once at
+        registration time so the one-off compile cost never lands inside a
+        latency-sensitive request.
+        """
+        _ = self.incidence
+        return self
+
     def with_engine(self, engine: str) -> "VulnerabilityDataset":
         """The same dataset routed through a different engine."""
         if engine == self._engine:

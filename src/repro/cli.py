@@ -8,6 +8,7 @@ Usage (after ``pip install -e .`` or from the repository root)::
     python -m repro select --faults 1      # pick replica sets (Section IV-C)
     python -m repro simulate --runs 100    # homogeneous vs diverse simulation
     python -m repro sweep --workers 4      # parallel cached parameter-grid sweep
+    python -m repro serve --port 8142      # long-lived diversity-query API server
     python -m repro export --output out/   # write all tables/figures as text+CSV
     python -m repro feeds --output feeds/  # write the corpus as NVD-style XML feeds
     python -m repro ingest --db data.db    # ingest into a persistent snapshot store
@@ -27,6 +28,7 @@ for every command live in ``docs/cli.md``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -73,15 +75,8 @@ def _resolve_snapshot(store, spec: Optional[str]):
         if head is None:
             raise SystemExit("the database has no snapshots; run `repro ingest` first")
         return head
-    if spec.isdigit():
-        # Prefer the ledger-id reading, but an all-digit string can also be
-        # a hex digest prefix (e.g. "2778"), so fall through on a miss.
-        try:
-            return store.get(int(spec))
-        except DatabaseError:
-            pass
     try:
-        return store.by_digest(spec)
+        return store.resolve(spec)
     except DatabaseError as error:
         # Clean CLI failure instead of a DatabaseError traceback.
         raise SystemExit(str(error)) from error
@@ -360,8 +355,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     dataset = _load_dataset(args)
     cache = None if args.no_cache else ResultCache(Path(args.cache_dir))
-    runner = GridRunner(
-        [entry for entry in dataset if entry.is_valid],
+    runner = GridRunner.for_dataset(
+        dataset,
         seed=args.seed,
         engine=args.engine,
         workers=args.workers,
@@ -399,6 +394,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"done in {report.elapsed_seconds:.2f}s "
           f"({report.cached_cells}/{len(report.cells)} cells from cache)")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ApiError, ServiceConfig, ServiceConfigError, serve
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            engine=args.engine,
+            seed=args.seed,
+            db=args.db,
+            snapshot=args.snapshot,
+            feeds=args.feeds,
+        )
+        return serve(config)
+    except (ServiceConfigError, ApiError) as error:
+        # Startup failures (bad knobs, missing database, empty feed
+        # directory) exit cleanly like every other command, instead of
+        # leaking a traceback.
+        print(str(error), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C fallback
+        return 0
 
 
 def cmd_ingest(args: argparse.Namespace) -> int:
@@ -565,6 +586,11 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}",
+                        help="print the package version and exit")
     parser.add_argument("--seed", type=int, default=20110627,
                         help="seed for the synthetic corpus (default: 20110627)")
     parser.add_argument("--feeds", type=str, default=None,
@@ -749,9 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes to fan grid cells out to (1 = run inline)",
     )
     sweep_parser.add_argument(
-        "--cache-dir", default=".repro-cache",
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
         help="directory of the content-addressed result cache "
-             "(default: .repro-cache)",
+             "(default: $REPRO_CACHE_DIR, else .repro-cache)",
     )
     sweep_parser.add_argument(
         "--no-cache", action="store_true",
@@ -766,6 +793,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally write one CSV row per grid cell to PATH",
     )
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    serve_parser = add_command(
+        "serve",
+        "long-lived diversity-query API server (asyncio, JSON endpoints)",
+        "examples:\n"
+        "  python -m repro serve --port 8142             # synthetic corpus\n"
+        "  python -m repro --db data.db serve --workers 4\n"
+        "  python -m repro --db data.db --snapshot 2 serve   # pin a snapshot\n"
+        "\n"
+        "Each dataset state compiles once (keyed by its content digest) and\n"
+        "every query is answered from memory; responses carry scoped-digest\n"
+        "ETags (If-None-Match revalidation -> 304), simulations run as\n"
+        "background jobs (POST /v1/simulations -> 202 + job id), and\n"
+        "SIGTERM drains gracefully.  Endpoint reference: docs/service.md.",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8142,
+        help="TCP port to bind; 0 picks a free port (default: 8142)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers for background simulation jobs (default: 1)",
+    )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU response-cache entries (default: 256)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
 
     export_parser = add_command(
         "export",

@@ -253,6 +253,18 @@ class GridRunner:
         self._entry_digests: Optional[Dict[int, str]] = None
         self._local: Optional[CompromiseSimulation] = None
 
+    @classmethod
+    def for_dataset(cls, dataset, **kwargs) -> "GridRunner":
+        """A runner over a dataset's valid entries (the job-safe handle).
+
+        The simulator only ever sees valid entries; this constructor
+        applies that filter once so callers holding a
+        :class:`~repro.analysis.dataset.VulnerabilityDataset` (the serving
+        layer's job table, notebooks) cannot accidentally feed excluded
+        entries into a sweep.  ``kwargs`` pass through to ``__init__``.
+        """
+        return cls([entry for entry in dataset if entry.is_valid], **kwargs)
+
     @property
     def workers(self) -> int:
         return self._workers

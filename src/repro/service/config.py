@@ -1,0 +1,66 @@
+"""Configuration of the diversity-query API server.
+
+One frozen dataclass carries every knob ``repro serve`` exposes, validated
+at construction so a misconfigured server fails before it binds a socket.
+The defaults serve the calibrated synthetic corpus on localhost -- the
+zero-setup path used by the CI smoke test and the worked examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.dataset import ENGINES
+from repro.core.exceptions import ReproError
+
+
+class ServiceConfigError(ReproError):
+    """The service was configured inconsistently."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every knob of one ``repro serve`` instance.
+
+    ``workers`` sizes the process pool background simulation jobs fan out
+    to (via :class:`~repro.runner.runner.GridRunner`); ``cache_size`` caps
+    the LRU response cache in entries; ``drain_grace`` bounds how long a
+    SIGTERM waits for running jobs before the loop stops.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8142
+    workers: int = 1
+    cache_size: int = 256
+    engine: str = "bitset"
+    seed: int = 20110627
+    db: Optional[str] = None
+    snapshot: Optional[str] = None
+    feeds: Optional[str] = None
+    drain_grace: float = 10.0
+    #: Datasets kept compiled in the artifact registry at once (the current
+    #: head plus a few recent snapshots during rolling deltas).
+    registry_size: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ServiceConfigError("the server needs a host to bind")
+        if not 0 <= self.port <= 65535:
+            raise ServiceConfigError(f"port {self.port} is outside 0-65535")
+        if self.workers < 1:
+            raise ServiceConfigError("the job runner needs at least one worker")
+        if self.cache_size < 1:
+            raise ServiceConfigError("the response cache needs at least one entry")
+        if self.registry_size < 1:
+            raise ServiceConfigError("the registry must hold at least one dataset")
+        if self.engine not in ENGINES:
+            raise ServiceConfigError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.drain_grace < 0:
+            raise ServiceConfigError("the drain grace period must be non-negative")
+        if self.db and self.feeds:
+            raise ServiceConfigError("--db and --feeds are mutually exclusive")
+        if self.snapshot and not self.db:
+            raise ServiceConfigError("--snapshot requires --db")

@@ -1,0 +1,396 @@
+"""Digest-keyed corpus compilation: providers, artifacts and the registry.
+
+The serving layer's core promise is **compile once per dataset state,
+answer from memory**.  Three pieces deliver it:
+
+* a *dataset provider* names the current dataset state cheaply
+  (:class:`StaticDatasetProvider` for fixed entry sets,
+  :class:`SnapshotDatasetProvider` for a PR-4 snapshot store, where the
+  state is the ledger head's content digest -- one SQL row, no entry
+  loads) and materialises the entries only when a compile is actually
+  needed;
+* :class:`CorpusArtifacts` wraps one compiled
+  :class:`~repro.analysis.dataset.VulnerabilityDataset` together with
+  memoized derived artefacts (pair matrices, k-set totals, selectors,
+  scoped digests) so repeated queries never recompute;
+* :class:`ArtifactRegistry` memoizes artifacts **by dataset digest** with
+  per-digest locks: N concurrent identical requests trigger exactly one
+  compile (``compile_count`` counts them, which the concurrency tests
+  assert), and an LRU bound keeps at most ``max_datasets`` corpora live
+  across rolling snapshot deltas.
+
+Scoped digests are the PR-3/PR-4 content addresses
+(:func:`repro.runner.cache.scoped_corpus_digest`): the digest of the
+sub-corpus a query can observe.  They are what response ``ETag``\\ s derive
+from, so a snapshot delta that never touches a query's OSes leaves its
+ETag -- and every conditional revalidation against it -- intact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.ksets import KSetAnalysis
+from repro.analysis.selection import ReplicaSetSelector
+from repro.core.enums import ServerConfiguration
+from repro.core.models import VulnerabilityEntry
+from repro.runner.cache import scoped_corpus_digest
+from repro.service.errors import Conflict, NotFound
+from repro.snapshots.digests import entry_digest
+from repro.snapshots.store import SnapshotRecord
+
+#: Scoped digests memoized per compiled corpus; scopes are client-chosen
+#: (each distinct ``os=`` combination is one), so the memo is LRU-bounded.
+#: A miss only costs one pass over the precomputed entry digests.
+MAX_SCOPE_DIGESTS = 1024
+
+
+@dataclass(frozen=True)
+class DatasetState:
+    """A cheap name for one dataset state: its digest plus provenance."""
+
+    digest: str
+    snapshot: Optional[SnapshotRecord] = None
+
+
+class StaticDatasetProvider:
+    """A fixed entry set (synthetic corpus, feeds directory, test fixture)."""
+
+    def __init__(
+        self,
+        entries: Sequence[VulnerabilityEntry],
+        os_names: Optional[Sequence[str]] = None,
+        engine: str = "bitset",
+        label: str = "static",
+    ) -> None:
+        self._entries = list(entries)
+        self._os_names = tuple(os_names) if os_names is not None else None
+        self._engine = engine
+        self.label = label
+        self._digest: Optional[str] = None
+
+    @property
+    def source(self) -> str:
+        return self.label
+
+    def current(self) -> DatasetState:
+        """The (memoized) content digest of the fixed entry set."""
+        if self._digest is None:
+            from repro.snapshots.digests import dataset_digest_of
+
+            self._digest = dataset_digest_of(self._entries)
+        return DatasetState(digest=self._digest)
+
+    def load(self, state: DatasetState) -> VulnerabilityDataset:
+        if self._os_names is not None:
+            return VulnerabilityDataset(
+                self._entries, self._os_names, engine=self._engine
+            )
+        return VulnerabilityDataset(self._entries, engine=self._engine)
+
+    # Ledger operations are meaningless without a snapshot store.
+
+    def store(self):
+        raise Conflict(
+            "this server is not database-backed; snapshot and delta "
+            "operations need `repro serve --db PATH`"
+        )
+
+
+class SnapshotDatasetProvider:
+    """A PR-4 snapshot store: the state is the (pinned or head) ledger row.
+
+    Every call opens a fresh SQLite connection and closes it before
+    returning, so provider methods are safe from any thread -- the asyncio
+    loop, the request executor and the job workers never share a
+    connection.  ``current()`` reads one ledger row; entries are only
+    loaded (``load``) when the registry actually needs to compile.
+    """
+
+    def __init__(
+        self,
+        db_path: str,
+        snapshot: Optional[str] = None,
+        engine: str = "bitset",
+    ) -> None:
+        if not Path(db_path).exists():
+            raise NotFound(
+                f"database {db_path} does not exist; run `repro ingest` first"
+            )
+        self._db_path = str(db_path)
+        self._pin = snapshot
+        self._engine = engine
+
+    @property
+    def source(self) -> str:
+        pin = f"@{self._pin}" if self._pin else ""
+        return f"db:{self._db_path}{pin}"
+
+    @property
+    def db_path(self) -> str:
+        return self._db_path
+
+    def _open(self):
+        from repro.db.database import VulnerabilityDatabase
+
+        return VulnerabilityDatabase(self._db_path)
+
+    def _resolve(self, store) -> SnapshotRecord:
+        from repro.core.exceptions import DatabaseError
+
+        if self._pin is None:
+            head = store.head()
+            if head is None:
+                raise Conflict(
+                    f"database {self._db_path} has no snapshots; "
+                    "run `repro ingest` first"
+                )
+            return head
+        try:
+            return store.resolve(self._pin)
+        except DatabaseError as error:
+            raise NotFound(str(error)) from error
+
+    def current(self) -> DatasetState:
+        """The ledger row the server currently serves (head unless pinned)."""
+        from repro.snapshots.store import SnapshotStore
+
+        database = self._open()
+        try:
+            record = self._resolve(SnapshotStore(database))
+        finally:
+            database.close()
+        return DatasetState(digest=record.digest, snapshot=record)
+
+    def load(self, state: DatasetState) -> VulnerabilityDataset:
+        from repro.snapshots.store import SnapshotStore
+
+        database = self._open()
+        try:
+            store = SnapshotStore(database)
+            snapshot_id = (
+                state.snapshot.snapshot_id
+                if state.snapshot is not None
+                else self._resolve(store).snapshot_id
+            )
+            return store.dataset_at(snapshot_id, engine=self._engine)
+        finally:
+            database.close()
+
+    def store(self):
+        """A fresh (database, SnapshotStore) pair; the caller closes it."""
+        from repro.snapshots.store import SnapshotStore
+
+        database = self._open()
+        return database, SnapshotStore(database)
+
+
+class CorpusArtifacts:
+    """One compiled dataset plus memoized derived artefacts.
+
+    Everything here is immutable-after-compute and guarded by one lock, so
+    artefacts can be shared freely across request threads.  The compile
+    itself (incidence bitmasks) happens in :meth:`compile`, which the
+    registry calls exactly once per digest.
+    """
+
+    def __init__(self, dataset: VulnerabilityDataset, state: DatasetState) -> None:
+        self.dataset = dataset
+        self.state = state
+        self._lock = threading.RLock()
+        self._valid: Optional[VulnerabilityDataset] = None
+        self._views: Dict[ServerConfiguration, VulnerabilityDataset] = {}
+        self._entry_digests: Optional[Dict[int, str]] = None
+        #: LRU-bounded: clients choose the scope (the OS set of a query),
+        #: so an unbounded memo would grow with every distinct os=
+        #: combination ever requested.
+        self._scoped: "OrderedDict[Tuple[Optional[FrozenSet[str]], ServerConfiguration], str]" = (
+            OrderedDict()
+        )
+        self._pair_matrices: Dict[ServerConfiguration, Dict[Tuple[str, str], int]] = {}
+        self._selectors: Dict[ServerConfiguration, ReplicaSetSelector] = {}
+        self._ksets: Dict[ServerConfiguration, KSetAnalysis] = {}
+
+    @property
+    def digest(self) -> str:
+        return self.state.digest
+
+    @property
+    def os_names(self) -> Tuple[str, ...]:
+        return self.dataset.os_names
+
+    def compile(self) -> "CorpusArtifacts":
+        """Build the bitset incidence index eagerly (the expensive step)."""
+        self.dataset.compile()
+        return self
+
+    def valid_dataset(self) -> VulnerabilityDataset:
+        """The valid-entry view most analyses run on (compiled lazily)."""
+        with self._lock:
+            if self._valid is None:
+                self._valid = self.dataset.valid().compile()
+            return self._valid
+
+    def filtered_valid(
+        self, configuration: ServerConfiguration
+    ) -> VulnerabilityDataset:
+        """The valid entries admitted by one server configuration, compiled
+        once per configuration and shared by every query that needs it."""
+        with self._lock:
+            if configuration not in self._views:
+                self._views[configuration] = (
+                    self.valid_dataset().filtered(configuration).compile()
+                )
+            return self._views[configuration]
+
+    # -- scoped content addresses ---------------------------------------------
+
+    def scope_digest(
+        self,
+        os_names: Optional[Sequence[str]] = None,
+        configuration: ServerConfiguration = ServerConfiguration.ISOLATED_THIN,
+    ) -> str:
+        """Digest of the sub-corpus a query over ``os_names`` can observe.
+
+        ``None`` means the whole catalogue (global queries).  Stable across
+        snapshot deltas that do not touch the scope -- the property response
+        ETags inherit.
+        """
+        scope = frozenset(os_names) if os_names is not None else None
+        key = (scope, configuration)
+        with self._lock:
+            if key not in self._scoped:
+                if self._entry_digests is None:
+                    self._entry_digests = {
+                        id(entry): entry_digest(entry)
+                        for entry in self.dataset.entries
+                    }
+                self._scoped[key] = scoped_corpus_digest(
+                    self.dataset.entries,
+                    sorted(scope) if scope is not None else None,
+                    configuration,
+                    digests=self._entry_digests,
+                )
+            self._scoped.move_to_end(key)
+            while len(self._scoped) > MAX_SCOPE_DIGESTS:
+                self._scoped.popitem(last=False)
+            return self._scoped[key]
+
+    # -- derived analyses -----------------------------------------------------
+
+    def pair_matrix(
+        self, configuration: ServerConfiguration
+    ) -> Dict[Tuple[str, str], int]:
+        """The full pairwise shared matrix under one configuration."""
+        with self._lock:
+            if configuration not in self._pair_matrices:
+                view = self.filtered_valid(configuration)
+                self._pair_matrices[configuration] = view.incidence.pair_matrix(
+                    self.os_names
+                )
+            return self._pair_matrices[configuration]
+
+    def selector(self, configuration: ServerConfiguration) -> ReplicaSetSelector:
+        """A replica-set selector over this corpus (pair matrix compiled once)."""
+        with self._lock:
+            if configuration not in self._selectors:
+                self._selectors[configuration] = ReplicaSetSelector(
+                    pair_matrix=self.pair_matrix(configuration),
+                    candidates=self.os_names,
+                )
+            return self._selectors[configuration]
+
+    def ksets(self, configuration: ServerConfiguration) -> KSetAnalysis:
+        """The k-set analysis under one configuration."""
+        with self._lock:
+            if configuration not in self._ksets:
+                # Reuses the memoized filtered view (and its compiled
+                # index) rather than letting KSetAnalysis rebuild it.
+                self._ksets[configuration] = KSetAnalysis(
+                    self.filtered_valid(configuration),
+                    configuration=configuration,
+                    os_names=self.os_names,
+                    prefiltered=True,
+                )
+            return self._ksets[configuration]
+
+    def shared_count(
+        self,
+        os_names: Sequence[str],
+        configuration: ServerConfiguration = ServerConfiguration.ISOLATED_THIN,
+    ) -> int:
+        """Vulnerabilities common to every named OS under a configuration."""
+        return self.filtered_valid(configuration).shared_count(os_names)
+
+
+class ArtifactRegistry:
+    """Memoizes compiled corpora by dataset digest, one compile per digest.
+
+    ``get(state, loader)`` returns the compiled artifacts for a dataset
+    state, compiling at most once per digest even under concurrent callers:
+    a per-digest lock serialises the compile while other digests proceed in
+    parallel.  ``compile_count`` is the total number of compiles performed
+    -- the concurrency test drives N identical requests through a live
+    server and asserts it stays at one.
+    """
+
+    def __init__(self, max_datasets: int = 4) -> None:
+        if max_datasets < 1:
+            raise ValueError("the registry must hold at least one dataset")
+        self._max = max_datasets
+        self._artifacts: "OrderedDict[str, CorpusArtifacts]" = OrderedDict()
+        self._locks: Dict[str, threading.Lock] = {}
+        self._mutex = threading.Lock()
+        self.compile_count = 0
+        self.hit_count = 0
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._artifacts)
+
+    def digests(self) -> List[str]:
+        """Digests currently compiled, least recently used first."""
+        with self._mutex:
+            return list(self._artifacts)
+
+    def get(
+        self,
+        state: DatasetState,
+        loader: Callable[[DatasetState], VulnerabilityDataset],
+    ) -> CorpusArtifacts:
+        """The compiled artifacts for ``state``, compiling once if needed."""
+        with self._mutex:
+            artifacts = self._artifacts.get(state.digest)
+            if artifacts is not None:
+                self._artifacts.move_to_end(state.digest)
+                self.hit_count += 1
+                return artifacts
+            lock = self._locks.setdefault(state.digest, threading.Lock())
+        with lock:
+            # Double-checked: another thread may have compiled while this
+            # one waited on the per-digest lock.
+            with self._mutex:
+                artifacts = self._artifacts.get(state.digest)
+                if artifacts is not None:
+                    self.hit_count += 1
+                    return artifacts
+            compiled = CorpusArtifacts(loader(state), state).compile()
+            with self._mutex:
+                self.compile_count += 1
+                self._artifacts[state.digest] = compiled
+                self._artifacts.move_to_end(state.digest)
+                while len(self._artifacts) > self._max:
+                    evicted, _ = self._artifacts.popitem(last=False)
+                    self._locks.pop(evicted, None)
+            return compiled
+
+    def clear(self) -> None:
+        """Drop every compiled dataset (the benchmark's cold-path reset)."""
+        with self._mutex:
+            self._artifacts.clear()
+            self._locks.clear()

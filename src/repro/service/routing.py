@@ -1,0 +1,88 @@
+"""Method + path-template routing for the API server.
+
+A :class:`Router` maps ``(method, "/v1/jobs/{job_id}")`` templates onto
+handler callables.  Resolution distinguishes *unknown path* (404) from
+*known path, wrong method* (405, with the ``Allow`` set in the error
+detail), which is what the structured error contract requires.
+
+Templates are static segments plus ``{name}`` captures; a capture matches
+one non-empty path segment and is handed to the handler as a string in the
+``params`` mapping.  Matching is deterministic: routes are tried in
+registration order and templates never overlap in practice (the route
+table is small and hand-written in :mod:`repro.service.server`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.service.errors import MethodNotAllowed, NotFound
+
+#: ``{name}`` captures inside a route template.
+_CAPTURE = re.compile(r"\{([a-z_]+)\}")
+
+
+def _compile(template: str) -> re.Pattern:
+    """Turn ``/v1/jobs/{job_id}`` into an anchored regex with named groups."""
+    pattern = "".join(
+        f"(?P<{part[1:-1]}>[^/]+)" if part.startswith("{") else re.escape(part)
+        for part in re.split(r"(\{[a-z_]+\})", template)
+    )
+    return re.compile(f"^{pattern}$")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered route: method, template, compiled matcher, handler."""
+
+    method: str
+    template: str
+    pattern: re.Pattern
+    handler: Callable
+
+
+class Router:
+    """Orders routes and resolves requests to (handler, path params)."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(self, method: str, template: str, handler: Callable) -> None:
+        """Register a handler for one method + path template."""
+        if not template.startswith("/"):
+            raise ValueError(f"route template {template!r} must start with '/'")
+        for name in _CAPTURE.findall(template):
+            if template.count(f"{{{name}}}") > 1:
+                raise ValueError(f"duplicate capture {name!r} in {template!r}")
+        self._routes.append(
+            Route(method.upper(), template, _compile(template), handler)
+        )
+
+    def routes(self) -> List[Tuple[str, str]]:
+        """(method, template) pairs in registration order (for docs/tests)."""
+        return [(route.method, route.template) for route in self._routes]
+
+    def resolve(self, method: str, path: str) -> Tuple[Callable, Dict[str, str]]:
+        """The handler and path params for a request.
+
+        Raises :class:`~repro.service.errors.NotFound` when no template
+        matches the path, and :class:`~repro.service.errors
+        .MethodNotAllowed` (carrying the allowed method set) when templates
+        match but none under the requested method.
+        """
+        allowed = set()
+        for route in self._routes:
+            match = route.pattern.match(path)
+            if match is None:
+                continue
+            if route.method == method.upper():
+                return route.handler, match.groupdict()
+            allowed.add(route.method)
+        if allowed:
+            raise MethodNotAllowed(
+                f"{path} does not support {method.upper()}",
+                detail={"allow": sorted(allowed)},
+            )
+        raise NotFound(f"no route matches {path}")

@@ -1,0 +1,817 @@
+"""The asyncio diversity-query API server (``repro serve``).
+
+Two layers live here:
+
+* :class:`DiversityService` -- the transport-free application: the route
+  table, the request handlers, and the wiring between the
+  :class:`~repro.service.registry.ArtifactRegistry` (compile once per
+  dataset digest), the :class:`~repro.service.cache.ResponseCache`
+  (scoped-digest ETags, ``If-None-Match`` -> 304) and the
+  :class:`~repro.service.jobs.JobTable` (``202`` + poll for simulations).
+  ``dispatch`` is synchronous and thread-safe, so tests and benchmarks can
+  drive it directly.
+* the **asyncio HTTP/1.1 front end** -- a stdlib-only
+  ``asyncio.start_server`` loop that parses requests, runs ``dispatch``
+  on a small thread pool (compiles and SQLite reads never block the event
+  loop) and writes JSON responses with keep-alive support.
+  :func:`serve` is the blocking CLI entry point with graceful
+  SIGTERM/SIGINT drain; :class:`ServiceServer` runs the same loop on a
+  background thread for tests, benchmarks and the worked example.
+
+Endpoints (all payloads are canonical JSON, see ``docs/service.md``)::
+
+    GET  /healthz                 version, dataset digest, uptime, stats
+    GET  /v1/catalogue            OS names, years, dataset provenance
+    GET  /v1/shared?os=A&os=B     vulnerabilities common to the named OSes
+    GET  /v1/matrix/pairs         full pairwise shared matrix
+    GET  /v1/matrix/ksets?k=3     k-set totals (best/worst combinations)
+    GET  /v1/widest?top=3         widest-reaching vulnerabilities
+    GET  /v1/selection?n=4        replica-set selection (b&b/greedy/graph)
+    GET  /v1/snapshots            snapshot ledger        (db-backed only)
+    GET  /v1/snapshots/{id}       one ledger record      (db-backed only)
+    GET  /v1/snapshots/diff       blast radius between snapshots
+    POST /v1/ingest/delta         apply a modified feed  (db-backed only)
+    POST /v1/simulations          submit a sweep job -> 202 + job id
+    GET  /v1/jobs                 job table
+    GET  /v1/jobs/{job_id}        poll one job
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.core.enums import ServerConfiguration
+from repro.runner.runner import GridRunner
+from repro.service.cache import (
+    CachedResponse,
+    ResponseCache,
+    canonical_query,
+    make_etag,
+)
+from repro.service.config import ServiceConfig
+from repro.service.errors import (
+    ApiError,
+    BadRequest,
+    Conflict,
+    NotFound,
+    PayloadTooLarge,
+    internal_error,
+)
+from repro.service.jobs import Job, JobTable, request_fingerprint
+from repro.service.registry import (
+    ArtifactRegistry,
+    CorpusArtifacts,
+    SnapshotDatasetProvider,
+    StaticDatasetProvider,
+)
+from repro.service.routing import Router
+from repro.service import schemas
+
+#: Largest accepted request body (modified feeds are well under this).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Idle keep-alive connections are closed after this many seconds.
+IDLE_TIMEOUT = 30.0
+
+_STATUS_REASONS = {
+    200: "OK", 202: "Accepted", 304: "Not Modified", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, Tuple[str, ...]]
+    headers: Dict[str, str]
+    body: bytes = b""
+
+
+@dataclass
+class HttpResponse:
+    """One response ready for serialisation."""
+
+    status: int = 200
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+    content_type: str = "application/json"
+
+
+def _default_provider(config: ServiceConfig):
+    """Resolve the dataset provider the CLI flags describe."""
+    if config.db:
+        return SnapshotDatasetProvider(
+            config.db, snapshot=config.snapshot, engine=config.engine
+        )
+    if config.feeds:
+        from repro.db.ingest import IngestPipeline
+
+        paths = sorted(Path(config.feeds).glob("*.xml"))
+        if not paths:
+            raise NotFound(f"no .xml feeds found in {config.feeds}")
+        pipeline = IngestPipeline()
+        pipeline.ingest_xml_feeds(paths)
+        entries = pipeline.database.load_entries()
+        pipeline.database.close()
+        return StaticDatasetProvider(
+            entries, engine=config.engine, label=f"feeds:{config.feeds}"
+        )
+    from repro.synthetic.corpus import build_corpus
+
+    corpus = build_corpus(seed=config.seed)
+    return StaticDatasetProvider(
+        corpus.entries,
+        engine=config.engine,
+        label=f"synthetic corpus (seed {config.seed})",
+    )
+
+
+class DiversityService:
+    """The transport-free application behind ``repro serve``."""
+
+    def __init__(self, config: ServiceConfig, provider=None) -> None:
+        self.config = config
+        self.provider = provider if provider is not None else _default_provider(config)
+        self.registry = ArtifactRegistry(max_datasets=config.registry_size)
+        self.responses = ResponseCache(max_entries=config.cache_size)
+        self.jobs = JobTable(self._run_job)
+        self.started = time.time()
+        self._request_pool = ThreadPoolExecutor(
+            max_workers=8, thread_name_prefix="repro-http"
+        )
+        self.router = Router()
+        add = self.router.add
+        add("GET", "/healthz", self._healthz)
+        add("GET", "/v1/catalogue", self._catalogue)
+        add("GET", "/v1/shared", self._shared)
+        add("GET", "/v1/matrix/pairs", self._matrix_pairs)
+        add("GET", "/v1/matrix/ksets", self._matrix_ksets)
+        add("GET", "/v1/widest", self._widest)
+        add("GET", "/v1/selection", self._selection)
+        add("GET", "/v1/snapshots", self._snapshots)
+        add("GET", "/v1/snapshots/diff", self._snapshot_diff)
+        add("GET", "/v1/snapshots/{snapshot_id}", self._snapshot)
+        add("POST", "/v1/ingest/delta", self._ingest_delta)
+        add("POST", "/v1/simulations", self._submit_simulation)
+        add("GET", "/v1/jobs", self._jobs)
+        add("GET", "/v1/jobs/{job_id}", self._job)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def artifacts(self) -> CorpusArtifacts:
+        """The compiled artifacts for the current dataset state.
+
+        Cheap when the state is already compiled: one provider ``current()``
+        call (a single ledger row for snapshot providers) plus a registry
+        lookup.  A state the registry has never seen compiles exactly once,
+        even under concurrent requests.
+        """
+        state = self.provider.current()
+        return self.registry.get(state, self.provider.load)
+
+    def reset_caches(self) -> None:
+        """Drop every compiled dataset and cached response (benchmarks)."""
+        self.registry.clear()
+        self.responses.clear()
+
+    def shutdown(self) -> None:
+        """Release the request pool (the job table is drained separately)."""
+        self._request_pool.shutdown(wait=False, cancel_futures=True)
+
+    def dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Route one request; every failure renders the error envelope."""
+        try:
+            handler, params = self.router.resolve(request.method, request.path)
+            return handler(request, params)
+        except ApiError as error:
+            return self._render_error(error)
+        except Exception:  # noqa: BLE001 - the envelope hides the traceback
+            traceback.print_exc(file=sys.stderr)
+            return self._render_error(internal_error())
+
+    @staticmethod
+    def _render_error(error: ApiError) -> HttpResponse:
+        response = HttpResponse(status=error.status, body=schemas.dumps(error.envelope()))
+        if error.detail and "allow" in error.detail:
+            response.headers["Allow"] = ", ".join(error.detail["allow"])
+        return response
+
+    def _cached_json(
+        self,
+        request: HttpRequest,
+        artifacts: CorpusArtifacts,
+        scope: Optional[Sequence[str]],
+        configuration: Optional[ServerConfiguration],
+        build: Callable[[str], Dict[str, object]],
+        query: Optional[str] = None,
+    ) -> HttpResponse:
+        """Serve a data query through the ETag + response-cache pipeline.
+
+        ``scope`` is the OS set the response depends on (``None`` = the
+        whole catalogue); ``build(scope_digest)`` renders the payload on a
+        cache miss.  The ETag derives from the *scoped* corpus digest, so
+        it survives snapshot deltas that cannot change the answer.
+        ``configuration=None`` keys by the full dataset digest instead
+        (for payloads no configuration filter can change), and ``query``
+        overrides the canonical query (pass ``""`` when no parameter can
+        change the payload, so every variant shares one entry and ETag).
+        """
+        if configuration is None:
+            scope_digest = artifacts.digest
+        else:
+            scope_digest = artifacts.scope_digest(scope, configuration)
+        if query is None:
+            query = canonical_query(request.query)
+        etag = make_etag(scope_digest, request.path, query)
+        if _etag_matches(request.headers.get("if-none-match"), etag):
+            return HttpResponse(status=304, headers={"ETag": etag})
+        key = ResponseCache.key(scope_digest, request.path, query)
+        headers = {"ETag": etag, "Cache-Control": "no-cache"}
+        hit = self.responses.get(key)
+        if hit is not None:
+            headers["X-Cache"] = "hit"
+            return HttpResponse(body=hit.body, headers=headers)
+        body = schemas.dumps(build(scope_digest))
+        self.responses.put(
+            key,
+            CachedResponse(
+                body=body,
+                scope=frozenset(scope) if scope is not None else None,
+            ),
+        )
+        headers["X-Cache"] = "miss"
+        return HttpResponse(body=body, headers=headers)
+
+    # -- meta handlers --------------------------------------------------------
+
+    def _healthz(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        from repro import __version__
+
+        artifacts = self.artifacts()
+        payload = {
+            "service": "repro",
+            "version": __version__,
+            "engine": self.config.engine,
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "source": self.provider.source,
+            "dataset": schemas.dataset_block(artifacts),
+            "jobs": self.jobs.counts(),
+            "draining": self.jobs.draining,
+            "registry": {
+                "datasets": len(self.registry),
+                "compiles": self.registry.compile_count,
+                "hits": self.registry.hit_count,
+            },
+            "response_cache": self.responses.stats(),
+        }
+        return HttpResponse(body=schemas.dumps(payload))
+
+    # -- data handlers --------------------------------------------------------
+
+    def _catalogue(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self.artifacts()
+        # No parameter changes this payload, so every variant shares one
+        # cache entry and one ETag, keyed by the full dataset digest.
+        return self._cached_json(
+            request, artifacts, None, None,
+            lambda digest: schemas.catalogue_payload(artifacts),
+            query="",
+        )
+
+    def _shared(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self.artifacts()
+        configuration = schemas.parse_configuration(request.query)
+        os_names = schemas.parse_os_names(request.query, artifacts.os_names)
+        return self._cached_json(
+            request, artifacts, os_names, configuration,
+            lambda digest: schemas.shared_payload(
+                artifacts, os_names, configuration, digest
+            ),
+        )
+
+    def _matrix_pairs(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self.artifacts()
+        configuration = schemas.parse_configuration(request.query)
+        return self._cached_json(
+            request, artifacts, None, configuration,
+            lambda digest: schemas.pair_matrix_payload(
+                artifacts, configuration, digest
+            ),
+        )
+
+    def _matrix_ksets(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self.artifacts()
+        configuration = schemas.parse_configuration(request.query)
+        k = schemas.parse_int(
+            request.query, "k", default=3, minimum=2,
+            maximum=len(artifacts.os_names),
+        )
+        schemas.check_combination_budget(len(artifacts.os_names), k, "k")
+        top = schemas.parse_int(request.query, "top", default=5, minimum=1, maximum=100)
+        return self._cached_json(
+            request, artifacts, None, configuration,
+            lambda digest: schemas.ksets_payload(
+                artifacts, configuration, k, top, digest
+            ),
+        )
+
+    def _widest(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self.artifacts()
+        configuration = schemas.parse_configuration(request.query)
+        top = schemas.parse_int(request.query, "top", default=3, minimum=1, maximum=100)
+        return self._cached_json(
+            request, artifacts, None, configuration,
+            lambda digest: schemas.widest_payload(
+                artifacts, configuration, top, digest
+            ),
+        )
+
+    def _selection(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self.artifacts()
+        configuration = schemas.parse_configuration(request.query)
+        n = schemas.parse_int(
+            request.query, "n", default=4, minimum=1,
+            maximum=len(artifacts.os_names),
+        )
+        top = schemas.parse_int(request.query, "top", default=5, minimum=1, maximum=100)
+        strategy = schemas.single(request.query, "strategy", "exhaustive")
+        if strategy not in schemas.SELECTION_STRATEGIES:
+            raise BadRequest(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{list(schemas.SELECTION_STRATEGIES)}",
+                detail={"parameter": "strategy"},
+            )
+        if strategy == "exhaustive":
+            # Branch-and-bound usually prunes hard, but its worst (dense-
+            # matrix) case is full enumeration -- same budget as k-sets.
+            schemas.check_combination_budget(len(artifacts.os_names), n, "n")
+        return self._cached_json(
+            request, artifacts, None, configuration,
+            lambda digest: schemas.selection_payload(
+                artifacts, configuration, n, top, strategy, digest
+            ),
+        )
+
+    # -- snapshot handlers (db-backed providers only) -------------------------
+
+    def _snapshots(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        database, store = self.provider.store()
+        try:
+            payload = {
+                "snapshots": [
+                    schemas.snapshot_payload(record) for record in store.list()
+                ]
+            }
+        finally:
+            database.close()
+        return HttpResponse(body=schemas.dumps(payload))
+
+    def _snapshot(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        database, store = self.provider.store()
+        try:
+            record = _resolve_snapshot(store, params["snapshot_id"])
+            payload = schemas.snapshot_payload(record)
+        finally:
+            database.close()
+        return HttpResponse(body=schemas.dumps(payload))
+
+    def _snapshot_diff(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        database, store = self.provider.store()
+        try:
+            to_spec = schemas.single(request.query, "to")
+            to_record = (
+                _resolve_snapshot(store, to_spec)
+                if to_spec is not None
+                else _head_or_conflict(store)
+            )
+            from_spec = schemas.single(request.query, "from")
+            if from_spec is not None:
+                from_record = _resolve_snapshot(store, from_spec)
+            elif to_record.parent_digest is not None:
+                from_record = store.by_digest(to_record.parent_digest)
+            else:
+                raise BadRequest(
+                    f"snapshot #{to_record.snapshot_id} has no parent; "
+                    "pass from= explicitly",
+                    detail={"parameter": "from"},
+                )
+            diff = store.diff(from_record.snapshot_id, to_record.snapshot_id)
+            payload = schemas.diff_payload(diff)
+        finally:
+            database.close()
+        return HttpResponse(body=schemas.dumps(payload))
+
+    def _ingest_delta(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        from repro.db.ingest import IngestPipeline
+        from repro.snapshots.delta import DeltaIngestPipeline
+
+        if not request.body:
+            raise BadRequest("expected a modified feed as the request body")
+        suffix = ".json" if _is_json_feed(request) else ".xml"
+        database, store = self.provider.store()
+        try:
+            pipeline = DeltaIngestPipeline(
+                IngestPipeline(database=database), store
+            )
+            pipeline.subscribe(self._on_delta_snapshot)
+            with tempfile.NamedTemporaryFile(
+                suffix=suffix, prefix="repro-delta-", delete=False
+            ) as handle:
+                handle.write(request.body)
+                feed_path = Path(handle.name)
+            try:
+                source = schemas.single(request.query, "source", "http-delta")
+                report = pipeline.apply_feed(feed_path, source=source)
+            finally:
+                feed_path.unlink(missing_ok=True)
+            payload = {
+                "parsed_entries": report.parsed_entries,
+                "added": report.added,
+                "modified": report.modified,
+                "removed": report.removed,
+                "unchanged": report.unchanged,
+                "skipped_no_os": report.skipped_no_os,
+                "snapshot": (
+                    schemas.snapshot_payload(report.snapshot)
+                    if report.snapshot is not None
+                    else None
+                ),
+            }
+        finally:
+            database.close()
+        return HttpResponse(body=schemas.dumps(payload))
+
+    def _on_delta_snapshot(self, report) -> None:
+        """Invalidate cached responses a freshly-landed delta can touch.
+
+        Subscribed to the :class:`~repro.snapshots.delta
+        .DeltaIngestPipeline` so any in-process delta (the HTTP ingest
+        endpoint, or library code sharing this service's store) evicts
+        exactly the response-cache entries whose OS scope the snapshot
+        diff names.  Out-of-process deltas need no callback: the next
+        request sees the new head digest and scoped keys miss naturally.
+        """
+        snapshot = getattr(report, "snapshot", None)
+        if snapshot is None or report.changed == 0:
+            return
+        if snapshot.parent_digest is None:
+            self.responses.clear()
+            return
+        database, store = self.provider.store()
+        try:
+            parent = store.by_digest(snapshot.parent_digest)
+            diff = store.diff(parent.snapshot_id, snapshot.snapshot_id)
+            self.responses.invalidate_scope(diff.affected_os_names())
+        finally:
+            database.close()
+
+    # -- job handlers ---------------------------------------------------------
+
+    def _run_job(self, job: Job) -> Dict[str, object]:
+        """Execute one simulation job on the PR-3 grid runner."""
+        from repro.core.constants import OS_NAMES
+
+        # Paper-catalogue datasets get alias-tolerant OS-name normalisation;
+        # scaled catalogues (release names outside the 11-OS study) must
+        # skip it or every replica-group lookup fails.
+        catalogued = set(job.dataset.os_names) <= set(OS_NAMES)
+        runner = GridRunner.for_dataset(
+            job.dataset,
+            seed=job.seed,
+            engine=self.config.engine,
+            workers=self.config.workers,
+            catalogued=catalogued,
+        )
+        return runner.run(job.grid).to_json_payload()
+
+    def _submit_simulation(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self.artifacts()
+        payload = schemas.parse_json_body(request.body)
+        grid, seed = schemas.simulation_grid(payload, artifacts.os_names)
+        job_id = payload.get("id")
+        if job_id is not None and not isinstance(job_id, str):
+            raise BadRequest("field 'id' must be a string", detail={"field": "id"})
+        job = self.jobs.submit(
+            grid,
+            seed,
+            artifacts.digest,
+            fingerprint=request_fingerprint(payload),
+            job_id=job_id,
+            dataset=artifacts.dataset,
+        )
+        return HttpResponse(
+            status=202,
+            body=schemas.dumps(job.payload()),
+            headers={"Location": f"/v1/jobs/{job.job_id}"},
+        )
+
+    def _jobs(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        listing = []
+        for job in self.jobs.list():
+            compact = job.payload()
+            compact.pop("result", None)
+            listing.append(compact)
+        return HttpResponse(body=schemas.dumps({"jobs": listing}))
+
+    def _job(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        job = self.jobs.get(params["job_id"])
+        return HttpResponse(body=schemas.dumps(job.payload()))
+
+
+def _etag_matches(header: Optional[str], etag: str) -> bool:
+    """``If-None-Match`` comparison: a token list or ``*``."""
+    if header is None:
+        return False
+    if header.strip() == "*":
+        return True
+    candidates = {token.strip() for token in header.split(",")}
+    return etag in candidates
+
+
+def _is_json_feed(request: HttpRequest) -> bool:
+    content_type = request.headers.get("content-type", "")
+    if "json" in content_type:
+        return True
+    if "xml" in content_type:
+        return False
+    return request.body.lstrip()[:1] in (b"{", b"[")
+
+
+def _resolve_snapshot(store, spec: str):
+    """The shared ledger selector, as a 404 instead of a DatabaseError."""
+    from repro.core.exceptions import DatabaseError
+
+    try:
+        return store.resolve(spec)
+    except DatabaseError as error:
+        raise NotFound(str(error)) from error
+
+
+def _head_or_conflict(store):
+    head = store.head()
+    if head is None:
+        raise Conflict("the database has no snapshots yet")
+    return head
+
+
+# ---------------------------------------------------------------------------
+# the asyncio HTTP/1.1 front end
+# ---------------------------------------------------------------------------
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on a clean EOF."""
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=IDLE_TIMEOUT
+        )
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    except asyncio.TimeoutError:
+        return None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request headers too large")
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError:
+        raise BadRequest("malformed request line")
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    parts = urlsplit(target)
+    query = {
+        name: tuple(values)
+        for name, values in parse_qs(
+            parts.query, keep_blank_values=True
+        ).items()
+    }
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            size = int(length)
+        except ValueError:
+            raise BadRequest("malformed Content-Length header")
+        if size > MAX_BODY_BYTES:
+            raise PayloadTooLarge(
+                f"request body of {size} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        if size:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(size), timeout=IDLE_TIMEOUT
+                )
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+                return None
+    return HttpRequest(
+        method=method.upper(),
+        path=unquote(parts.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _serialise(response: HttpResponse, keep_alive: bool, version: str) -> bytes:
+    reason = _STATUS_REASONS.get(response.status, "Unknown")
+    headers = dict(response.headers)
+    headers.setdefault("Server", f"repro/{version}")
+    if response.status != 304:
+        headers.setdefault("Content-Type", response.content_type)
+    headers["Content-Length"] = str(len(response.body))
+    headers["Connection"] = "keep-alive" if keep_alive else "close"
+    head = f"HTTP/1.1 {response.status} {reason}\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return head.encode("latin-1") + b"\r\n" + response.body
+
+
+async def _handle_connection(
+    app: DiversityService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    from repro import __version__
+
+    loop = asyncio.get_running_loop()
+    try:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except ApiError as error:
+                body = _serialise(
+                    DiversityService._render_error(error), False, __version__
+                )
+                writer.write(body)
+                await writer.drain()
+                break
+            if request is None:
+                break
+            response = await loop.run_in_executor(
+                app._request_pool, app.dispatch, request
+            )
+            keep_alive = request.headers.get("connection", "keep-alive") != "close"
+            writer.write(_serialise(response, keep_alive, __version__))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def _serve_forever(
+    app: DiversityService, config: ServiceConfig, log=print
+) -> int:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    server = await asyncio.start_server(
+        lambda reader, writer: _handle_connection(app, reader, writer),
+        host=config.host,
+        port=config.port,
+    )
+    bound = server.sockets[0].getsockname()
+    log(
+        f"repro service listening on http://{bound[0]}:{bound[1]} "
+        f"(dataset: {app.provider.source})",
+        file=sys.stderr,
+    )
+    await stop.wait()
+    log("signal received; draining ...", file=sys.stderr)
+    server.close()
+    await server.wait_closed()
+    drained = await loop.run_in_executor(
+        None, app.jobs.drain, config.drain_grace
+    )
+    app.shutdown()
+    log(
+        "shutdown complete" if drained else "shutdown with unfinished jobs",
+        file=sys.stderr,
+    )
+    return 0 if drained else 1
+
+
+def serve(config: ServiceConfig, provider=None) -> int:
+    """Run the server until SIGTERM/SIGINT; the ``repro serve`` entry point."""
+    app = DiversityService(config, provider)
+    return asyncio.run(_serve_forever(app, config))
+
+
+class ServiceServer:
+    """The same asyncio server, on a background thread (tests/benchmarks).
+
+    ``start()`` binds (port 0 picks a free port), returns the base URL and
+    leaves the loop running on a daemon thread; ``stop()`` closes the
+    listener, drains jobs and joins the thread.  The wrapped
+    :class:`DiversityService` stays accessible as ``.app`` so harnesses
+    can assert on registry/cache counters while requests fly.
+    """
+
+    def __init__(
+        self,
+        app: DiversityService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.app = app
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self.base_url: Optional[str] = None
+
+    def start(self) -> str:
+        """Bind and serve on a background thread; returns the base URL."""
+        ready = threading.Event()
+        failure: Dict[str, BaseException] = {}
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+
+            async def main() -> None:
+                self._stop = asyncio.Event()
+                try:
+                    server = await asyncio.start_server(
+                        lambda reader, writer: _handle_connection(
+                            self.app, reader, writer
+                        ),
+                        host=self._host,
+                        port=self._port,
+                    )
+                except OSError as error:
+                    failure["error"] = error
+                    ready.set()
+                    return
+                bound = server.sockets[0].getsockname()
+                self.base_url = f"http://{bound[0]}:{bound[1]}"
+                ready.set()
+                await self._stop.wait()
+                server.close()
+                await server.wait_closed()
+
+            loop.run_until_complete(main())
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=10) or self.base_url is None:
+            raise RuntimeError(
+                f"service failed to start: {failure.get('error', 'timeout')}"
+            )
+        return self.base_url
+
+    def stop(self, drain_grace: Optional[float] = None) -> bool:
+        """Close the listener, drain jobs, join the loop thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        grace = (
+            drain_grace if drain_grace is not None else self.app.config.drain_grace
+        )
+        drained = self.app.jobs.drain(grace)
+        self.app.shutdown()
+        return drained
+
+    def __enter__(self) -> "ServiceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

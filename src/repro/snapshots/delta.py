@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.db.ingest import IngestPipeline
 from repro.nvd.feed_parser import RawFeedEntry, parse_xml_feed
@@ -76,6 +76,20 @@ class DeltaIngestPipeline:
         self.pipeline = pipeline
         self.database = pipeline.database
         self.store = store or SnapshotStore(self.database)
+        self._subscribers: List[Callable[[DeltaReport], None]] = []
+
+    def subscribe(self, callback: Callable[[DeltaReport], None]) -> None:
+        """Register a callback invoked after each delta that cut a snapshot.
+
+        The callback receives the :class:`DeltaReport` (whose ``snapshot``
+        is the freshly-committed ledger record) synchronously, before
+        :meth:`apply_raw` returns.  Long-lived consumers -- the serving
+        layer's response cache -- use it to invalidate exactly the state a
+        delta's blast radius can touch.  Deltas that change nothing (a
+        replayed feed) still notify, letting subscribers observe the
+        no-op; ``commit=False`` applications never do.
+        """
+        self._subscribers.append(callback)
 
     # -- application ------------------------------------------------------------
 
@@ -107,6 +121,8 @@ class DeltaIngestPipeline:
                 report.skipped_no_os += 1
         if commit:
             report.snapshot = self.store.commit(source=source)
+            for callback in self._subscribers:
+                callback(report)
         return report
 
     def _apply_one(self, raw: RawFeedEntry) -> str:

@@ -125,6 +125,23 @@ class SnapshotStore:
             raise DatabaseError(f"no snapshot with id {snapshot_id}")
         return self._record(row)
 
+    def resolve(self, spec: str) -> SnapshotRecord:
+        """Resolve a ledger-id-or-digest-prefix selector to a record.
+
+        All-digit selectors prefer the ledger-id reading but fall back to
+        a digest-prefix match on a miss (an all-digit string like
+        ``"2778"`` can also be a hex prefix).  The single resolver behind
+        the CLI's ``--snapshot`` and the service's snapshot endpoints;
+        raises :class:`~repro.core.exceptions.DatabaseError` when nothing
+        matches.
+        """
+        if spec.isdigit():
+            try:
+                return self.get(int(spec))
+            except DatabaseError:
+                pass
+        return self.by_digest(spec)
+
     def by_digest(self, digest: str) -> SnapshotRecord:
         """The most recent snapshot carrying the given (possibly short) digest.
 

@@ -1,0 +1,101 @@
+"""Fixtures for the serving-layer tests: an in-process app and a live server.
+
+``app`` wires a :class:`~repro.service.server.DiversityService` over the
+session corpus through a static provider; ``server`` runs it on a real
+socket via :class:`~repro.service.server.ServiceServer` and yields a tiny
+HTTP client, so endpoint tests exercise the full asyncio front end (request
+parsing, ETag headers, keep-alive) rather than calling handlers directly.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.service import (
+    DiversityService,
+    ServiceConfig,
+    ServiceServer,
+    StaticDatasetProvider,
+)
+
+
+@dataclass
+class HttpResult:
+    """One client-observed response: status, headers, body."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self):
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def etag(self) -> Optional[str]:
+        return self.headers.get("ETag")
+
+
+class ServiceClient:
+    """A minimal urllib client bound to one live service."""
+
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: Optional[bytes] = None,
+    ) -> HttpResult:
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers or {}, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return HttpResult(
+                    response.status, dict(response.headers), response.read()
+                )
+        except urllib.error.HTTPError as error:
+            return HttpResult(error.code, dict(error.headers), error.read())
+
+    def get(self, path: str, headers: Optional[Dict[str, str]] = None) -> HttpResult:
+        return self.request("GET", path, headers=headers)
+
+    def post_json(self, path: str, payload: object) -> HttpResult:
+        return self.request(
+            "POST",
+            path,
+            headers={"Content-Type": "application/json"},
+            body=json.dumps(payload).encode("utf-8"),
+        )
+
+
+def make_app(corpus, **config_kwargs) -> DiversityService:
+    """A service over the calibrated corpus via a static provider."""
+    return DiversityService(
+        ServiceConfig(**config_kwargs),
+        StaticDatasetProvider(corpus.entries, label="test corpus"),
+    )
+
+
+@pytest.fixture()
+def app(corpus) -> DiversityService:
+    return make_app(corpus)
+
+
+@pytest.fixture()
+def server(app) -> Tuple[ServiceClient, DiversityService]:
+    """A live server plus its app; stopped (and drained) on teardown."""
+    service = ServiceServer(app)
+    base_url = service.start()
+    try:
+        yield ServiceClient(base_url), app
+    finally:
+        service.stop(drain_grace=30.0)

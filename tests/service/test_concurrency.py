@@ -1,0 +1,72 @@
+"""Concurrency semantics: one compile, byte-identical answers.
+
+The acceptance criterion for the serving layer's memoization: N concurrent
+*identical* queries against a cold server return byte-identical payloads
+and trigger **at most one** corpus compile.  A threaded client harness
+fires the requests through the real socket so the asyncio front end, the
+request thread pool, the per-digest registry locks and the response cache
+are all exercised together.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+CLIENTS = 8
+
+
+def _fire_concurrently(client, path: str, clients: int = CLIENTS):
+    """``clients`` threads request ``path`` at (as close as possible) once."""
+    barrier = threading.Barrier(clients)
+
+    def fetch():
+        barrier.wait(timeout=30)
+        return client.get(path)
+
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        futures = [pool.submit(fetch) for _ in range(clients)]
+        return [future.result(timeout=120) for future in futures]
+
+
+class TestConcurrentCompiles:
+    def test_identical_queries_compile_once_and_agree_byte_for_byte(self, server):
+        client, app = server
+        assert app.registry.compile_count == 0  # cold: nothing compiled yet
+        results = _fire_concurrently(client, "/v1/matrix/pairs")
+        assert all(result.status == 200 for result in results)
+        bodies = {result.body for result in results}
+        assert len(bodies) == 1, "concurrent clients saw different payloads"
+        etags = {result.etag for result in results}
+        assert len(etags) == 1
+        assert app.registry.compile_count == 1
+
+    def test_mixed_endpoints_still_compile_once(self, server):
+        client, app = server
+        paths = [
+            "/v1/catalogue",
+            "/v1/shared?os=Debian,OpenBSD",
+            "/v1/matrix/pairs",
+            "/v1/matrix/ksets?k=3",
+            "/v1/selection?n=4&top=2",
+            "/v1/widest?top=3",
+        ]
+        barrier = threading.Barrier(len(paths))
+
+        def fetch(path):
+            barrier.wait(timeout=30)
+            return client.get(path)
+
+        with ThreadPoolExecutor(max_workers=len(paths)) as pool:
+            results = list(pool.map(fetch, paths))
+        assert all(result.status == 200 for result in results)
+        # Six different queries over one dataset state: one compile total.
+        assert app.registry.compile_count == 1
+
+    def test_repeated_volleys_never_recompile(self, server):
+        client, app = server
+        for _ in range(3):
+            results = _fire_concurrently(client, "/v1/shared?os=Debian,NetBSD", 4)
+            assert all(result.status == 200 for result in results)
+        assert app.registry.compile_count == 1
+        assert app.responses.stats()["hits"] >= 8

@@ -1,0 +1,201 @@
+"""Snapshot-backed serving: ledger endpoints, delta ingest, ETag freshness.
+
+The tentpole cache property, end to end: a server over a PR-4 snapshot
+store keeps answering -- without a restart -- while deltas land.  A delta
+that touches a query's OSes makes its old ETag stale (full fresh response);
+a delta that does not leaves the ETag valid (``304`` keeps working); and
+the per-scope invalidation wired to
+:meth:`~repro.snapshots.delta.DeltaIngestPipeline.subscribe` evicts exactly
+the touched response-cache entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classify.filters import ServerConfigurationFilter
+from repro.core.enums import ServerConfiguration
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline
+from repro.service import (
+    DiversityService,
+    ServiceConfig,
+    ServiceServer,
+    SnapshotDatasetProvider,
+)
+from repro.snapshots.store import SnapshotStore
+from repro.synthetic.evolution import evolve_corpus
+
+from tests.service.conftest import ServiceClient
+
+WINDOWS = {"Windows2000", "Windows2003", "Windows2008"}
+
+
+@pytest.fixture()
+def db_server(corpus, tmp_path):
+    """A live server over a freshly-ingested snapshot store."""
+    db_path = tmp_path / "serve.db"
+    database = VulnerabilityDatabase(db_path)
+    pipeline = IngestPipeline(database=database)
+    pipeline.ingest_raw(corpus.to_raw_feed_entries())
+    base = SnapshotStore(database).commit(source="full ingest")
+    database.close()
+
+    app = DiversityService(
+        ServiceConfig(db=str(db_path)),
+        SnapshotDatasetProvider(str(db_path)),
+    )
+    service = ServiceServer(app)
+    client = ServiceClient(service.start())
+    try:
+        yield client, app, base
+    finally:
+        service.stop(drain_grace=30.0)
+
+
+def _debian_delta(corpus, seed=71):
+    """A delta touching Debian but none of the Windows OSes."""
+    admits = ServerConfigurationFilter(ServerConfiguration.ISOLATED_THIN).admits
+    return evolve_corpus(
+        corpus,
+        fraction=0.005,
+        seed=seed,
+        target_os="Debian",
+        entry_filter=lambda entry: admits(entry) and not entry.affected_os & WINDOWS,
+    )
+
+
+class TestLedgerEndpoints:
+    def test_snapshots_listing(self, db_server):
+        client, _app, base = db_server
+        payload = client.get("/v1/snapshots").json()
+        assert [record["snapshot_id"] for record in payload["snapshots"]] == [
+            base.snapshot_id
+        ]
+        assert payload["snapshots"][0]["digest"] == base.digest
+
+    def test_single_snapshot_by_id_and_digest_prefix(self, db_server):
+        client, _app, base = db_server
+        by_id = client.get(f"/v1/snapshots/{base.snapshot_id}").json()
+        by_digest = client.get(f"/v1/snapshots/{base.digest[:10]}").json()
+        assert by_id == by_digest
+        assert by_id["entry_count"] == base.entry_count
+
+    def test_unknown_snapshot_is_404(self, db_server):
+        client, _app, _base = db_server
+        assert client.get("/v1/snapshots/999").status == 404
+
+    def test_healthz_names_the_snapshot(self, db_server):
+        client, _app, base = db_server
+        payload = client.get("/healthz").json()
+        assert payload["dataset"]["snapshot_id"] == base.snapshot_id
+        assert payload["dataset"]["digest"] == base.digest
+
+
+class TestDeltaIngestOverHttp:
+    def test_delta_lands_and_diff_reports_blast_radius(
+        self, db_server, corpus, tmp_path
+    ):
+        client, _app, base = db_server
+        feed = _debian_delta(corpus).write_feed(tmp_path / "delta.xml")
+        result = client.request(
+            "POST",
+            "/v1/ingest/delta?source=test-delta",
+            headers={"Content-Type": "application/xml"},
+            body=feed.read_bytes(),
+        )
+        assert result.status == 200, result.body
+        report = result.json()
+        assert report["modified"] > 0
+        assert report["snapshot"]["parent_digest"] == base.digest
+
+        diff = client.get(
+            f"/v1/snapshots/diff?from={base.snapshot_id}"
+            f"&to={report['snapshot']['snapshot_id']}"
+        ).json()
+        assert "Debian" in diff["affected_os_names"]
+        assert not set(diff["affected_os_names"]) & WINDOWS
+
+    def test_replayed_delta_is_idempotent(self, db_server, corpus, tmp_path):
+        client, _app, _base = db_server
+        feed = _debian_delta(corpus).write_feed(tmp_path / "delta.xml")
+        body = feed.read_bytes()
+        first = client.request(
+            "POST", "/v1/ingest/delta",
+            headers={"Content-Type": "application/xml"}, body=body,
+        ).json()
+        second = client.request(
+            "POST", "/v1/ingest/delta",
+            headers={"Content-Type": "application/xml"}, body=body,
+        ).json()
+        assert second["modified"] == second["added"] == second["removed"] == 0
+        assert second["snapshot"]["digest"] == first["snapshot"]["digest"]
+
+
+class TestEtagFreshnessAcrossDeltas:
+    def test_touched_scope_goes_stale_untouched_scope_keeps_304(
+        self, db_server, corpus, tmp_path
+    ):
+        client, app, _base = db_server
+        debian_path = "/v1/shared?os=Debian,OpenBSD"
+        windows_path = "/v1/shared?os=Windows2000,Windows2003"
+        debian_before = client.get(debian_path)
+        windows_before = client.get(windows_path)
+        assert debian_before.status == windows_before.status == 200
+
+        feed = _debian_delta(corpus).write_feed(tmp_path / "delta.xml")
+        assert client.request(
+            "POST", "/v1/ingest/delta",
+            headers={"Content-Type": "application/xml"},
+            body=feed.read_bytes(),
+        ).status == 200
+
+        # The Debian-scoped ETag is stale: revalidation misses and the
+        # server answers fresh bytes with a new ETag -- no restart needed.
+        debian_after = client.get(
+            debian_path, headers={"If-None-Match": debian_before.etag}
+        )
+        assert debian_after.status == 200
+        assert debian_after.etag != debian_before.etag
+
+        # The Windows-scoped ETag survives the delta: still a 304.
+        windows_after = client.get(
+            windows_path, headers={"If-None-Match": windows_before.etag}
+        )
+        assert windows_after.status == 304
+        assert windows_after.etag == windows_before.etag
+
+    def test_subscription_invalidates_only_touched_cache_entries(
+        self, db_server, corpus, tmp_path
+    ):
+        client, app, _base = db_server
+        client.get("/v1/shared?os=Debian,OpenBSD")
+        client.get("/v1/shared?os=Windows2000,Windows2003")
+        client.get("/v1/matrix/pairs")  # catalogue-wide scope
+        entries_before = len(app.responses)
+        assert entries_before == 3
+
+        feed = _debian_delta(corpus).write_feed(tmp_path / "delta.xml")
+        client.request(
+            "POST", "/v1/ingest/delta",
+            headers={"Content-Type": "application/xml"},
+            body=feed.read_bytes(),
+        )
+        # The Debian-scoped entry and the global matrix were evicted by the
+        # DeltaIngestPipeline subscription; the Windows entry survived.
+        assert len(app.responses) == 1
+        assert app.responses.invalidations == 2
+
+    def test_new_head_compiles_a_second_dataset(self, db_server, corpus, tmp_path):
+        client, app, _base = db_server
+        client.get("/v1/catalogue")
+        assert app.registry.compile_count == 1
+        feed = _debian_delta(corpus).write_feed(tmp_path / "delta.xml")
+        client.request(
+            "POST", "/v1/ingest/delta",
+            headers={"Content-Type": "application/xml"},
+            body=feed.read_bytes(),
+        )
+        client.get("/v1/catalogue")
+        assert app.registry.compile_count == 2
+        assert len(app.registry) == 2  # the old snapshot stays pinnable

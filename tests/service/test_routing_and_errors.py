@@ -1,0 +1,189 @@
+"""Router resolution and the structured JSON error-envelope contract.
+
+The envelope shape -- ``{"error": {"code", "status", "message"}}`` with an
+optional ``detail`` -- is a machine-readable API contract; these tests pin
+it for the 404/400/409 classes over a live server, plus the router's
+404-vs-405 distinction and template captures as units.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.errors import (
+    ApiError,
+    BadRequest,
+    Conflict,
+    MethodNotAllowed,
+    NotFound,
+)
+from repro.service.routing import Router
+
+
+class TestRouter:
+    def test_static_route_resolves(self):
+        router = Router()
+        router.add("GET", "/healthz", "health-handler")
+        handler, params = router.resolve("GET", "/healthz")
+        assert handler == "health-handler"
+        assert params == {}
+
+    def test_capture_route_extracts_params(self):
+        router = Router()
+        router.add("GET", "/v1/jobs/{job_id}", "job-handler")
+        handler, params = router.resolve("GET", "/v1/jobs/job-17")
+        assert handler == "job-handler"
+        assert params == {"job_id": "job-17"}
+
+    def test_capture_does_not_span_segments(self):
+        router = Router()
+        router.add("GET", "/v1/jobs/{job_id}", "job-handler")
+        with pytest.raises(NotFound):
+            router.resolve("GET", "/v1/jobs/a/b")
+
+    def test_unknown_path_is_not_found(self):
+        router = Router()
+        router.add("GET", "/healthz", "handler")
+        with pytest.raises(NotFound):
+            router.resolve("GET", "/nope")
+
+    def test_wrong_method_is_method_not_allowed_with_allow_set(self):
+        router = Router()
+        router.add("GET", "/v1/jobs", "list")
+        router.add("POST", "/v1/simulations", "submit")
+        with pytest.raises(MethodNotAllowed) as excinfo:
+            router.resolve("DELETE", "/v1/jobs")
+        assert excinfo.value.detail == {"allow": ["GET"]}
+
+    def test_registration_order_is_preserved(self):
+        router = Router()
+        router.add("GET", "/a", 1)
+        router.add("GET", "/b", 2)
+        assert router.routes() == [("GET", "/a"), ("GET", "/b")]
+
+    def test_template_must_be_absolute(self):
+        with pytest.raises(ValueError):
+            Router().add("GET", "no-slash", "handler")
+
+
+class TestEnvelopeShape:
+    def test_envelope_carries_code_status_message(self):
+        envelope = NotFound("no such thing").envelope()
+        assert envelope == {
+            "error": {
+                "code": "not_found",
+                "status": 404,
+                "message": "no such thing",
+            }
+        }
+
+    def test_detail_is_included_when_present(self):
+        envelope = BadRequest("bad k", detail={"parameter": "k"}).envelope()
+        assert envelope["error"]["detail"] == {"parameter": "k"}
+
+    def test_every_error_class_has_distinct_code(self):
+        classes = [BadRequest, NotFound, MethodNotAllowed, Conflict]
+        codes = {cls.code for cls in classes}
+        assert len(codes) == len(classes)
+        assert all(issubclass(cls, ApiError) for cls in classes)
+
+
+class TestErrorContractOverHttp:
+    """The 404/400/409 envelope contract, observed end to end."""
+
+    def test_unknown_path_404(self, server):
+        client, _app = server
+        result = client.get("/v1/does-not-exist")
+        assert result.status == 404
+        error = result.json()["error"]
+        assert error["code"] == "not_found"
+        assert error["status"] == 404
+        assert "message" in error
+
+    def test_unknown_job_404_with_detail(self, server):
+        client, _app = server
+        result = client.get("/v1/jobs/job-99")
+        assert result.status == 404
+        error = result.json()["error"]
+        assert error["code"] == "not_found"
+        assert error["detail"] == {"job_id": "job-99"}
+
+    def test_unknown_os_404(self, server):
+        client, _app = server
+        result = client.get("/v1/shared?os=Debian,Plan9")
+        assert result.status == 404
+        assert result.json()["error"]["detail"]["os"] == "Plan9"
+
+    def test_bad_parameter_400(self, server):
+        client, _app = server
+        result = client.get("/v1/matrix/ksets?k=banana")
+        assert result.status == 400
+        error = result.json()["error"]
+        assert error["code"] == "bad_request"
+        assert error["detail"] == {"parameter": "k"}
+
+    def test_bad_body_400(self, server):
+        client, _app = server
+        result = client.post_json("/v1/simulations", {"configurations": {}})
+        assert result.status == 400
+        assert result.json()["error"]["code"] == "bad_request"
+
+    def test_ledger_on_static_server_409(self, server):
+        client, _app = server
+        result = client.get("/v1/snapshots")
+        assert result.status == 409
+        error = result.json()["error"]
+        assert error["code"] == "conflict"
+        assert error["status"] == 409
+
+    def test_method_not_allowed_sets_allow_header(self, server):
+        client, _app = server
+        result = client.request("DELETE", "/v1/jobs")
+        assert result.status == 405
+        assert result.headers.get("Allow") == "GET"
+        assert result.json()["error"]["code"] == "method_not_allowed"
+
+
+class TestCombinationBudget:
+    """Synchronous queries whose C(n, k) space is unpayable are rejected."""
+
+    def test_budget_helper_rejects_huge_spaces(self):
+        from repro.service.schemas import check_combination_budget
+
+        check_combination_budget(100, 4, "k")  # the benchmarked workload
+        with pytest.raises(BadRequest) as excinfo:
+            check_combination_budget(100, 10, "k")
+        assert excinfo.value.detail["parameter"] == "k"
+        assert excinfo.value.detail["combinations"] > 10**12
+
+    def test_ksets_request_over_budget_is_400_not_a_hang(self):
+        from repro.service import (
+            DiversityService,
+            ServiceConfig,
+            StaticDatasetProvider,
+        )
+        from repro.service.server import HttpRequest
+        from repro.synthetic.generator import generate_scaled_catalogue
+
+        catalogue = generate_scaled_catalogue(vulns_per_os=2)  # 100 OSes, fast
+        app = DiversityService(
+            ServiceConfig(),
+            StaticDatasetProvider(
+                catalogue.entries, os_names=catalogue.os_names, label="scaled"
+            ),
+        )
+        response = app.dispatch(
+            HttpRequest(
+                method="GET", path="/v1/matrix/ksets",
+                query={"k": ("10",)}, headers={},
+            )
+        )
+        assert response.status == 400
+        response = app.dispatch(
+            HttpRequest(
+                method="GET", path="/v1/selection",
+                query={"n": ("50",)}, headers={},
+            )
+        )
+        assert response.status == 400
+        app.shutdown()

@@ -1,0 +1,196 @@
+"""Endpoint payloads over a live server: golden files, ETags, healthz.
+
+The JSON bodies of the data endpoints are deterministic for a fixed corpus
+seed (canonical JSON over content-addressed state), so the committed files
+under ``tests/golden/`` pin them byte for byte -- refresh with ``pytest
+--update-golden`` after an intentional payload change, exactly like the
+CLI golden tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import __version__
+
+
+def _body(client, path: str) -> str:
+    result = client.get(path)
+    assert result.status == 200, result.body
+    return result.body.decode("utf-8")
+
+
+class TestGoldenPayloads:
+    def test_catalogue_matches_golden(self, server, golden):
+        client, _app = server
+        golden("service_catalogue.json", _body(client, "/v1/catalogue"))
+
+    def test_shared_matches_golden(self, server, golden):
+        client, _app = server
+        golden(
+            "service_shared.json",
+            _body(client, "/v1/shared?os=Debian,OpenBSD,Solaris"),
+        )
+
+    def test_pair_matrix_matches_golden(self, server, golden):
+        client, _app = server
+        golden("service_pairs.json", _body(client, "/v1/matrix/pairs"))
+
+    def test_ksets_matches_golden(self, server, golden):
+        client, _app = server
+        golden(
+            "service_ksets.json", _body(client, "/v1/matrix/ksets?k=4&top=3")
+        )
+
+    def test_selection_matches_golden(self, server, golden):
+        client, _app = server
+        golden(
+            "service_selection.json",
+            _body(client, "/v1/selection?n=4&top=3&strategy=exhaustive"),
+        )
+
+    def test_widest_matches_golden(self, server, golden):
+        client, _app = server
+        golden(
+            "service_widest.json",
+            _body(client, "/v1/widest?top=3&configuration=fat"),
+        )
+
+
+class TestPayloadShapes:
+    def test_shared_count_agrees_with_dataset(self, server, valid_dataset):
+        client, _app = server
+        payload = client.get("/v1/shared?os=Debian,OpenBSD").json()
+        from repro.core.enums import ServerConfiguration
+
+        expected = valid_dataset.filtered(
+            ServerConfiguration.ISOLATED_THIN
+        ).shared_count(("Debian", "OpenBSD"))
+        assert payload["shared_count"] == expected
+        assert payload["dataset"]["digest"]
+
+    def test_pair_matrix_covers_every_pair(self, server, dataset):
+        client, _app = server
+        payload = client.get("/v1/matrix/pairs").json()
+        count = len(dataset.os_names)
+        assert len(payload["pairs"]) == count * (count - 1) // 2
+
+    def test_configuration_slug_changes_the_numbers(self, server):
+        client, _app = server
+        fat = client.get("/v1/matrix/pairs?configuration=fat").json()
+        isolated = client.get("/v1/matrix/pairs").json()
+        total_fat = sum(row["shared"] for row in fat["pairs"])
+        total_isolated = sum(row["shared"] for row in isolated["pairs"])
+        assert total_fat > total_isolated
+
+    def test_selection_groups_are_ranked(self, server):
+        client, _app = server
+        payload = client.get("/v1/selection?n=4&top=5").json()
+        scores = [group["pairwise_shared"] for group in payload["groups"]]
+        assert scores == sorted(scores)
+        assert payload["strategy"] == "exhaustive"
+
+
+class TestConditionalRequests:
+    def test_if_none_match_revalidates_to_304(self, server):
+        client, _app = server
+        first = client.get("/v1/matrix/pairs")
+        assert first.status == 200
+        assert first.etag
+        second = client.get(
+            "/v1/matrix/pairs", headers={"If-None-Match": first.etag}
+        )
+        assert second.status == 304
+        assert second.body == b""
+        assert second.etag == first.etag
+
+    def test_star_matches_any_representation(self, server):
+        client, _app = server
+        client.get("/v1/catalogue")
+        result = client.get("/v1/catalogue", headers={"If-None-Match": "*"})
+        assert result.status == 304
+
+    def test_stale_etag_gets_full_response(self, server):
+        client, _app = server
+        result = client.get(
+            "/v1/matrix/pairs", headers={"If-None-Match": '"stale"'}
+        )
+        assert result.status == 200
+        assert result.body
+
+    def test_repeat_request_is_served_from_cache(self, server):
+        client, app = server
+        first = client.get("/v1/matrix/ksets?k=3")
+        second = client.get("/v1/matrix/ksets?k=3")
+        assert first.headers.get("X-Cache") == "miss"
+        assert second.headers.get("X-Cache") == "hit"
+        assert first.body == second.body
+        assert app.responses.stats()["hits"] >= 1
+
+    def test_query_order_does_not_fragment_the_cache(self, server):
+        client, _app = server
+        one = client.get("/v1/matrix/ksets?k=3&top=5")
+        two = client.get("/v1/matrix/ksets?top=5&k=3")
+        assert one.etag == two.etag
+        assert two.headers.get("X-Cache") == "hit"
+
+    def test_catalogue_variants_share_one_etag_and_entry(self, server):
+        # No parameter changes the catalogue payload, so every query
+        # variant revalidates against the same ETag and cache entry.
+        client, _app = server
+        plain = client.get("/v1/catalogue")
+        varied = client.get("/v1/catalogue?configuration=fat")
+        assert plain.etag == varied.etag
+        assert varied.headers.get("X-Cache") == "hit"
+        revalidated = client.get(
+            "/v1/catalogue?configuration=thin",
+            headers={"If-None-Match": plain.etag},
+        )
+        assert revalidated.status == 304
+
+    def test_reordered_os_values_are_distinct_responses(self, server):
+        # os order is part of the response identity (os_names echoes it),
+        # so the reordered request must not be served from the first
+        # request's cache entry or share its ETag.
+        client, _app = server
+        one = client.get("/v1/shared?os=Debian&os=OpenBSD")
+        two = client.get("/v1/shared?os=OpenBSD&os=Debian")
+        assert one.json()["os_names"] == ["Debian", "OpenBSD"]
+        assert two.json()["os_names"] == ["OpenBSD", "Debian"]
+        assert one.etag != two.etag
+        assert two.headers.get("X-Cache") == "miss"
+
+
+class TestHealthz:
+    def test_healthz_reports_version_digest_uptime(self, server, dataset):
+        client, _app = server
+        payload = client.get("/healthz").json()
+        assert payload["service"] == "repro"
+        assert payload["version"] == __version__
+        assert payload["dataset"]["digest"] == dataset.digest()
+        assert payload["uptime_seconds"] >= 0
+        assert payload["jobs"] == {
+            "queued": 0, "running": 0, "done": 0, "failed": 0,
+        }
+        assert payload["draining"] is False
+
+    def test_healthz_counts_registry_compiles(self, server):
+        client, app = server
+        client.get("/healthz")
+        client.get("/v1/catalogue")
+        payload = client.get("/healthz").json()
+        assert payload["registry"]["compiles"] == app.registry.compile_count == 1
+
+
+class TestKeepAlive:
+    def test_connection_close_is_honoured(self, server):
+        client, _app = server
+        result = client.get("/healthz", headers={"Connection": "close"})
+        assert result.status == 200
+        assert result.headers.get("Connection") == "close"
+
+    def test_payloads_are_canonical_json(self, server):
+        client, _app = server
+        body = client.get("/v1/catalogue").body.decode("utf-8")
+        payload = json.loads(body)
+        assert body == json.dumps(payload, indent=2, sort_keys=True) + "\n"

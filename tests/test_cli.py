@@ -351,3 +351,62 @@ class TestSnapshotSelector:
             main(["--db", str(missing), "tables"])
         assert "does not exist" in str(exc_info.value)
         assert not missing.exists()
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_wins_over_subcommands(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version", "tables"])
+        assert exc_info.value.code == 0
+
+
+class TestCacheDirEnvironment:
+    def test_repro_cache_dir_sets_the_sweep_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/env-cache")
+        args = build_parser().parse_args(["sweep"])
+        assert args.cache_dir == "/tmp/env-cache"
+
+    def test_explicit_flag_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/env-cache")
+        args = build_parser().parse_args(["sweep", "--cache-dir", "explicit"])
+        assert args.cache_dir == "explicit"
+
+    def test_default_without_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["sweep"])
+        assert args.cache_dir == ".repro-cache"
+
+
+class TestServeCommand:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8142
+        assert args.workers == 1
+        assert args.cache_size == 256
+        assert args.host == "127.0.0.1"
+
+    def test_serve_rejects_bad_configuration(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        assert "worker" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_port(self, capsys):
+        assert main(["serve", "--port", "70000"]) == 2
+        assert "port" in capsys.readouterr().err
+
+    def test_serve_missing_db_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "absent.db"
+        assert main(["--db", str(missing), "serve"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_serve_empty_feed_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["--feeds", str(tmp_path), "serve"]) == 2
+        assert "no .xml feeds" in capsys.readouterr().err
