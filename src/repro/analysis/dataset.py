@@ -6,17 +6,22 @@ validity summary.  It never consults the calibration targets -- every number
 is computed from the entries it is given.
 
 The shared-vulnerability primitives (``shared_count``, ``shared_between``,
-``affecting_at_least``, ``compromising``) are thin façades over one of two
+``affecting_at_least``, ``compromising``) are thin façades over one of three
 interchangeable engines:
 
 * ``"bitset"`` (default) -- the precompiled incidence-matrix index of
   :mod:`repro.analysis.engine`, which answers intersection queries with
   big-integer AND + popcount and scales to catalogues of hundreds of OSes;
+* ``"packed"`` -- the numpy packed-word index
+  (:class:`repro.analysis.engine.PackedIndex`): the same incidence matrix
+  as ``uint64`` word arrays with vectorised AND + popcount, the fastest
+  path for wide pair/k-set workloads and the only engine supporting
+  incremental index maintenance (``apply_diff``);
 * ``"naive"`` -- the original per-entry set re-intersection, kept as the
   reference implementation for cross-checking (``--engine naive`` on the
   CLI, and the equivalence test suite).
 
-Both engines return identical values in identical order; derived datasets
+All engines return identical values in identical order; derived datasets
 (``valid()``, ``filtered()``, ``between()``) inherit the engine choice.
 """
 
@@ -37,7 +42,7 @@ from typing import (
     Tuple,
 )
 
-from repro.analysis.engine import IncidenceIndex
+from repro.analysis.engine import IncidenceIndex, PackedIndex
 from repro.classify.filters import ServerConfigurationFilter, ValidityFilter
 from repro.core.constants import OS_NAMES
 from repro.core.enums import ServerConfiguration, ValidityStatus
@@ -47,7 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.snapshots.store import SnapshotRecord
 
 #: Engines understood by :class:`VulnerabilityDataset`.
-ENGINES: Tuple[str, ...] = ("bitset", "naive")
+ENGINES: Tuple[str, ...] = ("bitset", "naive", "packed")
 
 
 @dataclass(frozen=True)
@@ -79,6 +84,7 @@ class VulnerabilityDataset:
         self._snapshot = snapshot
         self._digest: Optional[str] = None
         self._incidence: Optional[IncidenceIndex] = None
+        self._packed: Optional[PackedIndex] = None
         self._by_os: Dict[str, List[VulnerabilityEntry]] = {name: [] for name in self._os_names}
         for entry in self._entries:
             for name in entry.affected_os:
@@ -143,15 +149,59 @@ class VulnerabilityDataset:
             self._incidence = IncidenceIndex(self._entries, self._os_names)
         return self._incidence
 
+    @property
+    def packed(self) -> PackedIndex:
+        """The numpy packed-word index over this dataset (built lazily).
+
+        Like :attr:`incidence`, available regardless of the configured
+        engine -- incremental maintenance (:meth:`PackedIndex.apply_diff`)
+        and the vectorised pair/k-set paths are always reachable.
+        """
+        if self._packed is None:
+            self._packed = PackedIndex(self._entries, self._os_names)
+        return self._packed
+
+    def query_index(self):
+        """The compiled index the configured engine queries through.
+
+        :class:`~repro.analysis.engine.PackedIndex` for ``engine="packed"``,
+        the bitset :class:`~repro.analysis.engine.IncidenceIndex` otherwise
+        (including ``"naive"``, whose façades bypass it but whose callers
+        may still want the explicit fast path).  Both expose the same query
+        API, so engine-aware callers dispatch through this single method.
+        """
+        if self._engine == "packed":
+            return self.packed
+        return self.incidence
+
+    @classmethod
+    def from_packed_index(
+        cls,
+        index: PackedIndex,
+        snapshot: Optional["SnapshotRecord"] = None,
+    ) -> "VulnerabilityDataset":
+        """A ``engine="packed"`` dataset adopting an already-built index.
+
+        The incremental serving path (:meth:`repro.service.registry
+        .ArtifactRegistry.patch`) derives a new :class:`PackedIndex` from a
+        snapshot diff and wraps it here, so "compiling" the patched dataset
+        costs nothing.
+        """
+        dataset = cls(
+            index.entries, index.os_names, engine="packed", snapshot=snapshot
+        )
+        dataset._packed = index
+        return dataset
+
     def compile(self) -> "VulnerabilityDataset":
-        """Build the bitset incidence index eagerly and return ``self``.
+        """Build the configured engine's index eagerly and return ``self``.
 
         The index is otherwise built lazily on first query; long-lived
         callers (the serving layer's artifact registry) call this once at
         registration time so the one-off compile cost never lands inside a
         latency-sensitive request.
         """
-        _ = self.incidence
+        _ = self.query_index()
         return self
 
     def with_engine(self, engine: str) -> "VulnerabilityDataset":
@@ -237,8 +287,8 @@ class VulnerabilityDataset:
         names = list(os_names)
         if not names:
             return []
-        if self._engine == "bitset":
-            return self.incidence.shared_entries(names)
+        if self._engine != "naive":
+            return self.query_index().shared_entries(names)
         smallest = min(names, key=lambda n: len(self._by_os.get(n, ())))
         return [
             entry
@@ -247,16 +297,16 @@ class VulnerabilityDataset:
         ]
 
     def shared_count(self, os_names: Sequence[str]) -> int:
-        if self._engine == "bitset":
-            return self.incidence.shared_count(os_names)
+        if self._engine != "naive":
+            return self.query_index().shared_count(os_names)
         return len(self.shared_between(os_names))
 
     def affecting_at_least(self, k: int) -> List[VulnerabilityEntry]:
         """Entries affecting at least ``k`` of the catalogued OSes."""
         if k < 1:
             raise ValueError("k must be at least 1")
-        if self._engine == "bitset":
-            return self.incidence.affecting_at_least(k)
+        if self._engine != "naive":
+            return self.query_index().affecting_at_least(k)
         catalog: Set[str] = set(self._os_names)
         return [
             entry
@@ -282,11 +332,11 @@ class VulnerabilityDataset:
         # threshold below one admits every entry; the index only scans the
         # group's own entries over catalogued names, hence the guards.
         if (
-            self._engine == "bitset"
+            self._engine != "naive"
             and threshold >= 1
             and all(name in self._by_os for name in names)
         ):
-            return self.incidence.compromising_entries(names, threshold)
+            return self.query_index().compromising_entries(names, threshold)
         return [
             entry
             for entry in self._entries

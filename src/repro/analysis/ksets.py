@@ -112,9 +112,9 @@ class KSetAnalysis:
         """
         if not 2 <= k <= len(self._os_names):
             raise ValueError(f"k must be between 2 and {len(self._os_names)}")
-        if self._dataset.engine == "bitset":
+        if self._dataset.engine != "naive":
             # Depth-first fold-AND with shared prefix intersections.
-            return self._dataset.incidence.k_set_totals(self._os_names, k)
+            return self._dataset.query_index().k_set_totals(self._os_names, k)
         totals: Dict[Tuple[str, ...], int] = {}
         for combo in itertools.combinations(self._os_names, k):
             totals[combo] = self._dataset.shared_count(combo)

@@ -113,9 +113,9 @@ class PairAnalysis:
     ) -> Dict[Pair, int]:
         """Shared counts only, keyed by pair, for one configuration."""
         view = self._dataset.filtered(configuration)
-        if view.engine == "bitset":
-            # One AND + popcount per pair over the precompiled OS masks.
-            return view.incidence.pair_matrix(self._os_names)
+        if view.engine != "naive":
+            # One AND + popcount per pair over the precompiled OS rows.
+            return view.query_index().pair_matrix(self._os_names)
         return {
             (os_a, os_b): view.shared_count((os_a, os_b))
             for os_a, os_b in self.pairs()

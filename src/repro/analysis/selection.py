@@ -109,9 +109,9 @@ class ReplicaSetSelector:
         if pair_matrix is not None:
             for (os_a, os_b), count in pair_matrix.items():
                 self._matrix[self._key(os_a, os_b)] = count
-        elif self._dataset.engine == "bitset":
-            # One pass over the incidence index: an AND + popcount per pair.
-            for (os_a, os_b), count in self._dataset.incidence.pair_matrix(
+        elif self._dataset.engine != "naive":
+            # One pass over the engine's index: an AND + popcount per pair.
+            for (os_a, os_b), count in self._dataset.query_index().pair_matrix(
                 self._candidates
             ).items():
                 self._matrix[self._key(os_a, os_b)] = count

@@ -19,10 +19,11 @@ All commands operate on the calibrated synthetic corpus by default; pass
 ``--feeds DIR`` to run the analyses on a directory of NVD XML feeds instead
 (e.g. the real ones, in an online environment), or ``--db PATH`` (optionally
 with ``--snapshot ID``) to run them on a snapshot state of a persistent
-ingested database.  ``--engine bitset|naive`` selects the
+ingested database.  ``--engine bitset|naive|packed`` selects the
 shared-vulnerability engine (the precompiled bitset incidence index by
-default; the naive set re-intersection for cross-checking).  Worked examples
-for every command live in ``docs/cli.md``.
+default; the naive set re-intersection for cross-checking; the numpy
+packed-word index for large catalogues).  Worked examples for every command
+live in ``docs/cli.md``.
 """
 
 from __future__ import annotations
@@ -603,8 +604,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(a ledger id or a digest prefix) instead of the head")
     parser.add_argument("--engine", choices=ENGINES, default="bitset",
                         help="shared-vulnerability engine: the precompiled bitset "
-                             "incidence index (default) or the naive set "
-                             "re-intersection, kept for cross-checking")
+                             "incidence index (default), the naive set "
+                             "re-intersection kept for cross-checking, or the "
+                             "numpy packed-word index for large catalogues")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_command(name: str, help_text: str, epilog: str) -> argparse.ArgumentParser:

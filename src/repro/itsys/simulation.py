@@ -10,7 +10,7 @@ This turns the paper's qualitative argument -- "diversity reduces the chance
 that one vulnerability takes out several replicas at once" -- into a number
 that can be compared across configurations.
 
-Two interchangeable execution engines are provided, mirroring the analysis
+Interchangeable execution engines are provided, mirroring the analysis
 engine split of :mod:`repro.analysis.engine`:
 
 * ``"bitset"`` (default) -- the attacker's exploitable pool is compiled
@@ -19,10 +19,14 @@ engine split of :mod:`repro.analysis.engine`:
   precompiled integer bitmask (:class:`repro.analysis.engine.ReplicaIncidence`)
   and per-event damage is an AND-NOT + popcount, so a 500-run campaign runs
   at hardware speed;
+* ``"packed"`` -- accepted so the packed analysis engine is selectable
+  end-to-end (``repro sweep --engine packed``); replica-group victim masks
+  already fit one machine word, so it shares the bitset event loop and is
+  bit-for-bit identical to it by construction;
 * ``"naive"`` -- the original per-run ``Attacker`` + ``BFTService`` object
   path, kept as the reference implementation for cross-checking.
 
-Both engines consume the per-run random streams identically (seed
+All engines consume the per-run random streams identically (seed
 ``seed + 7919 * run_index``, one ``expovariate``/``weibullvariate`` plus one
 ``choice`` per exploit), so for a fixed seed they produce **bit-for-bit
 identical** :class:`SimulationResult` values -- asserted by
@@ -72,7 +76,7 @@ from repro.itsys.bft import BFTService
 from repro.itsys.replica import ReplicaGroup
 
 #: Execution engines understood by :class:`CompromiseSimulation`.
-ENGINES: Tuple[str, ...] = ("bitset", "naive")
+ENGINES: Tuple[str, ...] = ("bitset", "naive", "packed")
 
 #: Exploit inter-arrival processes understood by ``run_configuration``.
 ARRIVALS: Tuple[str, ...] = ("poisson", "aging")

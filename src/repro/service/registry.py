@@ -42,6 +42,7 @@ from repro.core.models import VulnerabilityEntry
 from repro.runner.cache import scoped_corpus_digest
 from repro.service.errors import Conflict, NotFound
 from repro.snapshots.digests import entry_digest
+from repro.snapshots.diff import SnapshotDiff
 from repro.snapshots.store import SnapshotRecord
 
 #: Scoped digests memoized per compiled corpus; scopes are client-chosen
@@ -290,7 +291,7 @@ class CorpusArtifacts:
         with self._lock:
             if configuration not in self._pair_matrices:
                 view = self.filtered_valid(configuration)
-                self._pair_matrices[configuration] = view.incidence.pair_matrix(
+                self._pair_matrices[configuration] = view.query_index().pair_matrix(
                     self.os_names
                 )
             return self._pair_matrices[configuration]
@@ -348,6 +349,7 @@ class ArtifactRegistry:
         self._mutex = threading.Lock()
         self.compile_count = 0
         self.hit_count = 0
+        self.patched_count = 0
 
     def __len__(self) -> int:
         with self._mutex:
@@ -388,6 +390,53 @@ class ArtifactRegistry:
                     evicted, _ = self._artifacts.popitem(last=False)
                     self._locks.pop(evicted, None)
             return compiled
+
+    def patch(
+        self,
+        parent_state: DatasetState,
+        state: DatasetState,
+        diff: SnapshotDiff,
+    ) -> Optional[CorpusArtifacts]:
+        """Derive ``state``'s artifacts from its parent's packed index.
+
+        The incremental serving path: when a snapshot delta lands and the
+        parent digest's corpus is already compiled on the ``"packed"``
+        engine, :meth:`~repro.analysis.engine.PackedIndex.apply_diff`
+        patches only the touched entry columns instead of recompiling the
+        whole corpus, and the result is registered under the new digest so
+        the next request hits warm.  Returns ``None`` (and the next ``get``
+        compiles from scratch) whenever patching does not apply: the parent
+        is not cached, the cached dataset is not packed, or the new digest
+        is already compiled.  Both paths produce byte-identical datasets,
+        scoped digests and ETags -- ``apply_diff`` is bit-for-bit equal to a
+        recompile -- so patching is purely a latency optimisation,
+        observable only through ``patched_count``.
+        """
+        with self._mutex:
+            if state.digest in self._artifacts:
+                self._artifacts.move_to_end(state.digest)
+                self.hit_count += 1
+                return self._artifacts[state.digest]
+            parent = self._artifacts.get(parent_state.digest)
+        if parent is None or parent.dataset.engine != "packed":
+            return None
+        patched_index = parent.dataset.packed.apply_diff(diff)
+        dataset = VulnerabilityDataset.from_packed_index(
+            patched_index, snapshot=state.snapshot
+        )
+        artifacts = CorpusArtifacts(dataset, state).compile()
+        with self._mutex:
+            existing = self._artifacts.get(state.digest)
+            if existing is not None:
+                self.hit_count += 1
+                return existing
+            self.patched_count += 1
+            self._artifacts[state.digest] = artifacts
+            self._artifacts.move_to_end(state.digest)
+            while len(self._artifacts) > self._max:
+                evicted, _ = self._artifacts.popitem(last=False)
+                self._locks.pop(evicted, None)
+        return artifacts
 
     def clear(self) -> None:
         """Drop every compiled dataset (the benchmark's cold-path reset)."""

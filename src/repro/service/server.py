@@ -72,6 +72,7 @@ from repro.service.jobs import Job, JobTable, request_fingerprint
 from repro.service.registry import (
     ArtifactRegistry,
     CorpusArtifacts,
+    DatasetState,
     SnapshotDatasetProvider,
     StaticDatasetProvider,
 )
@@ -277,6 +278,7 @@ class DiversityService:
                 "datasets": len(self.registry),
                 "compiles": self.registry.compile_count,
                 "hits": self.registry.hit_count,
+                "patches": self.registry.patched_count,
             },
             "response_cache": self.responses.stats(),
         }
@@ -466,6 +468,12 @@ class DiversityService:
         exactly the response-cache entries whose OS scope the snapshot
         diff names.  Out-of-process deltas need no callback: the next
         request sees the new head digest and scoped keys miss naturally.
+
+        On the ``packed`` engine the same diff also *warms* the registry:
+        :meth:`~repro.service.registry.ArtifactRegistry.patch` derives the
+        new head's index from the parent's by patching only the touched
+        entry columns, so the first request against the new digest skips
+        the full corpus recompile.
         """
         snapshot = getattr(report, "snapshot", None)
         if snapshot is None or report.changed == 0:
@@ -478,6 +486,13 @@ class DiversityService:
             parent = store.by_digest(snapshot.parent_digest)
             diff = store.diff(parent.snapshot_id, snapshot.snapshot_id)
             self.responses.invalidate_scope(diff.affected_os_names())
+            self.registry.patch(
+                DatasetState(digest=parent.digest, snapshot=parent),
+                DatasetState(
+                    digest=diff.to_snapshot.digest, snapshot=diff.to_snapshot
+                ),
+                diff,
+            )
         finally:
             database.close()
 

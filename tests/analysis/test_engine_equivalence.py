@@ -1,12 +1,16 @@
-"""Property-based equivalence: bitset engine == naive engine, always.
+"""Property-based equivalence: every fast engine == naive engine, always.
 
-The bitset incidence index (:mod:`repro.analysis.engine`) is a pure
-optimisation: for any corpus and any query it must return exactly what the
-naive per-entry set re-intersection returns, in the same order.  This suite
-generates random corpora (and exercises the paper-sized and scaled synthetic
-corpora) and asserts that equivalence for the pair matrices, the k-set
-totals, the replica-group compromise counts and all three selection
-strategies, under every server configuration.
+The bitset incidence index and the numpy packed-word index
+(:mod:`repro.analysis.engine`) are pure optimisations: for any corpus and
+any query each must return exactly what the naive per-entry set
+re-intersection returns, in the same order.  This suite generates random
+corpora (and exercises the paper-sized and scaled synthetic corpora) and
+asserts that equivalence -- three ways across ``naive``/``bitset``/
+``packed`` -- for the pair matrices, the k-set totals, the replica-group
+compromise counts and all three selection strategies, under every server
+configuration, plus the structural edge cases (empty corpus, single-OS
+catalogues, all-zero incidence rows, oversized selections and corpora
+straddling the 64-bit word boundary of the packed engine).
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.dataset import VulnerabilityDataset
+from repro.analysis.dataset import ENGINES, VulnerabilityDataset
 from repro.analysis.ksets import KSetAnalysis
 from repro.analysis.pairs import PairAnalysis
 from repro.analysis.selection import ReplicaSetSelector
@@ -29,8 +33,12 @@ from repro.core.enums import (
     ServerConfiguration,
     ValidityStatus,
 )
+from repro.core.exceptions import SelectionError
 from repro.core.models import CVSSVector, VulnerabilityEntry
 from repro.synthetic.generator import generate_scaled_catalogue
+
+#: The engines that must reproduce the naive reference bit for bit.
+FAST_ENGINES = ("bitset", "packed")
 
 # ---------------------------------------------------------------------------
 # strategies
@@ -62,9 +70,10 @@ entries_strategy = st.lists(
 )
 
 
-def both_engines(entries, os_names=OS_NAMES):
+def engine_pair(entries, fast_engine, os_names=OS_NAMES):
+    """(fast, naive) datasets over the same entries and catalogue."""
     return (
-        VulnerabilityDataset(entries, os_names, engine="bitset"),
+        VulnerabilityDataset(entries, os_names, engine=fast_engine),
         VulnerabilityDataset(entries, os_names, engine="naive"),
     )
 
@@ -74,20 +83,22 @@ def both_engines(entries, os_names=OS_NAMES):
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
 @given(entries=entries_strategy)
 @settings(max_examples=50, deadline=None)
-def test_pair_matrices_equivalent(entries):
-    fast, naive = both_engines(entries)
+def test_pair_matrices_equivalent(fast_engine, entries):
+    fast, naive = engine_pair(entries, fast_engine)
     for configuration in ServerConfiguration:
         assert PairAnalysis(fast).shared_matrix(configuration) == PairAnalysis(
             naive
         ).shared_matrix(configuration)
 
 
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
 @given(entries=entries_strategy, k=st.integers(min_value=2, max_value=4))
 @settings(max_examples=50, deadline=None)
-def test_k_set_totals_equivalent(entries, k):
-    fast, naive = both_engines(entries)
+def test_k_set_totals_equivalent(fast_engine, entries, k):
+    fast, naive = engine_pair(entries, fast_engine)
     for configuration in ServerConfiguration:
         fast_totals = KSetAnalysis(fast, configuration).per_combination_totals(k)
         naive_totals = KSetAnalysis(naive, configuration).per_combination_totals(k)
@@ -96,35 +107,38 @@ def test_k_set_totals_equivalent(entries, k):
         assert list(fast_totals) == list(naive_totals)
 
 
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
 @given(entries=entries_strategy)
 @settings(max_examples=50, deadline=None)
-def test_shared_between_and_affecting_equivalent(entries):
-    fast, naive = both_engines(entries)
+def test_shared_between_and_affecting_equivalent(fast_engine, entries):
+    fast, naive = engine_pair(entries, fast_engine)
     for names in (("Debian",), ("Debian", "RedHat"), ("OpenBSD", "NetBSD", "FreeBSD")):
         assert fast.shared_between(names) == naive.shared_between(names)
     for k in (1, 2, 3, 5):
         assert fast.affecting_at_least(k) == naive.affecting_at_least(k)
 
 
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
 @given(
     entries=entries_strategy,
     group=st.lists(st.sampled_from(OS_NAMES), min_size=2, max_size=5),
     threshold=st.integers(min_value=1, max_value=3),
 )
 @settings(max_examples=50, deadline=None)
-def test_compromising_equivalent(entries, group, threshold):
-    fast, naive = both_engines(entries)
+def test_compromising_equivalent(fast_engine, entries, group, threshold):
+    fast, naive = engine_pair(entries, fast_engine)
     assert fast.compromising(group, threshold) == naive.compromising(group, threshold)
 
 
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
 @given(entries=entries_strategy, n=st.integers(min_value=2, max_value=4))
 @settings(max_examples=40, deadline=None)
-def test_selection_strategies_equivalent(entries, n):
+def test_selection_strategies_equivalent(fast_engine, entries, n):
     for configuration in (
         ServerConfiguration.FAT,
         ServerConfiguration.ISOLATED_THIN,
     ):
-        fast, naive = both_engines(entries)
+        fast, naive = engine_pair(entries, fast_engine)
         selector_fast = ReplicaSetSelector(
             dataset=fast, candidates=OS_NAMES[:6], configuration=configuration
         )
@@ -140,11 +154,12 @@ def test_selection_strategies_equivalent(entries, n):
         assert selector_fast.rank_all(n) == selector_naive.rank_all(n)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @given(entries=entries_strategy, top=st.integers(min_value=1, max_value=20))
-@settings(max_examples=40, deadline=None)
-def test_branch_and_bound_matches_plain_enumeration(entries, top):
+@settings(max_examples=25, deadline=None)
+def test_branch_and_bound_matches_plain_enumeration(engine, entries, top):
     """The pruned exhaustive search returns exactly the enumerated top list."""
-    dataset = VulnerabilityDataset(entries).valid()
+    dataset = VulnerabilityDataset(entries, engine=engine).valid()
     selector = ReplicaSetSelector(dataset=dataset, candidates=OS_NAMES[:7])
     pruned = selector.exhaustive(3, top=top)
     enumerated = sorted(
@@ -158,16 +173,112 @@ def test_branch_and_bound_matches_plain_enumeration(entries, top):
 
 
 # ---------------------------------------------------------------------------
+# structural edge cases
+# ---------------------------------------------------------------------------
+
+
+def _entry(index: int, oses, year: int = 2004) -> VulnerabilityEntry:
+    return VulnerabilityEntry(
+        cve_id=f"CVE-{year}-{1000 + index}",
+        published=dt.date(year, 1 + index % 12, 1 + index % 28),
+        summary="edge-case entry",
+        cvss=CVSSVector(access_vector=AccessVector.NETWORK),
+        affected_os=frozenset(oses),
+        component_class=ComponentClass.KERNEL,
+        validity=ValidityStatus.VALID,
+    )
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("fast_engine", FAST_ENGINES)
+    def test_empty_corpus(self, fast_engine):
+        fast, naive = engine_pair([], fast_engine)
+        assert PairAnalysis(fast).shared_matrix(
+            ServerConfiguration.FAT
+        ) == PairAnalysis(naive).shared_matrix(ServerConfiguration.FAT)
+        totals = KSetAnalysis(fast, ServerConfiguration.FAT).per_combination_totals(3)
+        assert totals == KSetAnalysis(
+            naive, ServerConfiguration.FAT
+        ).per_combination_totals(3)
+        assert set(totals.values()) == {0}
+        assert fast.shared_between(("Debian", "RedHat")) == []
+        assert fast.affecting_at_least(1) == []
+        assert fast.compromising(("Debian", "RedHat")) == []
+
+    @pytest.mark.parametrize("fast_engine", FAST_ENGINES)
+    def test_single_os_catalogue(self, fast_engine):
+        entries = [_entry(0, ("Debian",)), _entry(1, ("Debian", "RedHat"))]
+        fast, naive = engine_pair(entries, fast_engine, os_names=("Debian",))
+        # Only Debian is catalogued: breadth counts ignore RedHat entirely.
+        assert fast.affecting_at_least(1) == naive.affecting_at_least(1) == entries
+        assert fast.affecting_at_least(2) == naive.affecting_at_least(2) == []
+        assert fast.shared_between(("Debian",)) == naive.shared_between(("Debian",))
+        assert fast.query_index().pair_matrix(("Debian",)) == {}
+
+    @pytest.mark.parametrize("fast_engine", FAST_ENGINES)
+    def test_all_zero_incidence_rows(self, fast_engine):
+        """Entries affecting only uncatalogued OSes leave all-zero columns."""
+        catalogue = ("Debian", "RedHat")
+        entries = [
+            _entry(0, ("Windows2000",)),  # outside the catalogue entirely
+            _entry(1, ("Solaris", "OpenBSD")),
+            _entry(2, ("Debian", "Windows2000")),
+        ]
+        fast, naive = engine_pair(entries, fast_engine, os_names=catalogue)
+        assert fast.shared_count(("Debian", "RedHat")) == naive.shared_count(
+            ("Debian", "RedHat")
+        )
+        assert fast.affecting_at_least(1) == naive.affecting_at_least(1)
+        assert fast.affecting_at_least(1) == [entries[2]]
+        index = fast.query_index()
+        assert index.pair_matrix(catalogue) == {("Debian", "RedHat"): 0}
+        assert index.k_set_totals(catalogue, 2) == {("Debian", "RedHat"): 0}
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_selection_rejects_k_greater_than_n(self, engine):
+        entries = [_entry(index, (OS_NAMES[index % 3],)) for index in range(5)]
+        dataset = VulnerabilityDataset(entries, engine=engine)
+        selector = ReplicaSetSelector(dataset=dataset, candidates=OS_NAMES[:3])
+        with pytest.raises(SelectionError):
+            selector.exhaustive(4)
+        with pytest.raises(SelectionError):
+            selector.greedy(4)
+
+    @pytest.mark.parametrize("fast_engine", FAST_ENGINES)
+    @pytest.mark.parametrize("count", (63, 64, 65, 128, 129))
+    def test_word_boundary_corpora(self, fast_engine, count):
+        """Entry counts straddling the 64-bit packed-word boundary."""
+        rng = random.Random(count)
+        entries = [
+            _entry(index, rng.sample(OS_NAMES, rng.randint(1, 4)))
+            for index in range(count)
+        ]
+        fast, naive = engine_pair(entries, fast_engine)
+        assert PairAnalysis(fast).shared_matrix(
+            ServerConfiguration.FAT
+        ) == PairAnalysis(naive).shared_matrix(ServerConfiguration.FAT)
+        assert fast.affecting_at_least(2) == naive.affecting_at_least(2)
+        for names in (("Debian",), OS_NAMES[:3], OS_NAMES):
+            assert fast.shared_between(names) == naive.shared_between(names)
+        totals = KSetAnalysis(fast, ServerConfiguration.FAT).per_combination_totals(3)
+        naive_totals = KSetAnalysis(
+            naive, ServerConfiguration.FAT
+        ).per_combination_totals(3)
+        assert totals == naive_totals and list(totals) == list(naive_totals)
+
+
+# ---------------------------------------------------------------------------
 # paper-sized and scaled corpora
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
 @pytest.mark.parametrize(
     "configuration",
     [ServerConfiguration.FAT, ServerConfiguration.THIN, ServerConfiguration.ISOLATED_THIN],
 )
-def test_paper_corpus_equivalence(dataset, configuration):
-    fast = dataset.with_engine("bitset")
+def test_paper_corpus_equivalence(dataset, fast_engine, configuration):
+    fast = dataset.with_engine(fast_engine)
     naive = dataset.with_engine("naive")
     assert PairAnalysis(fast).shared_matrix(configuration) == PairAnalysis(
         naive
@@ -177,11 +288,12 @@ def test_paper_corpus_equivalence(dataset, configuration):
     ) == KSetAnalysis(naive, configuration).per_combination_totals(4)
 
 
-def test_paper_corpus_selection_equivalence(valid_dataset):
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
+def test_paper_corpus_selection_equivalence(valid_dataset, fast_engine):
     from repro.core.constants import TABLE5_OSES
 
     fast = ReplicaSetSelector(
-        dataset=valid_dataset.with_engine("bitset"), candidates=TABLE5_OSES
+        dataset=valid_dataset.with_engine(fast_engine), candidates=TABLE5_OSES
     )
     naive = ReplicaSetSelector(
         dataset=valid_dataset.with_engine("naive"), candidates=TABLE5_OSES
@@ -191,14 +303,15 @@ def test_paper_corpus_selection_equivalence(valid_dataset):
     assert fast.graph_based(4) == naive.graph_based(4)
 
 
-def test_scaled_catalogue_equivalence():
+@pytest.mark.parametrize("fast_engine", FAST_ENGINES)
+def test_scaled_catalogue_equivalence(fast_engine):
     """A 30-OS scaled catalogue: pair matrix and sampled k-sets agree."""
     catalogue = generate_scaled_catalogue(
         n_families=6, releases_per_family=5, vulns_per_os=15, seed=99
     )
-    fast = catalogue.dataset(engine="bitset")
+    fast = catalogue.dataset(engine=fast_engine)
     naive = catalogue.dataset(engine="naive")
-    assert fast.incidence.pair_matrix(catalogue.os_names) == {
+    assert fast.query_index().pair_matrix(catalogue.os_names) == {
         pair: naive.shared_count(pair)
         for pair in itertools.combinations(catalogue.os_names, 2)
     }
@@ -210,3 +323,16 @@ def test_scaled_catalogue_equivalence():
     naive_sel = ReplicaSetSelector(dataset=naive, candidates=catalogue.os_names)
     assert fast_sel.exhaustive(3, top=3) == naive_sel.exhaustive(3, top=3)
     assert fast_sel.greedy(4) == naive_sel.greedy(4)
+
+
+def test_bitset_and_packed_indexes_agree_directly(dataset):
+    """The two fast indexes agree with each other, not just with naive."""
+    bitset = dataset.incidence
+    packed = dataset.packed
+    assert bitset.pair_matrix(OS_NAMES) == packed.pair_matrix(OS_NAMES)
+    assert bitset.k_set_totals(OS_NAMES, 3) == packed.k_set_totals(OS_NAMES, 3)
+    assert bitset.breadth_histogram() == packed.breadth_histogram()
+    for name in OS_NAMES:
+        assert bitset.count_for(name) == packed.count_for(name)
+    with pytest.raises(ValueError, match="k must be between 1 and"):
+        packed.k_set_totals(OS_NAMES, len(OS_NAMES) + 1)

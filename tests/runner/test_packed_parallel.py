@@ -1,0 +1,79 @@
+"""Packed-engine sweeps survive the process pool bit for bit.
+
+``repro sweep --engine packed --workers N`` ships the corpus to worker
+processes and rebuilds a :class:`~repro.analysis.engine.PackedIndex` on the
+far side, so these tests pin the two contracts that make that safe:
+
+* ``workers=1`` and ``workers=4`` merge to identical results on the packed
+  engine, exactly as they do for bitset;
+* the packed engine lands in the cache key, so packed and bitset sweeps
+  sharing a cache directory never serve each other's cells -- while the
+  simulation results themselves stay engine-independent.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runner import ExperimentGrid, GridRunner, ResultCache
+
+from tests.runner.test_runner_parallel import corpora, grids
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(entries=corpora(), grid=grids(), seed=st.integers(0, 10_000))
+def test_packed_workers_one_and_four_merge_identically(entries, grid, seed):
+    serial = GridRunner(entries, seed=seed, engine="packed", workers=1).run(grid)
+    pooled = GridRunner(entries, seed=seed, engine="packed", workers=4).run(grid)
+    assert serial.results() == pooled.results()
+    assert [c.cell for c in serial.cells] == [c.cell for c in pooled.cells]
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(entries=corpora(), grid=grids(), seed=st.integers(0, 10_000))
+def test_packed_results_match_bitset_results(entries, grid, seed):
+    packed = GridRunner(entries, seed=seed, engine="packed", workers=1).run(grid)
+    bitset = GridRunner(entries, seed=seed, engine="bitset", workers=1).run(grid)
+    assert packed.results() == bitset.results()
+
+
+def test_packed_sweep_through_the_pool_matches_serial_json(corpus, tmp_path):
+    """The full paper corpus through a real 4-process pool, byte for byte."""
+    grid = ExperimentGrid(
+        configurations={"Set1": ("Windows2003", "Solaris", "Debian", "OpenBSD")},
+        recovery_intervals=(None, 2.0),
+        runs=8,
+        horizon=3.0,
+    )
+    entries = corpus.valid_entries
+    serial = GridRunner(entries, seed=5, engine="packed", workers=1).run(grid)
+    pooled = GridRunner(entries, seed=5, engine="packed", workers=4).run(grid)
+    assert json.dumps(serial.to_json_payload(), sort_keys=True) == json.dumps(
+        pooled.to_json_payload(), sort_keys=True
+    )
+
+
+def test_packed_and_bitset_sweeps_do_not_share_cache_entries(corpus, tmp_path):
+    grid = ExperimentGrid(
+        configurations={"Set1": ("Windows2003", "Solaris", "Debian", "OpenBSD")},
+        runs=5,
+        horizon=2.0,
+    )
+    entries = corpus.valid_entries
+    bitset = GridRunner(
+        entries, seed=5, workers=1, cache=ResultCache(tmp_path)
+    ).run(grid)
+    packed = GridRunner(
+        entries, seed=5, engine="packed", workers=1, cache=ResultCache(tmp_path)
+    ).run(grid)
+    assert packed.cached_cells == 0  # engine is part of the cache key
+    assert packed.results() == bitset.results()  # ...but the physics agree

@@ -1,0 +1,175 @@
+"""Incremental registry updates: patched and recompiled corpora are twins.
+
+When the service runs on the packed engine, a landing delta patches the
+served index (:meth:`~repro.service.registry.ArtifactRegistry.patch`)
+instead of recompiling the corpus.  Because
+:meth:`~repro.analysis.engine.PackedIndex.apply_diff` is bit-for-bit equal
+to a recompile, the two paths must be *indistinguishable to clients*:
+identical scoped digests, identical ETags, identical response payloads.
+These tests pin that, at the registry level and over live HTTP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enums import ServerConfiguration
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline
+from repro.service import (
+    DiversityService,
+    ServiceConfig,
+    ServiceServer,
+    SnapshotDatasetProvider,
+)
+from repro.service.registry import ArtifactRegistry
+from repro.snapshots.delta import DeltaIngestPipeline
+from repro.snapshots.store import SnapshotStore
+from repro.synthetic.evolution import evolve_corpus
+
+from tests.service.conftest import ServiceClient
+
+
+@pytest.fixture()
+def snapshot_db(corpus, tmp_path):
+    """A snapshot store with a base commit and one applied delta."""
+    db_path = tmp_path / "patch.db"
+    database = VulnerabilityDatabase(db_path)
+    pipeline = IngestPipeline(database=database)
+    pipeline.ingest_raw(corpus.to_raw_feed_entries())
+    store = SnapshotStore(database)
+    base = store.commit(source="full")
+    delta = evolve_corpus(corpus, fraction=0.01, seed=23, rejections=1)
+    DeltaIngestPipeline(pipeline, store).apply_raw(delta.entries, source="delta")
+    head = store.head()
+    assert head.digest != base.digest
+    diff = store.diff(base.snapshot_id, head.snapshot_id)
+    database.close()
+    return str(db_path), base, head, diff
+
+
+def _state(provider, record):
+    from repro.service.registry import DatasetState
+
+    return DatasetState(digest=record.digest, snapshot=record)
+
+
+class TestRegistryPatch:
+    def test_patched_artifacts_equal_recompiled_artifacts(self, snapshot_db):
+        db_path, base, head, diff = snapshot_db
+        provider = SnapshotDatasetProvider(db_path, engine="packed")
+        registry = ArtifactRegistry()
+        parent = registry.get(_state(provider, base), provider.load)
+        patched = registry.patch(_state(provider, base), _state(provider, head), diff)
+        assert patched is not None
+        assert registry.patched_count == 1
+
+        recompiled = ArtifactRegistry().get(_state(provider, head), provider.load)
+        assert patched.dataset.entries == recompiled.dataset.entries
+        assert patched.digest == recompiled.digest == head.digest
+        # Identical ETag material: every scoped digest matches on both paths.
+        for scope in (None, ("Debian", "OpenBSD"), ("Windows2000", "Windows2003")):
+            for configuration in ServerConfiguration:
+                assert patched.scope_digest(scope, configuration) == (
+                    recompiled.scope_digest(scope, configuration)
+                )
+        # Identical payload material: the derived analyses agree too.
+        assert patched.pair_matrix(
+            ServerConfiguration.ISOLATED_THIN
+        ) == recompiled.pair_matrix(ServerConfiguration.ISOLATED_THIN)
+        assert patched.shared_count(("Debian", "RedHat")) == recompiled.shared_count(
+            ("Debian", "RedHat")
+        )
+        # The parent's scoped digests differ wherever the delta hit.
+        assert parent.scope_digest(None) != patched.scope_digest(None)
+
+    def test_patched_digest_is_served_from_the_registry(self, snapshot_db):
+        db_path, base, head, diff = snapshot_db
+        provider = SnapshotDatasetProvider(db_path, engine="packed")
+        registry = ArtifactRegistry()
+        registry.get(_state(provider, base), provider.load)
+        patched = registry.patch(_state(provider, base), _state(provider, head), diff)
+        assert registry.get(_state(provider, head), provider.load) is patched
+        assert registry.compile_count == 1  # the base compile only
+
+    def test_patch_requires_a_cached_packed_parent(self, snapshot_db):
+        db_path, base, head, diff = snapshot_db
+        packed = SnapshotDatasetProvider(db_path, engine="packed")
+        registry = ArtifactRegistry()
+        # Parent not cached at all: nothing to patch from.
+        assert registry.patch(_state(packed, base), _state(packed, head), diff) is None
+        # Parent cached on the bitset engine: apply_diff has no packed index.
+        bitset = SnapshotDatasetProvider(db_path, engine="bitset")
+        registry.get(_state(bitset, base), bitset.load)
+        assert registry.patch(_state(bitset, base), _state(bitset, head), diff) is None
+        assert registry.patched_count == 0
+
+    def test_patch_returns_existing_artifacts_when_already_compiled(
+        self, snapshot_db
+    ):
+        db_path, base, head, diff = snapshot_db
+        provider = SnapshotDatasetProvider(db_path, engine="packed")
+        registry = ArtifactRegistry()
+        registry.get(_state(provider, base), provider.load)
+        compiled = registry.get(_state(provider, head), provider.load)
+        assert (
+            registry.patch(_state(provider, base), _state(provider, head), diff)
+            is compiled
+        )
+        assert registry.patched_count == 0
+
+
+class TestPackedServiceOverHttp:
+    @pytest.fixture()
+    def packed_server(self, corpus, tmp_path):
+        """A live packed-engine server over a snapshot store."""
+        db_path = tmp_path / "serve-packed.db"
+        database = VulnerabilityDatabase(db_path)
+        pipeline = IngestPipeline(database=database)
+        pipeline.ingest_raw(corpus.to_raw_feed_entries())
+        SnapshotStore(database).commit(source="full ingest")
+        database.close()
+
+        app = DiversityService(
+            ServiceConfig(db=str(db_path), engine="packed"),
+            SnapshotDatasetProvider(str(db_path), engine="packed"),
+        )
+        service = ServiceServer(app)
+        client = ServiceClient(service.start())
+        try:
+            yield client, app
+        finally:
+            service.stop(drain_grace=30.0)
+
+    def test_delta_ingest_patches_instead_of_recompiling(
+        self, packed_server, corpus, tmp_path
+    ):
+        client, app = packed_server
+        before = client.get("/v1/matrix/pairs")
+        assert before.status == 200
+        assert app.registry.compile_count == 1
+
+        feed = evolve_corpus(corpus, fraction=0.01, seed=5).write_feed(
+            tmp_path / "delta.xml"
+        )
+        assert client.request(
+            "POST", "/v1/ingest/delta",
+            headers={"Content-Type": "application/xml"},
+            body=feed.read_bytes(),
+        ).status == 200
+        # The subscription patched the new head into the registry...
+        assert app.registry.patched_count == 1
+        after = client.get("/v1/matrix/pairs")
+        assert after.status == 200
+        assert after.etag != before.etag
+        # ...so serving the new head never recompiled the corpus.
+        assert app.registry.compile_count == 1
+        assert client.get("/healthz").json()["registry"]["patches"] == 1
+
+        # Both paths serve identical bytes: recompiling from scratch (cold
+        # registry) reproduces the patched ETag and payload exactly.
+        app.registry.clear()
+        recompiled = client.get("/v1/matrix/pairs")
+        assert recompiled.etag == after.etag
+        assert recompiled.body == after.body
+        assert app.registry.compile_count == 2

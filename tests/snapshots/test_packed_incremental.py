@@ -1,0 +1,124 @@
+"""Incremental packed-index maintenance against the snapshot ledger.
+
+The contract: for any chain of deltas landing on a snapshot store,
+:meth:`~repro.analysis.engine.PackedIndex.apply_diff` over the ledger diff
+produces an index **bit-for-bit equal** to compiling the target snapshot
+from scratch -- same entry tuple, same boolean incidence matrix, same
+packed words, and therefore the same answer to every query.  The deltas
+here are randomly generated ``evolve_corpus`` batches (modifications and
+rejections) interleaved with brand-new entries, so additions, removals and
+content changes -- including publication-date changes that reorder the
+canonical ``(published, cve_id)`` entry order -- are all exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import PackedIndex
+from repro.core.constants import OS_NAMES
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline
+from repro.snapshots.delta import DeltaIngestPipeline
+from repro.snapshots.store import SnapshotStore
+from repro.synthetic.evolution import evolve_corpus
+
+
+@pytest.fixture()
+def ledger(corpus):
+    """(store, delta pipeline, base snapshot) over the first 300 entries."""
+    pipeline = IngestPipeline(database=VulnerabilityDatabase())
+    pipeline.ingest_raw(corpus.to_raw_feed_entries()[:300])
+    store = SnapshotStore(pipeline.database)
+    base = store.commit(source="full")
+    return store, DeltaIngestPipeline(pipeline, store), base
+
+
+def _assert_bit_for_bit(patched: PackedIndex, fresh: PackedIndex) -> None:
+    assert patched.entries == fresh.entries
+    assert np.array_equal(patched._bool_matrix(), fresh._bool_matrix())
+    assert np.array_equal(patched._rows, fresh._rows)
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2, 3))
+def test_random_delta_batch_patches_bit_for_bit(ledger, corpus, seed):
+    store, delta_pipeline, base = ledger
+    known = {entry.cve_id for entry in store.entries_at(base.snapshot_id)}
+    batch = evolve_corpus(corpus, fraction=0.03, seed=seed, rejections=2)
+    delta_pipeline.apply_raw(
+        [raw for raw in batch.entries if raw.cve_id in known], source="delta"
+    )
+    head = store.head()
+    diff = store.diff(base.snapshot_id, head.snapshot_id)
+    assert not diff.is_empty
+    old = PackedIndex(store.entries_at(base.snapshot_id), OS_NAMES)
+    _assert_bit_for_bit(
+        old.apply_diff(diff), PackedIndex(store.entries_at(head.snapshot_id), OS_NAMES)
+    )
+
+
+def test_delta_chain_with_additions_patches_every_link(ledger, corpus):
+    """A chain of deltas (adds + modifications + removals), patched link by
+    link and also end to end across the whole chain."""
+    store, delta_pipeline, base = ledger
+    raw_entries = corpus.to_raw_feed_entries()
+    known = {raw.cve_id for raw in raw_entries[:300]}
+    previous = base
+    snapshots = [base]
+    for step, seed in enumerate((11, 12, 13)):
+        batch = evolve_corpus(corpus, fraction=0.02, seed=seed, rejections=1)
+        adds = raw_entries[300 + 10 * step : 300 + 10 * (step + 1)]
+        delta_pipeline.apply_raw(
+            [*adds, *(raw for raw in batch.entries if raw.cve_id in known)],
+            source=f"delta-{step}",
+        )
+        head = store.head()
+        assert head.snapshot_id != previous.snapshot_id
+        diff = store.diff(previous.snapshot_id, head.snapshot_id)
+        assert diff.counts()["added"] == 10
+        old = PackedIndex(store.entries_at(previous.snapshot_id), OS_NAMES)
+        fresh = PackedIndex(store.entries_at(head.snapshot_id), OS_NAMES)
+        _assert_bit_for_bit(old.apply_diff(diff), fresh)
+        previous = head
+        snapshots.append(head)
+    # One combined diff across the whole chain patches identically too.
+    combined = store.diff(base.snapshot_id, previous.snapshot_id)
+    first = PackedIndex(store.entries_at(base.snapshot_id), OS_NAMES)
+    last = PackedIndex(store.entries_at(previous.snapshot_id), OS_NAMES)
+    _assert_bit_for_bit(first.apply_diff(combined), last)
+
+
+def test_patched_index_answers_queries_like_the_recompile(ledger, corpus):
+    store, delta_pipeline, base = ledger
+    known = {entry.cve_id for entry in store.entries_at(base.snapshot_id)}
+    batch = evolve_corpus(corpus, fraction=0.05, seed=42, rejections=3)
+    delta_pipeline.apply_raw(
+        [raw for raw in batch.entries if raw.cve_id in known], source="delta"
+    )
+    head = store.head()
+    diff = store.diff(base.snapshot_id, head.snapshot_id)
+    patched = PackedIndex(store.entries_at(base.snapshot_id), OS_NAMES).apply_diff(diff)
+    fresh = PackedIndex(store.entries_at(head.snapshot_id), OS_NAMES)
+    assert patched.pair_matrix(OS_NAMES) == fresh.pair_matrix(OS_NAMES)
+    assert patched.k_set_totals(OS_NAMES, 3) == fresh.k_set_totals(OS_NAMES, 3)
+    assert patched.breadth_histogram() == fresh.breadth_histogram()
+    for name in diff.affected_os_names():
+        assert patched.count_for(name) == fresh.count_for(name)
+
+
+def test_reverse_diff_patches_back_to_the_parent(ledger, corpus):
+    """Diffs run in either direction; patching backwards restores the old."""
+    store, delta_pipeline, base = ledger
+    known = {entry.cve_id for entry in store.entries_at(base.snapshot_id)}
+    batch = evolve_corpus(corpus, fraction=0.02, seed=9, rejections=1)
+    delta_pipeline.apply_raw(
+        [raw for raw in batch.entries if raw.cve_id in known], source="delta"
+    )
+    head = store.head()
+    backwards = store.diff(head.snapshot_id, base.snapshot_id)
+    new_index = PackedIndex(store.entries_at(head.snapshot_id), OS_NAMES)
+    _assert_bit_for_bit(
+        new_index.apply_diff(backwards),
+        PackedIndex(store.entries_at(base.snapshot_id), OS_NAMES),
+    )

@@ -91,3 +91,39 @@ class TestSweepCsv:
 @pytest.mark.parametrize("argv", [SIMULATE_ARGS, SWEEP_ARGS])
 def test_json_outputs_are_run_to_run_stable(capsys, argv):
     assert _stdout_of(capsys, argv) == _stdout_of(capsys, argv)
+
+
+class TestEngineSelection:
+    """``--engine`` must accept every registered engine and nothing else."""
+
+    def test_unknown_engine_is_rejected_listing_the_valid_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--engine", "quantum", *SIMULATE_ARGS])
+        assert excinfo.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "invalid choice: 'quantum'" in stderr
+        assert "'bitset', 'naive', 'packed'" in stderr
+
+    def test_dataset_error_message_names_every_engine(self, golden):
+        from repro.analysis.dataset import VulnerabilityDataset
+
+        with pytest.raises(ValueError) as excinfo:
+            VulnerabilityDataset([], engine="quantum")
+        golden("engine_error.txt", str(excinfo.value) + "\n")
+
+    def test_packed_simulate_json_differs_only_in_the_engine_field(self, capsys):
+        bitset = json.loads(_stdout_of(capsys, SIMULATE_ARGS))
+        packed = json.loads(
+            _stdout_of(capsys, ["--engine", "packed", *SIMULATE_ARGS])
+        )
+        assert packed["engine"] == "packed"
+        packed["engine"] = bitset["engine"]
+        assert packed == bitset
+
+    def test_packed_sweep_json_matches_the_bitset_golden(self, capsys, golden):
+        payload = json.loads(
+            _stdout_of(capsys, ["--engine", "packed", *SWEEP_ARGS])
+        )
+        assert payload["engine"] == "packed"
+        payload["engine"] = "bitset"
+        golden("sweep.json", json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -101,6 +101,28 @@ def test_pair_analysis_reduction_is_bounded(entries):
     assert 0.0 <= reduction <= 100.0
 
 
+@given(entries=entries_strategy, names=st.lists(st.sampled_from(OS_NAMES), min_size=2, max_size=5, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_three_engines_answer_every_query_identically(entries, names):
+    """naive, bitset and packed are observationally equivalent datasets."""
+    naive, bitset, packed = (
+        VulnerabilityDataset(entries, engine=engine).valid()
+        for engine in ("naive", "bitset", "packed")
+    )
+    group = tuple(names)
+    assert naive.shared_count(group) == bitset.shared_count(group) == packed.shared_count(group)
+    assert naive.shared_between(group) == bitset.shared_between(group) == packed.shared_between(group)
+    for k in (1, 2, len(group)):
+        assert (
+            len(naive.affecting_at_least(k))
+            == len(bitset.affecting_at_least(k))
+            == len(packed.affecting_at_least(k))
+        )
+    assert naive.compromising(group, threshold=2) == bitset.compromising(
+        group, threshold=2
+    ) == packed.compromising(group, threshold=2)
+
+
 # ---------------------------------------------------------------------------
 # selection invariants
 # ---------------------------------------------------------------------------
