@@ -327,6 +327,7 @@ def _recovery_list(spec: str) -> List[Optional[float]]:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import SimulationError
     from repro.runner import ArrivalSpec, ExperimentGrid, GridRunner, ResultCache
 
     if args.workers < 1:
@@ -351,7 +352,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             exploit_rate=args.rate,
             horizon=args.horizon,
         )
-    except Exception as error:
+    except SimulationError as error:
         print(f"invalid grid: {error}", file=sys.stderr)
         return 2
     dataset = _load_dataset(args)
@@ -570,6 +571,20 @@ def cmd_feeds(args: argparse.Namespace) -> int:
     corpus.write_json_feed(Path(args.output) / "nvdcve-all.json")
     print(f"wrote {len(paths)} XML feeds and 1 JSON feed to {args.output}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro.devtools static-analysis suite (see docs/devtools.md)."""
+    from repro.devtools.cli import execute_lint
+
+    return execute_lint(args)
+
+
+def cmd_devtools(args: argparse.Namespace) -> int:
+    """The devtools umbrella: ``repro devtools check`` runs every gate."""
+    from repro.devtools.cli import execute_check
+
+    return execute_check(args)
 
 
 # ---------------------------------------------------------------------------
@@ -910,6 +925,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     feeds_parser.add_argument("--output", required=True)
     feeds_parser.set_defaults(func=cmd_feeds)
+
+    from repro.devtools.cli import build_check_parser, build_lint_parser
+
+    lint_parser = add_command(
+        "lint",
+        "run the static-analysis rules (determinism, asyncio-safety, contracts)",
+        "example:\n"
+        "  python -m repro lint                       # lint src/ with the baseline\n"
+        "  python -m repro lint --format json         # machine-readable findings\n"
+        "  python -m repro lint --select DET001,GEN301 src/repro/itsys\n"
+        "  python -m repro lint --list-rules          # rule reference\n"
+        "rule documentation: docs/devtools.md",
+    )
+    build_lint_parser(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint)
+
+    devtools_parser = add_command(
+        "devtools",
+        "developer tooling: `check` runs lint + docs audits in one gate",
+        "example:\n"
+        "  python -m repro devtools check             # the full CI static gate\n"
+        "  python -m repro devtools check --format json",
+    )
+    devtools_parser.add_argument(
+        "action", choices=("check",),
+        help="devtools action to run (check: lint + docs links + API drift)",
+    )
+    build_check_parser(devtools_parser)
+    devtools_parser.set_defaults(func=cmd_devtools)
     return parser
 
 

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.classify.classifier import ComponentClassifier
 from repro.classify.filters import ValidityFilter
+from repro.core.exceptions import CVSSError
 from repro.core.models import VulnerabilityEntry
 from repro.nvd.cvss import parse_cvss_vector
 from repro.nvd.feed_parser import RawFeedEntry, parse_xml_feeds
@@ -68,9 +69,11 @@ class IngestPipeline:
             return None
         try:
             cvss = parse_cvss_vector(raw.cvss_vector)
-        except Exception:
+        except CVSSError:
             # Entries without usable CVSS data default to a remote vector,
-            # the conservative choice for the Isolated-Thin analysis.
+            # the conservative choice for the Isolated-Thin analysis.  Only
+            # a malformed vector takes this path; other exceptions are
+            # parser bugs and propagate.
             from repro.core.enums import AccessVector
             from repro.core.models import CVSSVector
 

@@ -1,0 +1,55 @@
+"""``repro.devtools``: the project's static-analysis suite (``repro lint``).
+
+Every headline claim of this reproduction rests on invariants the test
+suite can only probe, not prove: engines must be bit-for-bit seed-identical,
+``workers=1`` and ``workers=N`` merges must be deterministic, digests must be
+pure functions of content, and the asyncio service must never block its
+event loop.  This package turns each invariant into a machine-checked AST
+lint rule, the same way :mod:`tools.check_docs_links` gates doc drift.
+
+Four rule families:
+
+* **DET** -- determinism: no unseeded or process-global randomness in the
+  analysis/simulation/runner layers, no wall-clock or environment reads in
+  digest/engine/merge paths, no iteration over unsorted sets feeding them.
+* **ASY** -- asyncio safety: no blocking sleeps, file I/O, sqlite access,
+  subprocesses or known-blocking repro APIs directly inside ``async def``
+  in :mod:`repro.service`; blocking work must route through an executor.
+* **ENG** -- engine contracts: the naive/bitset/packed index classes expose
+  identical public query signatures, and every class shipped across a
+  ``ProcessPoolExecutor`` defines explicit pickle support.
+* **GEN** -- hygiene: no undocumented broad ``except``, no float equality
+  in statistics code, no mutable default arguments.
+
+Use :func:`lint_paths` programmatically, ``repro lint`` /
+``python -m repro.devtools`` from a shell, and ``repro devtools check`` as
+the umbrella CI gate (lint + docs-link audit + API-reference drift).
+
+Findings are suppressed inline with ``# repro: noqa[CODE]`` (a rationale
+after the bracket is strongly encouraged) or grandfathered in the checked-in
+baseline file ``tools/lint_baseline.json``.
+"""
+
+from repro.devtools.findings import Baseline, Finding
+from repro.devtools.framework import (
+    ModuleInfo,
+    Rule,
+    all_rules,
+    lint_paths,
+    register,
+    rule_by_code,
+)
+from repro.devtools import rules as _rules  # noqa: F401 - populates the registry
+from repro.devtools.cli import main
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "main",
+    "register",
+    "rule_by_code",
+]

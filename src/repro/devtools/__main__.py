@@ -1,0 +1,6 @@
+"""``python -m repro.devtools`` entry point."""
+
+from repro.devtools.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

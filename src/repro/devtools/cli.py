@@ -1,0 +1,264 @@
+"""Command-line front end: ``repro lint`` and ``repro devtools check``.
+
+``lint`` runs the AST rules and reports findings in text or JSON; its exit
+status is the CI contract (0 = clean or fully grandfathered, 1 = new
+findings or unparseable files, 2 = usage error).  ``check`` is the
+umbrella gate: lint plus the two existing docs auditors
+(``tools/check_docs_links.py`` and ``tools/gen_api_docs.py --check``) in
+one command, so CI and developers run the identical battery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.devtools.findings import Baseline
+from repro.devtools.framework import LintResult, all_rules, lint_paths
+
+#: The checked-in grandfathered-findings ledger, relative to the lint root.
+DEFAULT_BASELINE = Path("tools") / "lint_baseline.json"
+
+JSON_FORMAT_VERSION = 1
+
+
+def _parse_lint_args(argv: Sequence[str]) -> argparse.Namespace:
+    parser = build_lint_parser()
+    return parser.parse_args(argv)
+
+
+def build_lint_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """The ``lint`` argument surface (shared by ``repro lint`` and -m)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="run the repro static-analysis rules",
+        )
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src/ under --lint-root)",
+    )
+    parser.add_argument(
+        "--lint-root", default=".", metavar="DIR",
+        help="repository root that anchors reported paths, module scopes "
+             "and the baseline file (default: the working directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings "
+             "(default: tools/lint_baseline.json under --lint-root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report and fail on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings "
+             "(grandfathers everything) instead of failing",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule with its family and rationale",
+    )
+    return parser
+
+
+def _list_rules_text() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "all modules"
+        lines.append(f"{rule.code} [{rule.family}] {rule.name} ({scope})")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _json_report(
+    result: LintResult,
+    new: List,
+    grandfathered: List,
+    stale: int,
+) -> Dict[str, object]:
+    return {
+        "version": JSON_FORMAT_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [finding.to_json() for finding in new],
+        "counts": dict(sorted(Counter(f.code for f in new).items())),
+        "grandfathered": len(grandfathered),
+        "suppressed": result.suppressed,
+        "stale_baseline_entries": stale,
+        "errors": list(result.errors),
+        "ok": not new and not result.errors,
+    }
+
+
+def run_lint(argv: Sequence[str], stdout=None) -> int:
+    """The ``repro lint`` entry point; returns the process exit status."""
+    return execute_lint(_parse_lint_args(list(argv)), stdout=stdout)
+
+
+def execute_lint(args: argparse.Namespace, stdout=None) -> int:
+    """Run lint from an already-parsed namespace (the CLI integration)."""
+    out = stdout if stdout is not None else sys.stdout
+    if args.list_rules:
+        print(_list_rules_text(), file=out)
+        return 0
+    root = Path(args.lint_root).resolve()
+    if not root.is_dir():
+        print(f"lint root {args.lint_root} is not a directory", file=sys.stderr)
+        return 2
+    raw_paths = args.paths or ["src"]
+    paths = []
+    for raw in raw_paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if not path.exists():
+            print(f"no such file or directory: {raw}", file=sys.stderr)
+            return 2
+        paths.append(path)
+    select = (
+        [code.strip() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    try:
+        result = lint_paths(paths, root, select=select)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    if args.write_baseline:
+        Baseline.from_findings(
+            result.findings, rationale="grandfathered by --write-baseline"
+        ).dump(baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to "
+            f"{baseline_path}", file=out,
+        )
+        return 0
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        baseline = Baseline.load(baseline_path)
+    new, grandfathered, stale = baseline.split(result.findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(_json_report(result, new, grandfathered, stale), indent=2),
+            file=out,
+        )
+    else:
+        for finding in new:
+            print(finding.render(), file=out)
+        for error in result.errors:
+            print(f"error: {error}", file=out)
+        summary = (
+            f"{result.files_checked} file(s) checked: "
+            f"{len(new)} finding(s), {len(grandfathered)} grandfathered, "
+            f"{result.suppressed} suppressed"
+        )
+        if stale:
+            summary += f", {stale} stale baseline entr{'y' if stale == 1 else 'ies'}"
+        if result.errors:
+            summary += f", {len(result.errors)} unparseable file(s)"
+        print(summary, file=out)
+    return 1 if new or result.errors else 0
+
+
+def build_check_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """The ``devtools check`` argument surface."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro devtools check",
+            description="run every static gate: lint, docs links, API drift",
+        )
+    parser.add_argument(
+        "--lint-root", default=".", metavar="DIR",
+        help="repository root (default: the working directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="lint report format (default: text)",
+    )
+    return parser
+
+
+def run_check(argv: Sequence[str]) -> int:
+    """``repro devtools check``: lint + docs-link audit + API drift gate."""
+    return execute_check(build_check_parser().parse_args(list(argv)))
+
+
+def execute_check(args: argparse.Namespace) -> int:
+    """Run the umbrella gate from an already-parsed namespace."""
+    root = Path(args.lint_root).resolve()
+    failures = 0
+
+    print("== repro lint ==", flush=True)
+    failures += 1 if run_lint(
+        ["--lint-root", str(root), "--format", args.format]
+    ) else 0
+
+    tools = root / "tools"
+    steps = [
+        ("docs links", [sys.executable, str(tools / "check_docs_links.py")]),
+        ("API drift", [sys.executable, str(tools / "gen_api_docs.py"), "--check"]),
+    ]
+    for label, command in steps:
+        script = Path(command[1])
+        print(f"== {label} ==", flush=True)
+        if not script.exists():
+            print(f"missing tool {script}", file=sys.stderr)
+            failures += 1
+            continue
+        existing = os.environ.get("PYTHONPATH")
+        pythonpath = str(root / "src") + (
+            os.pathsep + existing if existing else ""
+        )
+        completed = subprocess.run(
+            command,
+            cwd=str(root),
+            env={**os.environ, "PYTHONPATH": pythonpath},
+        )
+        failures += 1 if completed.returncode else 0
+    print(
+        "devtools check: OK" if not failures else
+        f"devtools check: {failures} gate(s) failed",
+        flush=True,
+    )
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.devtools`` entry point (defaults to ``lint``)."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] in ("lint", "check"):
+        command, rest = arguments[0], arguments[1:]
+    else:
+        command, rest = "lint", arguments
+    if command == "check":
+        return run_check(rest)
+    return run_lint(rest)

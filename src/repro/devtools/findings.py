@@ -1,0 +1,147 @@
+"""Findings, inline suppressions and the grandfathered-findings baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Two
+escape hatches keep the lint gate adoptable on a living codebase:
+
+* ``# repro: noqa[CODE]`` on the offending line suppresses the named
+  rule(s) there; everything after the closing bracket is the rationale
+  (``# repro: noqa[DET002] -- ledger timestamps are provenance, not data``).
+* a :class:`Baseline` file grandfathers known findings: ``repro lint``
+  fails only on findings *not* recorded there, so new code is held to the
+  rules while pre-existing debt is paid down deliberately.  Baseline
+  entries match on ``(path, code, message)`` -- not line numbers -- so
+  unrelated edits to a file cannot silently grow the grandfathered set.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: Inline suppression comments: ``# repro: noqa[DET001]`` or
+#: ``# repro: noqa[DET001,GEN301] -- rationale``.
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+    r"(?P<rationale>[^\n]*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-root-relative POSIX path
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The baseline identity: location-independent within a file."""
+        return (self.path, self.code, self.message)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def scan_noqa(source: str) -> Dict[int, frozenset]:
+    """Map line numbers (1-based) to the rule codes suppressed there."""
+    suppressions: Dict[int, frozenset] = {}
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = NOQA_PATTERN.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        suppressions[line_number] = suppressions.get(line_number, frozenset()) | codes
+    return suppressions
+
+
+class Baseline:
+    """The checked-in ledger of grandfathered findings.
+
+    The file is JSON: ``{"version": 1, "findings": [{"path", "code",
+    "message", "rationale"}, ...]}``.  Multiplicity matters -- two identical
+    findings in one file need two baseline entries -- so fixing one of two
+    duplicated violations still shrinks the allowed set.
+    """
+
+    VERSION = 1
+
+    def __init__(self, entries: Sequence[Dict[str, object]] = ()) -> None:
+        self.entries: List[Dict[str, object]] = [dict(entry) for entry in entries]
+        self._allowance = Counter(
+            (str(entry["path"]), str(entry["code"]), str(entry["message"]))
+            for entry in self.entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(f"malformed baseline file {path}")
+        return cls(payload["findings"])
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], rationale: str = ""
+    ) -> "Baseline":
+        entries = [
+            {
+                "path": finding.path,
+                "code": finding.code,
+                "message": finding.message,
+                "rationale": rationale,
+            }
+            for finding in sorted(findings)
+        ]
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {"version": self.VERSION, "findings": self.entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], int]:
+        """Partition findings into (new, grandfathered); count stale entries.
+
+        A finding is grandfathered while the baseline still has unconsumed
+        allowance for its ``(path, code, message)`` key.  The third return
+        value counts baseline entries no current finding consumed -- debt
+        that has been paid and should be dropped from the file.
+        """
+        remaining = Counter(self._allowance)
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            if remaining.get(finding.key, 0) > 0:
+                remaining[finding.key] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = sum(remaining.values())
+        return new, grandfathered, stale

@@ -1,0 +1,287 @@
+"""The rule framework: modules, name resolution, the registry, the runner.
+
+The framework is deliberately small and stdlib-only (:mod:`ast` plus file
+walking).  It gives every rule the same three affordances:
+
+* a :class:`ModuleInfo` -- the parsed tree plus the module's dotted name
+  (derived from its path under ``src/``), the raw source, and an
+  import-alias map;
+* *canonical call names* -- :meth:`ModuleInfo.canonical` resolves a
+  ``Name``/``Attribute`` chain through the module's imports, so
+  ``_dt.datetime.now(...)``, ``datetime.datetime.now(...)`` and
+  ``from datetime import datetime; datetime.now(...)`` all normalise to
+  ``datetime.datetime.now`` and a rule can match semantics, not spelling;
+* scoping -- a rule declares the dotted module prefixes it applies to
+  (``scope = ("repro.analysis", ...)``); an empty scope means every file.
+
+Rules register themselves with :func:`register`; :func:`lint_paths` walks
+the requested files, runs every applicable rule and applies the inline
+``# repro: noqa[CODE]`` suppressions from :mod:`repro.devtools.findings`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.devtools.findings import Finding, scan_noqa
+
+#: Directories never descended into when expanding a directory argument.
+PRUNED_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def dotted_chain(node: ast.AST) -> Optional[List[str]]:
+    """The ``a.b.c`` name chain of an expression, or ``None`` if not a chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> fully dotted origin, from the module's import statements."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds the *root* name ``a``.
+                    root = alias.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus the context rules need to judge it."""
+
+    path: Path
+    relpath: str  # POSIX, relative to the lint root
+    module: str  # dotted module name, e.g. ``repro.service.server``
+    source: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ModuleInfo":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        relpath = path.relative_to(root).as_posix()
+        return cls(
+            path=path,
+            relpath=relpath,
+            module=module_name(relpath),
+            source=source,
+            tree=tree,
+            imports=_import_aliases(tree),
+        )
+
+    def canonical(self, node: ast.AST) -> Optional[str]:
+        """Resolve a name chain through this module's import aliases.
+
+        Returns ``None`` for expressions that are not plain chains (calls
+        on subscripts, lambdas, ...).  Chains rooted in a local variable
+        come back verbatim (``self._conn.execute``), which lets rules match
+        on method-name suffixes.
+        """
+        chain = dotted_chain(node)
+        if chain is None:
+            return None
+        origin = self.imports.get(chain[0])
+        if origin is not None:
+            chain = origin.split(".") + chain[1:]
+        return ".".join(chain)
+
+    def in_scope(self, prefixes: Sequence[str]) -> bool:
+        if not prefixes:
+            return True
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a root-relative POSIX path.
+
+    A leading ``src/`` component (the repository layout) is stripped, so
+    linting from the repo root and linting an installed tree agree on
+    module names -- and so fixture trees that mirror ``src/repro/...``
+    resolve to real ``repro.*`` scopes.
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+def async_function_nodes(tree: ast.Module) -> Iterator[ast.AsyncFunctionDef]:
+    """Every ``async def`` in the module (including nested ones)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def direct_async_body(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes that execute *on the coroutine itself*.
+
+    Descends through the async function's body but stops at nested
+    function/class definitions: a ``def`` declared inside an ``async def``
+    runs wherever it is later called (typically an executor), so blocking
+    calls inside it are not event-loop hazards at this site.
+    """
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class Rule:
+    """Base class: one code, one family, one AST check.
+
+    Subclasses set the class attributes and implement :meth:`check`, which
+    yields ``(line, col, message)`` triples; the framework attaches paths
+    and applies suppressions.
+    """
+
+    code: str = ""
+    name: str = ""
+    family: str = ""  # DET | ASY | ENG | GEN
+    rationale: str = ""
+    #: Dotted module prefixes this rule applies to; empty = every module.
+    scope: Tuple[str, ...] = ()
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        raise NotImplementedError
+
+    def run(self, module: ModuleInfo) -> List[Finding]:
+        if not module.in_scope(self.scope):
+            return []
+        return [
+            Finding(
+                path=module.relpath,
+                line=line,
+                col=col,
+                code=self.code,
+                message=message,
+            )
+            for line, col, message in self.check(module)
+        ]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by its unique code) to the registry."""
+    if not rule_cls.code or not rule_cls.family:
+        raise ValueError(f"rule {rule_cls.__name__} must define code and family")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_by_code(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule code {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced, before baseline partitioning."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    errors: List[str] = field(default_factory=list)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not PRUNED_DIRS & set(part for part in candidate.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            seen.setdefault(candidate.resolve(), None)
+    return sorted(seen)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Path,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run the (optionally selected) rules over every Python file in ``paths``.
+
+    ``root`` anchors relative paths and module names; ``select`` narrows to
+    specific rule codes.  Unparseable files are reported in ``errors`` (and
+    fail the lint) rather than raising, so one bad file cannot hide the
+    findings of the rest.
+    """
+    if select:
+        rules = [rule_by_code(code) for code in select]
+    else:
+        rules = all_rules()
+    findings: List[Finding] = []
+    errors: List[str] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for path in files:
+        try:
+            module = ModuleInfo.parse(path, root)
+        except (SyntaxError, ValueError, UnicodeDecodeError, OSError) as error:
+            errors.append(f"{path}: {error}")
+            continue
+        noqa = scan_noqa(module.source)
+        for rule in rules:
+            for finding in rule.run(module):
+                if finding.code in noqa.get(finding.line, frozenset()):
+                    suppressed += 1
+                    continue
+                findings.append(finding)
+    findings.sort()
+    return LintResult(
+        findings=findings,
+        files_checked=len(files),
+        suppressed=suppressed,
+        errors=errors,
+    )

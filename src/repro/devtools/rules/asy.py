@@ -1,0 +1,197 @@
+"""ASY: asyncio-safety rules for the serving layer.
+
+The ``repro serve`` front end is a single asyncio event loop; one blocking
+call inside an ``async def`` stalls every connection at once.  The service
+architecture routes all blocking work (request dispatch, sqlite reads,
+corpus compiles, job drains) through executors, and these rules make that
+routing a machine-checked invariant instead of a convention.
+
+All four rules look only at code that executes *on the coroutine itself*:
+a ``def`` nested inside an ``async def`` is excluded, because it runs
+wherever it is later invoked -- typically handed to ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.devtools.framework import (
+    ModuleInfo,
+    Rule,
+    async_function_nodes,
+    direct_async_body,
+    register,
+)
+
+#: The service package: the only place ``async def`` lives today, and the
+#: place where one blocked loop stalls every connected client.
+SERVICE_SCOPE = ("repro.service",)
+
+
+def _async_calls(module: ModuleInfo, include_awaited: bool = True) -> Iterator[ast.Call]:
+    """Call nodes on the coroutine path of every ``async def``.
+
+    With ``include_awaited=False``, calls that are the direct operand of
+    an ``await`` are skipped: an awaited call is a coroutine API (e.g.
+    ``await writer.drain()``), not a blocking synchronous one.
+    """
+    for func in async_function_nodes(module.tree):
+        awaited = set()
+        if not include_awaited:
+            for node in direct_async_body(func):
+                if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                    awaited.add(id(node.value))
+        for node in direct_async_body(func):
+            if isinstance(node, ast.Call) and id(node) not in awaited:
+                yield node
+
+
+def _canonical(module: ModuleInfo, call: ast.Call) -> Optional[str]:
+    return module.canonical(call.func)
+
+
+@register
+class BlockingSleepRule(Rule):
+    """ASY101: no ``time.sleep`` on the event loop."""
+
+    code = "ASY101"
+    name = "blocking-sleep"
+    family = "ASY"
+    rationale = (
+        "time.sleep() inside an async def suspends the whole event loop, "
+        "not just the current request; use await asyncio.sleep() instead."
+    )
+    scope = SERVICE_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for call in _async_calls(module):
+            if _canonical(module, call) == "time.sleep":
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    "time.sleep() blocks the event loop; use "
+                    "await asyncio.sleep()",
+                )
+
+
+#: File/database I/O that parks the loop on a syscall.  Matched by exact
+#: canonical name, by module prefix, or by method-name suffix (Path-style
+#: read/write helpers on any receiver).
+BLOCKING_IO_EXACT = frozenset({"open", "io.open", "os.system"})
+BLOCKING_IO_PREFIXES = ("sqlite3.", "tempfile.", "shutil.")
+BLOCKING_IO_METHODS = frozenset(
+    {
+        "read_text", "write_text", "read_bytes", "write_bytes",
+        "unlink", "mkdir", "rmdir", "glob", "rglob",
+    }
+)
+
+
+@register
+class BlockingIORule(Rule):
+    """ASY102: no synchronous file or sqlite I/O on the event loop."""
+
+    code = "ASY102"
+    name = "blocking-io"
+    family = "ASY"
+    rationale = (
+        "File and sqlite operations block on syscalls and database locks; "
+        "inside an async def they freeze every connection.  Route them "
+        "through loop.run_in_executor (the request pool), as the dispatch "
+        "path does."
+    )
+    scope = SERVICE_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for call in _async_calls(module):
+            canonical = _canonical(module, call)
+            if canonical is None:
+                continue
+            blocked = (
+                canonical in BLOCKING_IO_EXACT
+                or canonical.startswith(BLOCKING_IO_PREFIXES)
+                or canonical.split(".")[-1] in BLOCKING_IO_METHODS
+            )
+            if blocked:
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    f"blocking I/O call {canonical}() inside async def; "
+                    "offload it with loop.run_in_executor",
+                )
+
+
+@register
+class SubprocessRule(Rule):
+    """ASY103: no synchronous subprocess spawns on the event loop."""
+
+    code = "ASY103"
+    name = "blocking-subprocess"
+    family = "ASY"
+    rationale = (
+        "subprocess.run/Popen and os.popen block until the child produces "
+        "output; asyncio.create_subprocess_exec (or an executor) keeps the "
+        "loop live."
+    )
+    scope = SERVICE_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for call in _async_calls(module):
+            canonical = _canonical(module, call)
+            if canonical is None:
+                continue
+            if canonical.startswith("subprocess.") or canonical == "os.popen":
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    f"synchronous subprocess call {canonical}() inside "
+                    "async def; use asyncio.create_subprocess_exec or an "
+                    "executor",
+                )
+
+
+#: Known-blocking repro APIs: compiles, sweeps, sqlite-backed stores and
+#: the synchronous dispatch/drain entry points.  Matching either the bare
+#: constructor name or the method suffix catches both
+#: ``VulnerabilityDatabase(...)`` and ``self.app.dispatch(...)``.
+BLOCKING_REPRO_CONSTRUCTORS = frozenset(
+    {
+        "VulnerabilityDatabase", "SnapshotStore", "ResultCache",
+        "IngestPipeline", "DeltaIngestPipeline", "GridRunner",
+    }
+)
+BLOCKING_REPRO_METHODS = frozenset({"dispatch", "drain"})
+
+
+@register
+class BlockingReproApiRule(Rule):
+    """ASY104: known-blocking repro APIs must not run on the event loop."""
+
+    code = "ASY104"
+    name = "blocking-repro-api"
+    family = "ASY"
+    rationale = (
+        "DiversityService.dispatch, JobTable.drain, sqlite-backed stores "
+        "and corpus compiles are synchronous by design; the front end must "
+        "reach them through DiversityService.dispatch_async or "
+        "loop.run_in_executor, never directly from a coroutine."
+    )
+    scope = SERVICE_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for call in _async_calls(module, include_awaited=False):
+            canonical = _canonical(module, call)
+            if canonical is None:
+                continue
+            parts = canonical.split(".")
+            if (
+                parts[-1] in BLOCKING_REPRO_CONSTRUCTORS
+                or parts[-1] in BLOCKING_REPRO_METHODS
+            ):
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    f"blocking repro API {canonical}() called directly "
+                    "inside async def; route it through an executor",
+                )

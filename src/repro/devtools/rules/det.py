@@ -1,0 +1,285 @@
+"""DET: determinism rules.
+
+The reproduction's determinism guarantees -- bit-for-bit seed-identical
+engines, order-independent ``workers=1 == workers=N`` merges, digests that
+are pure functions of content -- die by a thousand small cuts: one call to
+the process-global RNG, one wall-clock read inside a digest, one iteration
+over an unsorted set feeding a merge.  Each DET rule bans one cut, scoped
+to the layers that carry the guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.framework import ModuleInfo, Rule, register
+
+#: Module-level functions of :mod:`random` that draw from (or reseed) the
+#: process-global RNG.  Using them couples unrelated call sites through
+#: hidden shared state; deterministic code owns a ``random.Random(seed)``.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+        "randbytes", "randint", "random", "randrange", "sample", "seed",
+        "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: Legacy ``numpy.random`` module-level functions backed by the global
+#: ``RandomState`` singleton.
+GLOBAL_NUMPY_FUNCS = frozenset(
+    {
+        "choice", "normal", "permutation", "poisson", "rand", "randint",
+        "randn", "random", "random_sample", "seed", "shuffle", "uniform",
+    }
+)
+
+#: Wall-clock reads: ``(second-to-last, last)`` segments of the canonical
+#: dotted name.  Alias-resolution makes ``_dt.datetime.now`` and
+#: ``datetime.now`` both end in ``("datetime", "now")``.
+WALL_CLOCK_TAILS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "localtime"),
+        ("time", "gmtime"),
+        ("time", "ctime"),
+        ("time", "strftime"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Where digests, engine state and merge results are produced.
+DIGEST_AND_MERGE_SCOPE = (
+    "repro.analysis",
+    "repro.db",
+    "repro.runner",
+    "repro.snapshots",
+)
+
+
+def _call_tail(canonical: str) -> Tuple[str, ...]:
+    return tuple(canonical.split(".")[-2:])
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET001: no process-global or unseeded RNG in deterministic layers."""
+
+    code = "DET001"
+    name = "unseeded-random"
+    family = "DET"
+    rationale = (
+        "Simulation results must be bit-for-bit reproducible per seed; the "
+        "process-global RNG (random.* / numpy.random.* module functions) "
+        "couples call sites through hidden shared state, and an argument-less "
+        "random.Random() / default_rng() seeds from the OS."
+    )
+    scope = ("repro.analysis", "repro.itsys", "repro.runner")
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = module.canonical(node.func)
+            if canonical is None:
+                continue
+            parts = canonical.split(".")
+            if parts[0] == "random" and len(parts) == 2:
+                if parts[1] in GLOBAL_RANDOM_FUNCS:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"call to process-global RNG {canonical}(); use an "
+                        "explicitly seeded random.Random(seed) instance",
+                    )
+                elif parts[1] == "Random" and not node.args and not node.keywords:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "random.Random() without a seed draws entropy from "
+                        "the OS; pass an explicit seed",
+                    )
+            elif parts[:2] == ["numpy", "random"] and len(parts) == 3:
+                if parts[2] in GLOBAL_NUMPY_FUNCS:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"call to numpy global RNG {canonical}(); use an "
+                        "explicitly seeded numpy.random.default_rng(seed)",
+                    )
+                elif parts[2] in {"default_rng", "RandomState"} and not node.args and not node.keywords:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"{canonical}() without a seed draws entropy from "
+                        "the OS; pass an explicit seed",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """DET002: no wall-clock reads where digests and merges are computed."""
+
+    code = "DET002"
+    name = "wall-clock-read"
+    family = "DET"
+    rationale = (
+        "Digests are content addresses and merge results must be pure "
+        "functions of their inputs; a timestamp read inside these paths "
+        "makes two runs over identical data disagree.  Timestamps that are "
+        "provenance (not data) enter through an injectable parameter seam."
+    )
+    scope = DIGEST_AND_MERGE_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = module.canonical(node.func)
+            if canonical is None:
+                continue
+            if _call_tail(canonical) in WALL_CLOCK_TAILS:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read {canonical}() in a digest/merge path; "
+                    "inject the timestamp through a parameter instead",
+                )
+
+
+@register
+class EnvironReadRule(Rule):
+    """DET003: no environment reads where digests and merges are computed."""
+
+    code = "DET003"
+    name = "environment-read"
+    family = "DET"
+    rationale = (
+        "os.environ varies per host and shell; reading it inside digest, "
+        "engine or merge code makes content addresses machine-dependent.  "
+        "Environment-driven configuration belongs in the CLI layer, passed "
+        "down as explicit arguments."
+    )
+    scope = DIGEST_AND_MERGE_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                canonical = module.canonical(node.func)
+                if canonical == "os.getenv":
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "os.getenv() read in a digest/merge path; pass the "
+                        "value in explicitly",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                if module.canonical(node) == "os.environ" and not isinstance(
+                    node, ast.Name
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "os.environ read in a digest/merge path; pass the "
+                        "value in explicitly",
+                    )
+                elif (
+                    isinstance(node, ast.Name)
+                    and module.imports.get(node.id) == "os.environ"
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "os.environ read in a digest/merge path; pass the "
+                        "value in explicitly",
+                    )
+
+
+#: Calls whose result ordering cannot leak: they reduce order-insensitively
+#: or sort their input.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+_SET_OPS = (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)
+
+
+def _is_set_expression(node: ast.AST, module: ModuleInfo) -> bool:
+    """Whether an expression statically evaluates to a ``set``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        canonical = module.canonical(node.func)
+        if canonical in {"set", "frozenset"}:
+            return True
+        if canonical is not None and canonical.split(".")[-1] in {
+            "union", "intersection", "difference", "symmetric_difference"
+        }:
+            return _is_set_expression(node.func.value, module) if isinstance(
+                node.func, ast.Attribute
+            ) else False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_set_expression(node.left, module) or _is_set_expression(
+            node.right, module
+        )
+    return False
+
+
+@register
+class UnsortedSetIterationRule(Rule):
+    """DET004: no iteration over unsorted sets feeding digests or merges."""
+
+    code = "DET004"
+    name = "unsorted-set-iteration"
+    family = "DET"
+    rationale = (
+        "Set iteration order depends on insertion history and hash "
+        "randomisation; a digest or merge built by walking a set is only "
+        "deterministic by accident.  Wrap the set in sorted(...) or consume "
+        "it with an order-insensitive reduction (sum/len/min/max/any/all)."
+    )
+    scope = ("repro.runner", "repro.snapshots")
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        exempt_comprehensions = set()
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = module.canonical(node.func)
+            if canonical in ORDER_INSENSITIVE_CONSUMERS:
+                for argument in node.args:
+                    if isinstance(
+                        argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        exempt_comprehensions.add(id(argument))
+        for node in ast.walk(module.tree):
+            candidates: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                candidates.append(node.iter)
+            elif isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+                if id(node) not in exempt_comprehensions:
+                    candidates.extend(
+                        generator.iter for generator in node.generators
+                    )
+            for candidate in candidates:
+                if isinstance(candidate, ast.Call) and module.canonical(
+                    candidate.func
+                ) == "sorted":
+                    continue
+                if _is_set_expression(candidate, module):
+                    yield (
+                        candidate.lineno,
+                        candidate.col_offset,
+                        "iteration over an unsorted set in a digest/merge "
+                        "path; wrap it in sorted(...) or reduce it "
+                        "order-insensitively",
+                    )

@@ -1,0 +1,191 @@
+"""ENG: engine-contract rules.
+
+The three query engines (``naive`` set re-intersection, ``bitset`` integer
+masks, ``packed`` numpy words) are interchangeable because they answer the
+same queries with the same signatures -- the equivalence property suite
+*samples* that contract, ENG201 *proves the surface* by AST comparison.
+ENG202 guards the other structural contract: anything shipped across the
+``ProcessPoolExecutor`` must pickle identically on every interpreter,
+which for slotted classes means explicit ``__getstate__``/``__setstate__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.framework import ModuleInfo, Rule, register
+
+#: The interchangeable index classes behind ``dataset.query_index()``.
+ENGINE_CLASSES = ("IncidenceIndex", "PackedIndex")
+
+#: Query methods every engine index must expose with identical signatures.
+ENGINE_CONTRACT = (
+    "count_for",
+    "shared_count",
+    "shared_entries",
+    "breadth",
+    "affecting_at_least",
+    "breadth_histogram",
+    "pair_matrix",
+    "k_set_totals",
+    "compromising_entries",
+)
+
+#: Classes whose instances cross the runner's process pool.
+POOL_SHIPPED_CLASSES = frozenset(
+    {"IncidenceIndex", "PackedIndex", "ReplicaIncidence"}
+)
+
+
+def _class_defs(tree: ast.Module) -> Dict[str, ast.ClassDef]:
+    return {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _signature_shape(func: ast.FunctionDef) -> Tuple:
+    """A comparable, annotation-free shape of one method signature.
+
+    Compares parameter names, order, kinds and which carry defaults --
+    exactly what a caller dispatching through ``query_index()`` can
+    observe.  Annotations and default *values* are excluded: narrowing an
+    annotation or tuning a default does not break call-compatibility.
+    """
+    args = func.args
+    return (
+        tuple(arg.arg for arg in args.posonlyargs),
+        tuple(arg.arg for arg in args.args),
+        len(args.defaults),
+        args.vararg.arg if args.vararg else None,
+        tuple(arg.arg for arg in args.kwonlyargs),
+        tuple(default is not None for default in args.kw_defaults),
+        args.kwarg.arg if args.kwarg else None,
+    )
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register
+class EngineContractRule(Rule):
+    """ENG201: engine index classes expose identical query signatures."""
+
+    code = "ENG201"
+    name = "engine-contract-parity"
+    family = "ENG"
+    rationale = (
+        "dataset.query_index() hands callers whichever engine the dataset "
+        "was built with; the engines are only interchangeable while every "
+        "contract method exists on each index class with the same "
+        "parameters.  A signature that drifts on one engine breaks "
+        "engine-switching callers at runtime, past the type checker."
+    )
+    scope = ("repro.analysis.engine",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        classes = _class_defs(module.tree)
+        present = [name for name in ENGINE_CLASSES if name in classes]
+        if len(present) < 2:
+            # Nothing to compare against (e.g. a partial fixture module).
+            return
+        method_tables = {name: _methods(classes[name]) for name in present}
+        reference_name = present[0]
+        for method_name in ENGINE_CONTRACT:
+            shapes: Dict[str, Optional[Tuple]] = {}
+            for class_name in present:
+                method = method_tables[class_name].get(method_name)
+                shapes[class_name] = (
+                    _signature_shape(method) if method is not None else None
+                )
+                if method is None:
+                    yield (
+                        classes[class_name].lineno,
+                        classes[class_name].col_offset,
+                        f"engine class {class_name} is missing contract "
+                        f"method {method_name}()",
+                    )
+            reference = shapes[reference_name]
+            for class_name in present[1:]:
+                shape = shapes[class_name]
+                if reference is None or shape is None:
+                    continue
+                if shape != reference:
+                    method = method_tables[class_name][method_name]
+                    yield (
+                        method.lineno,
+                        method.col_offset,
+                        f"{class_name}.{method_name}() signature differs "
+                        f"from {reference_name}.{method_name}(); engine "
+                        "contract methods must be call-compatible",
+                    )
+        # Any *shared* public method beyond the named contract must agree
+        # too: partial parity is how engines drift apart silently.
+        shared_public = set.intersection(
+            *(set(method_tables[name]) for name in present)
+        )
+        for method_name in sorted(shared_public):
+            if method_name in ENGINE_CONTRACT or method_name.startswith("_"):
+                continue
+            reference = _signature_shape(method_tables[reference_name][method_name])
+            for class_name in present[1:]:
+                method = method_tables[class_name][method_name]
+                if _signature_shape(method) != reference:
+                    yield (
+                        method.lineno,
+                        method.col_offset,
+                        f"{class_name}.{method_name}() signature differs "
+                        f"from {reference_name}.{method_name}(); shared "
+                        "engine methods must be call-compatible",
+                    )
+
+
+@register
+class PickleContractRule(Rule):
+    """ENG202: pool-shipped classes define explicit pickle support."""
+
+    code = "ENG202"
+    name = "explicit-pickle-support"
+    family = "ENG"
+    rationale = (
+        "The grid runner ships compiled indexes between worker processes; "
+        "slotted classes without explicit __getstate__/__setstate__ rely "
+        "on interpreter-version-dependent default reduction, which breaks "
+        "the workers=1 == workers=N bit-identity guarantee.  Defining only "
+        "one of the pair is always a latent bug."
+    )
+    scope = ()  # the lopsided-pair check is universal
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for name, cls in sorted(_class_defs(module.tree).items()):
+            methods = _methods(cls)
+            has_get = "__getstate__" in methods
+            has_set = "__setstate__" in methods
+            if has_get != has_set:
+                missing = "__setstate__" if has_get else "__getstate__"
+                defined = "__getstate__" if has_get else "__setstate__"
+                yield (
+                    cls.lineno,
+                    cls.col_offset,
+                    f"class {name} defines {defined} without {missing}; "
+                    "explicit pickle support needs both",
+                )
+            if (
+                module.module == "repro.analysis.engine"
+                and name in POOL_SHIPPED_CLASSES
+                and not (has_get and has_set)
+            ):
+                yield (
+                    cls.lineno,
+                    cls.col_offset,
+                    f"pool-shipped class {name} must define explicit "
+                    "__getstate__/__setstate__ (it crosses the "
+                    "ProcessPoolExecutor)",
+                )

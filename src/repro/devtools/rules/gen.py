@@ -1,0 +1,146 @@
+"""GEN: general hygiene rules.
+
+Three classic Python hazards that have each bitten (or nearly bitten) this
+codebase: broad exception handlers that swallow real bugs along with the
+expected failure, float equality in statistics code, and mutable default
+arguments shared across calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.devtools.framework import ModuleInfo, Rule, register
+
+BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(handler_type: ast.AST) -> Iterator[str]:
+    nodes = (
+        handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in BROAD_EXCEPTIONS:
+            yield node.id
+
+
+@register
+class BroadExceptRule(Rule):
+    """GEN301: no bare or blanket ``except`` without a documented reason."""
+
+    code = "GEN301"
+    name = "broad-except"
+    family = "GEN"
+    rationale = (
+        "except Exception around a parse or convert step swallows typos, "
+        "attribute errors and contract violations along with the failure "
+        "it meant to tolerate.  Catch the concrete exception type; a true "
+        "catch-all boundary (a job runner, a request dispatcher) carries a "
+        "# repro: noqa[GEN301] with its rationale."
+    )
+    scope = ()
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "bare except: catches SystemExit and KeyboardInterrupt; "
+                    "name the expected exception type",
+                )
+                continue
+            for name in _broad_names(node.type):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"broad except {name}: narrow it to the concrete "
+                    "expected exception, or document the boundary with "
+                    "# repro: noqa[GEN301] and a rationale",
+                )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """GEN302: no ``==``/``!=`` against float literals in statistics code."""
+
+    code = "GEN302"
+    name = "float-equality"
+    family = "GEN"
+    rationale = (
+        "Accumulated probabilities and rates rarely compare exactly equal; "
+        "== against a float literal encodes an accident of rounding.  "
+        "Compare with a tolerance (math.isclose) or restructure around "
+        "integers."
+    )
+    scope = ("repro.analysis", "repro.itsys", "repro.reports", "repro.runner")
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            relevant_ops = any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            )
+            if not relevant_ops:
+                continue
+            for operand in operands:
+                if (
+                    isinstance(operand, ast.Constant)
+                    and isinstance(operand.value, float)
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"float equality against {operand.value!r}; use "
+                        "math.isclose or an integer representation",
+                    )
+                    break
+
+
+MUTABLE_DEFAULT_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """GEN303: no mutable default arguments."""
+
+    code = "GEN303"
+    name = "mutable-default-argument"
+    family = "GEN"
+    rationale = (
+        "A mutable default is evaluated once and shared across every call; "
+        "state leaks between invocations in ways no test of a single call "
+        "can see.  Default to None (or a frozen/immutable value) and build "
+        "the mutable container inside the function."
+    )
+    scope = ()
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [
+                default
+                for default in [*node.args.defaults, *node.args.kw_defaults]
+                if default is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and module.canonical(default.func) in MUTABLE_DEFAULT_CALLS
+                )
+                if mutable:
+                    yield (
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside the function",
+                    )

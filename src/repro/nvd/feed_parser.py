@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, List, Sequence, Tuple, Union
 
-from repro.core.exceptions import FeedParseError
+from repro.core.exceptions import CPEError, FeedParseError
 from repro.core.models import CPEName
 from repro.nvd.cpe import parse_cpe_uri
 
@@ -49,12 +49,17 @@ class RawFeedEntry:
         return self.summary.lstrip().startswith(REJECTED_MARKER)
 
     def parsed_cpes(self) -> List[CPEName]:
-        """Parse the entry's CPE URIs, silently skipping malformed ones."""
+        """Parse the entry's CPE URIs, silently skipping malformed ones.
+
+        Only :class:`~repro.core.exceptions.CPEError` marks a URI as
+        malformed; any other exception is a bug in the parser and
+        propagates.
+        """
         names: List[CPEName] = []
         for uri in self.cpe_uris:
             try:
                 names.append(parse_cpe_uri(uri))
-            except Exception:
+            except CPEError:
                 continue
         return names
 
@@ -114,7 +119,7 @@ def _entry_from_element(element: ET.Element) -> RawFeedEntry:
             continue
         try:
             parse_cpe_uri(uri)
-        except Exception:
+        except CPEError:
             invalid.append(uri)
         else:
             cpe_uris.append(uri)

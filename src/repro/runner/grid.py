@@ -50,7 +50,7 @@ class ArrivalSpec:
             )
         if self.shape <= 0:
             raise SimulationError("the inter-arrival shape must be positive")
-        if self.process == "poisson" and self.shape != 1.0:
+        if self.process == "poisson":
             object.__setattr__(self, "shape", 1.0)
 
     @property

@@ -316,7 +316,7 @@ class GridRunner:
 
     def run(self, grid: ExperimentGrid) -> SweepReport:
         """Execute every cell of the grid and return the merged report."""
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa[DET002] -- wall-clock provenance only; never enters digests or merge order
         cells = grid.expand()
         merged: Dict[int, SimulationResult] = {}
         cached: Dict[int, bool] = {}
@@ -363,7 +363,7 @@ class GridRunner:
             engine=self._engine,
             workers=self._workers,
             corpus_digest=self._digest,
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=time.perf_counter() - started,  # repro: noqa[DET002] -- wall-clock provenance only; never enters digests or merge order
         )
 
     def _run_inline(

@@ -223,7 +223,7 @@ class JobTable:
             job.started_at = time.time()
         try:
             result = self._runner_factory(job)
-        except Exception as error:  # noqa: BLE001 - reported via the job record
+        except Exception as error:  # repro: noqa[GEN301] -- worker-thread boundary: every failure is reported via the job record
             with self._idle:
                 # Pollers read job fields without the lock, so the payload
                 # (error/result) must be in place *before* the state flips

@@ -202,9 +202,24 @@ class DiversityService:
             return handler(request, params)
         except ApiError as error:
             return self._render_error(error)
-        except Exception:  # noqa: BLE001 - the envelope hides the traceback
+        except Exception:  # repro: noqa[GEN301] -- dispatch boundary: the error envelope hides the traceback from clients
             traceback.print_exc(file=sys.stderr)
             return self._render_error(internal_error())
+
+    async def dispatch_async(self, request: HttpRequest) -> HttpResponse:
+        """Route one request on the request pool, off the event loop.
+
+        ``dispatch`` touches sqlite-backed providers and the result cache,
+        so the asyncio protocol code must never call it directly; this
+        coroutine is the only sanctioned bridge (ASY104 enforces it).
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._request_pool, self.dispatch, request)
+
+    async def drain_async(self, grace: float) -> bool:
+        """Wait for running jobs to finish without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._request_pool, self.jobs.drain, grace)
 
     @staticmethod
     def _render_error(error: ApiError) -> HttpResponse:
@@ -669,7 +684,6 @@ async def _handle_connection(
 ) -> None:
     from repro import __version__
 
-    loop = asyncio.get_running_loop()
     try:
         while True:
             try:
@@ -683,9 +697,7 @@ async def _handle_connection(
                 break
             if request is None:
                 break
-            response = await loop.run_in_executor(
-                app._request_pool, app.dispatch, request
-            )
+            response = await app.dispatch_async(request)
             keep_alive = request.headers.get("connection", "keep-alive") != "close"
             writer.write(_serialise(response, keep_alive, __version__))
             await writer.drain()
@@ -726,9 +738,7 @@ async def _serve_forever(
     log("signal received; draining ...", file=sys.stderr)
     server.close()
     await server.wait_closed()
-    drained = await loop.run_in_executor(
-        None, app.jobs.drain, config.drain_grace
-    )
+    drained = await app.drain_async(config.drain_grace)
     app.shutdown()
     log(
         "shutdown complete" if drained else "shutdown with unfinished jobs",

@@ -98,12 +98,15 @@ class DeltaIngestPipeline:
         raw_entries: Sequence[RawFeedEntry],
         source: str = "delta",
         commit: bool = True,
+        created: Optional[str] = None,
     ) -> DeltaReport:
         """Apply already-parsed delta entries; returns the report.
 
         ``source`` is recorded as the committed snapshot's feed provenance.
         With ``commit=False`` the database is mutated but no snapshot is
         cut (callers batching several deltas commit once at the end).
+        ``created`` pins the committed snapshot's ledger timestamp (see
+        :meth:`SnapshotStore.commit`); omitted, the store stamps it.
         """
         report = DeltaReport(parsed_entries=len(raw_entries))
         for raw in raw_entries:
@@ -120,7 +123,7 @@ class DeltaIngestPipeline:
             else:
                 report.skipped_no_os += 1
         if commit:
-            report.snapshot = self.store.commit(source=source)
+            report.snapshot = self.store.commit(source=source, created=created)
             for callback in self._subscribers:
                 callback(report)
         return report
@@ -140,10 +143,14 @@ class DeltaIngestPipeline:
         path: Union[str, Path],
         source: Optional[str] = None,
         commit: bool = True,
+        created: Optional[str] = None,
     ) -> DeltaReport:
         """Parse and apply one XML modified feed."""
         return self.apply_raw(
-            parse_xml_feed(path), source=source or str(path), commit=commit
+            parse_xml_feed(path),
+            source=source or str(path),
+            commit=commit,
+            created=created,
         )
 
     def apply_json_feed(
@@ -151,10 +158,14 @@ class DeltaIngestPipeline:
         path: Union[str, Path],
         source: Optional[str] = None,
         commit: bool = True,
+        created: Optional[str] = None,
     ) -> DeltaReport:
         """Parse and apply one JSON modified feed."""
         return self.apply_raw(
-            parse_json_feed(path), source=source or str(path), commit=commit
+            parse_json_feed(path),
+            source=source or str(path),
+            commit=commit,
+            created=created,
         )
 
     def apply_feed(
@@ -162,8 +173,13 @@ class DeltaIngestPipeline:
         path: Union[str, Path],
         source: Optional[str] = None,
         commit: bool = True,
+        created: Optional[str] = None,
     ) -> DeltaReport:
         """Apply a feed file, dispatching on its suffix (.xml or .json)."""
         if str(path).endswith(".json"):
-            return self.apply_json_feed(path, source=source, commit=commit)
-        return self.apply_xml_feed(path, source=source, commit=commit)
+            return self.apply_json_feed(
+                path, source=source, commit=commit, created=created
+            )
+        return self.apply_xml_feed(
+            path, source=source, commit=commit, created=created
+        )

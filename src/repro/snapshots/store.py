@@ -161,13 +161,18 @@ class SnapshotStore:
 
     # -- commit ----------------------------------------------------------------
 
-    def commit(self, source: str = "") -> SnapshotRecord:
+    def commit(
+        self, source: str = "", created: Optional[str] = None
+    ) -> SnapshotRecord:
         """Snapshot the database's current live state.
 
         Returns the new ledger record -- or the existing head unchanged when
         the live state digests identically to it (idempotence: re-applying
         an already-applied delta and committing produces no new snapshot).
         ``source`` records feed provenance (a path, URL or label).
+        ``created`` pins the ledger timestamp (ISO-8601); it defaults to the
+        current UTC time and is the store's only wall-clock seam -- it is
+        recorded for provenance and never feeds digests.
         """
         live = self._db.live_state()
         digest = dataset_digest(live)
@@ -182,7 +187,10 @@ class SnapshotStore:
             for cve_id in set(live) & set(parent_state)
             if live[cve_id] != parent_state[cve_id]
         )
-        created = _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+        if created is None:
+            created = _dt.datetime.now(_dt.timezone.utc).isoformat(  # repro: noqa[DET002] -- the single sanctioned wall-clock seam; callers inject `created=` for reproducible ledgers
+                timespec="seconds"
+            )
         with self._conn:
             cursor = self._conn.execute(
                 "INSERT INTO snapshot (digest, parent_digest, created, source,"

@@ -66,6 +66,21 @@ class TestConvert:
         assert entry is not None
         assert entry.is_remote
 
+    def test_cvss_fallback_only_catches_cvss_errors(self, monkeypatch):
+        # The remote-vector fallback is for malformed CVSS data; a bug in
+        # the CVSS parser itself must propagate, not be papered over.
+        import repro.db.ingest as ingest
+
+        monkeypatch.setattr(
+            ingest, "parse_cvss_vector",
+            lambda vector: (_ for _ in ()).throw(RuntimeError("parser bug")),
+        )
+        pipeline = IngestPipeline()
+        with pytest.raises(RuntimeError):
+            pipeline.convert(
+                _raw("CVE-2006-1005", 2006, ["cpe:/o:openbsd:openbsd:4.0"])
+            )
+
 
 class TestIngest:
     def test_ingest_xml_feed_end_to_end(self, tmp_path):

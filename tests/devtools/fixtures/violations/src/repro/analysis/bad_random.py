@@ -1,0 +1,22 @@
+"""DET001 fixture: process-global and unseeded RNG calls.
+
+Every line with an ``# expect: CODE`` marker must produce exactly that
+finding; unmarked lines must stay clean.  The file is parsed, never
+imported.
+"""
+
+import random
+
+import numpy
+from random import shuffle
+
+
+def draw(seed):
+    noise = random.random()  # expect: DET001
+    rng = random.Random()  # expect: DET001
+    good = random.Random(seed)
+    arr = numpy.random.rand(3)  # expect: DET001
+    gen = numpy.random.default_rng()  # expect: DET001
+    seeded = numpy.random.default_rng(seed)
+    shuffle([1, 2, 3])  # expect: DET001
+    return noise, rng, good, arr, gen, seeded

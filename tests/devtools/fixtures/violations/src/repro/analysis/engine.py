@@ -1,0 +1,78 @@
+"""ENG fixture: a drifted engine pair and lopsided pickle support.
+
+``PackedIndex`` is missing ``breadth()``, drifts the ``count_for`` and
+``widest_pair`` signatures, and lacks pickle support; ``Lopsided`` defines
+only one half of the pickle pair.
+"""
+
+
+class IncidenceIndex:
+    def count_for(self, os_name):
+        return 0
+
+    def shared_count(self, os_names):
+        return 0
+
+    def shared_entries(self, os_names):
+        return ()
+
+    def breadth(self):
+        return {}
+
+    def affecting_at_least(self, threshold):
+        return 0
+
+    def breadth_histogram(self):
+        return {}
+
+    def pair_matrix(self, os_names):
+        return {}
+
+    def k_set_totals(self, os_names, k):
+        return {}
+
+    def compromising_entries(self, os_names, threshold=2):
+        return ()
+
+    def widest_pair(self):
+        return None
+
+    def __getstate__(self):
+        return {}
+
+    def __setstate__(self, state):
+        self.state = state
+
+
+class PackedIndex:  # expect: ENG201,ENG202
+    def count_for(self, os_name, exact):  # expect: ENG201
+        return 0
+
+    def shared_count(self, os_names):
+        return 0
+
+    def shared_entries(self, os_names):
+        return ()
+
+    def affecting_at_least(self, threshold):
+        return 0
+
+    def breadth_histogram(self):
+        return {}
+
+    def pair_matrix(self, os_names):
+        return {}
+
+    def k_set_totals(self, os_names, k):
+        return {}
+
+    def compromising_entries(self, os_names, threshold=2):
+        return ()
+
+    def widest_pair(self, limit):  # expect: ENG201
+        return None
+
+
+class Lopsided:  # expect: ENG202
+    def __getstate__(self):
+        return {}

@@ -1,0 +1,20 @@
+"""DET002/DET003 fixture: wall-clock and environment reads in a digest path."""
+
+import datetime as _dt
+import os
+import time
+from os import environ
+
+
+def stamp():
+    started = time.time()  # expect: DET002
+    now = _dt.datetime.now(_dt.timezone.utc)  # expect: DET002
+    today = _dt.date.today()  # expect: DET002
+    return started, now, today
+
+
+def configured():
+    explicit = os.environ["REPRO_DB"]  # expect: DET003
+    fallback = os.getenv("REPRO_DB")  # expect: DET003
+    aliased = environ.get("REPRO_DB")  # expect: DET003
+    return explicit, fallback, aliased

@@ -1,0 +1,20 @@
+"""GEN fixture: broad excepts, float equality, mutable defaults."""
+
+
+def coerce(value, cache={}):  # expect: GEN303
+    try:
+        return float(value)
+    except Exception:  # expect: GEN301
+        return None
+
+
+def is_saturated(rate):
+    return rate == 1.0  # expect: GEN302
+
+
+def collect(values, into=[]):  # expect: GEN303
+    try:
+        into.extend(values)
+    except:  # expect: GEN301
+        pass
+    return into

@@ -1,0 +1,27 @@
+"""ASY fixture: blocking calls on the coroutine path of the serving layer.
+
+The nested ``def offloaded`` and the awaited ``writer.drain()`` are the
+negative cases: code handed to an executor and coroutine APIs must not be
+flagged.
+"""
+
+import sqlite3
+import subprocess
+import time
+
+from repro.db.database import VulnerabilityDatabase
+
+
+async def handle(app, request, writer):
+    time.sleep(0.1)  # expect: ASY101
+    connection = sqlite3.connect("cache.db")  # expect: ASY102
+    payload = open("payload.bin")  # expect: ASY102
+    subprocess.run(["ls"])  # expect: ASY103
+    database = VulnerabilityDatabase()  # expect: ASY104
+    response = app.dispatch(request)  # expect: ASY104
+    await writer.drain()
+
+    def offloaded():
+        time.sleep(1.0)
+
+    return connection, payload, database, response, offloaded

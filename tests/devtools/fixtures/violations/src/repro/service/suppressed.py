@@ -1,0 +1,7 @@
+"""Suppression fixture: an inline noqa silences one ASY101 finding."""
+
+import time
+
+
+async def tick():
+    time.sleep(0.5)  # repro: noqa[ASY101] -- fixture: proves suppressions are counted

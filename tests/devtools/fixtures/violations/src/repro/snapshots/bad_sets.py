@@ -1,0 +1,11 @@
+"""DET004 fixture: unsorted set iteration feeding a digest/merge path."""
+
+
+def digest_parts(entries, removed):
+    parts = []
+    for cve_id in set(entries):  # expect: DET004
+        parts.append(cve_id)
+    fresh = [cve_id for cve_id in set(entries) - set(removed)]  # expect: DET004
+    ordered = [cve_id for cve_id in sorted(set(entries))]
+    total = sum(1 for cve_id in set(entries))
+    return parts, fresh, ordered, total

@@ -1,0 +1,134 @@
+"""The lint CLI: the self-check gate, exit codes, JSON output, baselines."""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+from repro.devtools.cli import run_lint
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "violations"
+
+
+def _lint(argv):
+    out = io.StringIO()
+    status = run_lint(argv, stdout=out)
+    return status, out.getvalue()
+
+
+class TestSelfCheck:
+    def test_the_repository_source_tree_is_clean(self):
+        # The tier-1 gate: `repro lint` over the real src/ must pass with
+        # the checked-in baseline.  A new violation fails this test before
+        # it ever reaches CI.
+        status, output = _lint(["--lint-root", str(ROOT)])
+        assert status == 0, output
+
+    def test_the_baseline_has_no_stale_entries(self):
+        status, output = _lint(["--lint-root", str(ROOT)])
+        assert "stale" not in output, output
+
+
+class TestExitCodes:
+    def test_fixture_tree_fails_without_baseline(self):
+        status, output = _lint(
+            ["--lint-root", str(FIXTURES), "--no-baseline", "src"]
+        )
+        assert status == 1
+        assert "DET001" in output
+
+    def test_missing_path_is_a_usage_error(self):
+        status, _ = _lint(["--lint-root", str(FIXTURES), "no/such/dir"])
+        assert status == 2
+
+    def test_unknown_select_code_is_a_usage_error(self):
+        status, _ = _lint(["--lint-root", str(FIXTURES), "--select", "ZZZ999"])
+        assert status == 2
+
+    def test_unparseable_file_fails_the_lint(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        status, output = _lint(["--lint-root", str(tmp_path), str(bad)])
+        assert status == 1
+        assert "broken.py" in output
+
+
+class TestJsonOutput:
+    def test_json_report_shape(self, golden):
+        status, output = _lint(
+            ["--lint-root", str(FIXTURES), "--no-baseline", "--format", "json", "src"]
+        )
+        assert status == 1
+        report = json.loads(output)
+        assert report["version"] == 1
+        assert report["ok"] is False
+        assert report["suppressed"] == 1
+        assert sum(report["counts"].values()) == len(report["findings"])
+        golden("devtools_lint.json", output)
+
+    def test_clean_tree_reports_ok(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n", encoding="utf-8")
+        status, output = _lint(
+            ["--lint-root", str(tmp_path), "--format", "json", str(clean)]
+        )
+        assert status == 0
+        report = json.loads(output)
+        assert report["ok"] is True
+        assert report["findings"] == []
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_lint_is_clean(self, tmp_path):
+        tree = tmp_path / "src"
+        tree.mkdir()
+        (tree / "app.py").write_text(
+            "def f(x=[]):\n    return x\n", encoding="utf-8"
+        )
+        baseline = tmp_path / "baseline.json"
+        status, output = _lint(
+            [
+                "--lint-root", str(tmp_path),
+                "--baseline", str(baseline),
+                "--write-baseline", "src",
+            ]
+        )
+        assert status == 0
+        assert "wrote 1 finding(s)" in output
+        status, output = _lint(
+            ["--lint-root", str(tmp_path), "--baseline", str(baseline), "src"]
+        )
+        assert status == 0
+        assert "1 grandfathered" in output
+
+    def test_fixed_finding_surfaces_as_stale(self, tmp_path):
+        tree = tmp_path / "src"
+        tree.mkdir()
+        source = tree / "app.py"
+        source.write_text("def f(x=[]):\n    return x\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        _lint(
+            [
+                "--lint-root", str(tmp_path),
+                "--baseline", str(baseline),
+                "--write-baseline", "src",
+            ]
+        )
+        source.write_text("def f(x=None):\n    return x\n", encoding="utf-8")
+        status, output = _lint(
+            ["--lint-root", str(tmp_path), "--baseline", str(baseline), "src"]
+        )
+        assert status == 0
+        assert "1 stale baseline entry" in output
+
+
+class TestListRules:
+    def test_every_code_is_listed(self):
+        from repro.devtools import all_rules
+
+        status, output = _lint(["--list-rules"])
+        assert status == 0
+        for rule in all_rules():
+            assert rule.code in output

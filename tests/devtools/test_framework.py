@@ -1,0 +1,169 @@
+"""Unit tests for the lint framework: name resolution, noqa, baseline."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.devtools.findings import Baseline, Finding, scan_noqa
+from repro.devtools.framework import (
+    ModuleInfo,
+    direct_async_body,
+    module_name,
+    rule_by_code,
+)
+
+
+def _module(source: str, module: str = "repro.example") -> ModuleInfo:
+    from repro.devtools.framework import _import_aliases
+
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    return ModuleInfo(
+        path=None,
+        relpath="src/" + module.replace(".", "/") + ".py",
+        module=module,
+        source=source,
+        tree=tree,
+        imports=_import_aliases(tree),
+    )
+
+
+def _first_call(info: ModuleInfo) -> ast.Call:
+    return next(
+        node for node in ast.walk(info.tree) if isinstance(node, ast.Call)
+    )
+
+
+class TestCanonicalNames:
+    def test_aliased_import_resolves(self):
+        info = _module("import datetime as _dt\n_dt.datetime.now()\n")
+        assert info.canonical(_first_call(info).func) == "datetime.datetime.now"
+
+    def test_plain_import_resolves(self):
+        info = _module("import datetime\ndatetime.datetime.now()\n")
+        assert info.canonical(_first_call(info).func) == "datetime.datetime.now"
+
+    def test_from_import_resolves(self):
+        info = _module("from datetime import datetime\ndatetime.now()\n")
+        assert info.canonical(_first_call(info).func) == "datetime.datetime.now"
+
+    def test_local_chain_comes_back_verbatim(self):
+        info = _module("def f(conn):\n    conn.execute()\n")
+        assert info.canonical(_first_call(info).func) == "conn.execute"
+
+    def test_non_chain_is_none(self):
+        info = _module("items = [min]\nitems[0]()\n")
+        assert info.canonical(_first_call(info).func) is None
+
+
+class TestModuleNames:
+    def test_src_prefix_is_stripped(self):
+        assert module_name("src/repro/service/server.py") == "repro.service.server"
+
+    def test_init_maps_to_the_package(self):
+        assert module_name("src/repro/devtools/__init__.py") == "repro.devtools"
+
+    def test_unprefixed_path(self):
+        assert module_name("tools/gen_api_docs.py") == "tools.gen_api_docs"
+
+
+class TestNoqa:
+    def test_single_code(self):
+        assert scan_noqa("x = 1  # repro: noqa[DET001]\n") == {
+            1: frozenset({"DET001"})
+        }
+
+    def test_multiple_codes_and_rationale(self):
+        noqa = scan_noqa(
+            "y = 2  # repro: noqa[DET001, GEN301] -- boundary, see docs\n"
+        )
+        assert noqa == {1: frozenset({"DET001", "GEN301"})}
+
+    def test_plain_noqa_comments_do_not_match(self):
+        assert scan_noqa("z = 3  # noqa: BLE001\n") == {}
+
+
+class TestDirectAsyncBody:
+    def test_nested_def_is_excluded(self):
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                async def outer():
+                    import time
+                    time.sleep(1)
+                    def inner():
+                        time.sleep(2)
+                """
+            )
+        )
+        func = next(
+            node for node in ast.walk(tree)
+            if isinstance(node, ast.AsyncFunctionDef)
+        )
+        calls = [
+            node for node in direct_async_body(func)
+            if isinstance(node, ast.Call)
+        ]
+        assert len(calls) == 1
+        assert calls[0].lineno == 4
+
+
+class TestBaseline:
+    def _finding(self, path="src/a.py", code="GEN302", message="m", line=1):
+        return Finding(path=path, line=line, col=0, code=code, message=message)
+
+    def test_split_partitions_and_counts_stale(self):
+        baseline = Baseline(
+            [
+                {"path": "src/a.py", "code": "GEN302", "message": "m"},
+                {"path": "src/b.py", "code": "GEN301", "message": "gone"},
+            ]
+        )
+        new, grandfathered, stale = baseline.split(
+            [self._finding(), self._finding(path="src/c.py")]
+        )
+        assert [finding.path for finding in grandfathered] == ["src/a.py"]
+        assert [finding.path for finding in new] == ["src/c.py"]
+        assert stale == 1
+
+    def test_multiplicity_is_respected(self):
+        baseline = Baseline(
+            [{"path": "src/a.py", "code": "GEN302", "message": "m"}]
+        )
+        new, grandfathered, stale = baseline.split(
+            [self._finding(line=1), self._finding(line=9)]
+        )
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+        assert stale == 0
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self._finding()], rationale="why").dump(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0]["rationale"] == "why"
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestRegistry:
+    def test_unknown_code_raises_with_known_codes_listed(self):
+        with pytest.raises(KeyError, match="DET001"):
+            rule_by_code("ZZZ999")
+
+    def test_every_rule_documents_itself(self):
+        from repro.devtools import all_rules
+
+        for rule in all_rules():
+            assert rule.code and rule.name and rule.family and rule.rationale

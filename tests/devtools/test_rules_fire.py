@@ -1,0 +1,70 @@
+"""Every rule fires exactly where the fixture tree says it should.
+
+The fixture tree under ``fixtures/violations/`` mirrors the ``src/repro``
+layout so module-scoped rules resolve real scopes.  Each violating line
+carries a trailing ``# expect: CODE[,CODE]`` marker; the tests assert the
+lint output matches the markers exactly -- no missing findings, no extras
+-- and that the marker set covers every registered rule.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from pathlib import Path
+
+from repro.devtools import all_rules, lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "violations"
+
+EXPECT_MARKER = re.compile(
+    r"#\s*expect:\s*(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+def expected_findings() -> Counter:
+    """(relpath, line, code) -> count, read off the fixture markers."""
+    expected: Counter = Counter()
+    for path in sorted(FIXTURES.rglob("*.py")):
+        relpath = path.relative_to(FIXTURES).as_posix()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for line_number, line in enumerate(lines, start=1):
+            match = EXPECT_MARKER.search(line)
+            if match is None:
+                continue
+            for code in match.group("codes").split(","):
+                expected[(relpath, line_number, code.strip())] += 1
+    return expected
+
+
+class TestFixtureTree:
+    def test_every_marker_fires_and_nothing_else(self):
+        result = lint_paths([FIXTURES], FIXTURES)
+        actual = Counter(
+            (finding.path, finding.line, finding.code)
+            for finding in result.findings
+        )
+        assert actual == expected_findings()
+        assert not result.errors
+
+    def test_markers_cover_every_registered_rule(self):
+        covered = {code for (_, _, code) in expected_findings()}
+        assert covered == {rule.code for rule in all_rules()}
+
+    def test_registry_has_the_advertised_rule_count(self):
+        rules = all_rules()
+        assert len(rules) == 13
+        families = Counter(rule.family for rule in rules)
+        assert families == {"DET": 4, "ASY": 4, "ENG": 2, "GEN": 3}
+
+    def test_suppression_fixture_is_counted_not_reported(self):
+        result = lint_paths(
+            [FIXTURES / "src" / "repro" / "service" / "suppressed.py"], FIXTURES
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_select_narrows_to_one_rule(self):
+        result = lint_paths([FIXTURES], FIXTURES, select=["DET001"])
+        assert {finding.code for finding in result.findings} == {"DET001"}
+        assert len(result.findings) == 5

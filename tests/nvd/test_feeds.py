@@ -72,6 +72,29 @@ class TestXMLParsing:
         entry = parse_xml_feed(path)[0]
         assert len(entry.parsed_cpes()) == 2
 
+    def test_parsed_cpes_propagates_parser_bugs(self, monkeypatch):
+        # Only CPEError marks a URI as malformed; anything else is a bug in
+        # the CPE parser and must surface instead of silently dropping data.
+        import repro.nvd.feed_parser as feed_parser
+
+        entry = _raw()
+        monkeypatch.setattr(
+            feed_parser, "parse_cpe_uri",
+            lambda uri: (_ for _ in ()).throw(RuntimeError("parser bug")),
+        )
+        with pytest.raises(RuntimeError):
+            entry.parsed_cpes()
+
+    def test_entry_parsing_propagates_parser_bugs(self, monkeypatch):
+        import repro.nvd.feed_parser as feed_parser
+
+        monkeypatch.setattr(
+            feed_parser, "parse_cpe_uri",
+            lambda uri: (_ for _ in ()).throw(RuntimeError("parser bug")),
+        )
+        with pytest.raises(RuntimeError):
+            parse_xml_feed(io.StringIO(SAMPLE_FEED))
+
     def test_malformed_xml_raises(self, tmp_path):
         path = tmp_path / "broken.xml"
         path.write_text("<nvd><entry>")

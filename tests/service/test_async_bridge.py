@@ -1,0 +1,59 @@
+"""The executor bridge: blocking service work must stay off the event loop.
+
+``dispatch`` reaches sqlite-backed providers and the result cache, and
+``jobs.drain`` blocks on worker threads; the asyncio front end is only
+allowed to touch them through :meth:`DiversityService.dispatch_async` and
+:meth:`DiversityService.drain_async` (the ASY104 lint rule enforces the
+call-site discipline, these tests pin the runtime behaviour).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.server import HttpRequest
+
+
+def _request(path: str) -> HttpRequest:
+    return HttpRequest(method="GET", path=path, query={}, headers={})
+
+
+class TestExecutorBridge:
+    def test_dispatch_async_runs_on_the_request_pool(self, app):
+        seen = {}
+        original = app.dispatch
+
+        def spy(request):
+            seen["dispatch_thread"] = threading.current_thread().name
+            return original(request)
+
+        app.dispatch = spy
+
+        async def scenario():
+            seen["loop_thread"] = threading.current_thread().name
+            return await app.dispatch_async(_request("/healthz"))
+
+        response = asyncio.run(scenario())
+        assert response.status == 200
+        assert seen["dispatch_thread"] != seen["loop_thread"]
+        assert seen["dispatch_thread"].startswith("repro-http")
+
+    def test_drain_async_runs_off_the_event_loop(self, app):
+        seen = {}
+        original = app.jobs.drain
+
+        def spy(grace):
+            seen["drain_thread"] = threading.current_thread().name
+            return original(grace)
+
+        app.jobs.drain = spy
+
+        async def scenario():
+            seen["loop_thread"] = threading.current_thread().name
+            return await app.drain_async(1.0)
+
+        drained = asyncio.run(scenario())
+        assert drained is True
+        assert seen["drain_thread"] != seen["loop_thread"]
+        assert seen["drain_thread"].startswith("repro-http")

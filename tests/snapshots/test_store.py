@@ -35,6 +35,29 @@ class TestCommit:
             == (2, 2, 0, 0)
         assert record.source == "seed"
 
+    def test_commit_created_timestamp_is_injectable(self, store):
+        # The ledger timestamp is the store's only wall-clock seam; pinning
+        # it makes two commits of the same state byte-identical ledgers.
+        _fill(store, make_entry("CVE-2005-0001"))
+        record = store.commit(source="seed", created="2010-09-30T12:00:00+00:00")
+        assert record.created == "2010-09-30T12:00:00+00:00"
+
+    def test_delta_pipeline_threads_created_through(self):
+        from repro.nvd.feed_parser import RawFeedEntry
+        import datetime as dt
+
+        pipeline = DeltaIngestPipeline(IngestPipeline())
+        raw = RawFeedEntry(
+            cve_id="CVE-2006-0001",
+            published=dt.date(2006, 1, 2),
+            summary="A flaw in the kernel allows remote attackers in.",
+            cvss_vector="AV:N/AC:L/Au:N/C:P/I:P/A:P",
+            cpe_uris=("cpe:/o:debian:debian_linux:3.1",),
+        )
+        report = pipeline.apply_raw([raw], created="2010-09-30T12:00:00+00:00")
+        assert report.snapshot is not None
+        assert report.snapshot.created == "2010-09-30T12:00:00+00:00"
+
     def test_commit_digest_is_the_dataset_content_address(self, store):
         entries = [make_entry("CVE-2005-0001"), make_entry("CVE-2005-0002")]
         _fill(store, *entries)

@@ -37,6 +37,10 @@ PACKAGE = "repro"
 #: Modules that are implementation entry points rather than API surface.
 SKIPPED_MODULES = {"repro.__main__"}
 
+
+def _is_skipped(name: str) -> bool:
+    return name in SKIPPED_MODULES or name.endswith(".__main__")
+
 #: Cap for rendered signatures; long default reprs are elided beyond this.
 MAX_SIGNATURE = 110
 
@@ -48,7 +52,7 @@ def discover_modules() -> List[str]:
     package = importlib.import_module(PACKAGE)
     names = [PACKAGE]
     for info in pkgutil.walk_packages(package.__path__, prefix=f"{PACKAGE}."):
-        if info.name not in SKIPPED_MODULES:
+        if not _is_skipped(info.name):
             names.append(info.name)
     return sorted(names)
 
