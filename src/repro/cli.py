@@ -399,7 +399,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import ApiError, ServiceConfig, ServiceConfigError, serve
+    from repro.service import (
+        ApiError,
+        ServiceConfig,
+        ServiceConfigError,
+        serve,
+        serve_cluster,
+    )
 
     try:
         config = ServiceConfig(
@@ -412,7 +418,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             db=args.db,
             snapshot=args.snapshot,
             feeds=args.feeds,
+            request_threads=args.request_threads,
+            catalogue=args.catalogue,
+            front_router=args.front_router,
         )
+        if config.workers > 1:
+            return serve_cluster(config)
         return serve(config)
     except (ServiceConfigError, ApiError) as error:
         # Startup failures (bad knobs, missing database, empty feed
@@ -835,11 +846,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--workers", type=int, default=1,
-        help="process-pool workers for background simulation jobs (default: 1)",
+        help="serving processes; N>1 shards matrix queries across an "
+        "N-worker cluster behind one port (also sizes each worker's "
+        "simulation-job pool; default: 1)",
     )
     serve_parser.add_argument(
         "--cache-size", type=int, default=256,
-        help="LRU response-cache entries (default: 256)",
+        help="LRU response-cache entries per worker (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--request-threads", type=int, default=8,
+        help="HTTP dispatch threads per worker (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--catalogue", default=None, metavar="SPEC",
+        help="serve a generated catalogue instead of the calibrated corpus "
+        "(scaled:FxR, e.g. scaled:10x10 = 100 OS releases; deterministic "
+        "per --seed)",
+    )
+    serve_parser.add_argument(
+        "--front-router", action="store_true",
+        help="route the public port through a stdlib TCP proxy instead of "
+        "SO_REUSEPORT (the automatic fallback where the option is missing)",
     )
     serve_parser.set_defaults(func=cmd_serve)
 

@@ -218,34 +218,36 @@ def merge_run_ranges(partials: Sequence[RunRangeTallies]) -> RunRangeTallies:
     """Merge disjoint partial tallies into one contiguous range.
 
     Merging is **order-independent**: partials are sorted by ``run_start``
-    before concatenation, so shuffled worker-completion orders produce the
-    same merged tallies bit for bit (regression-tested by
+    before concatenation (the shared span discipline of
+    :func:`repro.runner.spans.order_contiguous`, which the serving layer's
+    query sharding reuses), so shuffled worker-completion orders produce
+    the same merged tallies bit for bit (regression-tested by
     ``tests/runner/test_merge.py``).  Gaps, overlaps and duplicated ranges
     raise :class:`~repro.core.exceptions.SimulationError` instead of silently
     corrupting the statistics.
     """
-    if not partials:
-        raise SimulationError("cannot merge an empty list of run ranges")
-    ordered = sorted(partials, key=lambda tallies: tallies.run_start)
+    # Imported lazily: repro.runner imports this module at package-import
+    # time, so a top-level import back into repro.runner would be cyclic.
+    from repro.runner.spans import order_contiguous
+
+    try:
+        ordered = order_contiguous(
+            partials, lambda tallies: (tallies.run_start, tallies.run_stop)
+        )
+    except ValueError as error:
+        raise SimulationError(f"run ranges: {error}") from error
     compromised_counts: List[int] = []
     violation_times: List[float] = []
     violations = 0
     liveness_losses = 0
-    expected_start = ordered[0].run_start
     for tallies in ordered:
-        if tallies.run_start != expected_start:
-            raise SimulationError(
-                f"run ranges are not contiguous: expected a range starting at "
-                f"{expected_start}, got [{tallies.run_start}, {tallies.run_stop})"
-            )
         violations += tallies.violations
         liveness_losses += tallies.liveness_losses
         compromised_counts.extend(tallies.compromised_counts)
         violation_times.extend(tallies.violation_times)
-        expected_start = tallies.run_stop
     return RunRangeTallies(
         run_start=ordered[0].run_start,
-        run_stop=expected_start,
+        run_stop=ordered[-1].run_stop,
         violations=violations,
         liveness_losses=liveness_losses,
         compromised_counts=tuple(compromised_counts),

@@ -1,0 +1,77 @@
+"""Contiguous half-open spans and the shared merge-ordering discipline.
+
+Two subsystems partition an ordered space into half-open ``[start, stop)``
+ranges, farm the ranges out to workers, and merge the partial results back
+deterministically:
+
+* the PR-3 grid runner splits a cell's Monte-Carlo **runs** into run
+  ranges (:func:`repro.itsys.simulation.merge_run_ranges`);
+* the serving layer's scatter-gather splits the **C(n, k) combination
+  space** of pair/k-set matrix queries into shard spans
+  (:mod:`repro.service.sharding`).
+
+Both owe the same guarantee -- ``workers=1`` and ``workers=N`` produce
+bit-for-bit identical merged results, independent of worker completion
+order -- and both earn it the same way: partials are sorted by span start
+before merging, and gaps, overlaps and duplicated spans are an error
+rather than silent corruption.  This module is that shared discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def partition_spans(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``[0, total)`` into ``parts`` contiguous half-open spans.
+
+    Spans are as even as possible (sizes differ by at most one, larger
+    spans first), cover the space exactly, and are a pure function of the
+    inputs -- every worker derives the identical partition locally.  When
+    ``total`` is smaller than ``parts``, the surplus spans are empty.
+    """
+    if total < 0:
+        raise ValueError(f"cannot partition a negative space ({total})")
+    if parts < 1:
+        raise ValueError(f"need at least one part, got {parts}")
+    base, remainder = divmod(total, parts)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        width = base + (1 if index < remainder else 0)
+        spans.append((start, start + width))
+        start += width
+    return spans
+
+
+def order_contiguous(
+    partials: Sequence[T],
+    span_of: Callable[[T], Tuple[int, int]],
+) -> List[T]:
+    """Sort partials by span start and verify they tile one contiguous range.
+
+    This is the merge-ordering discipline: sorting first makes the merge
+    independent of worker completion order, and the walk then demands that
+    each span begins exactly where the previous one stopped.  Empty spans
+    (``start == stop``) are permitted and simply contribute nothing.
+    Returns the ordered partials; raises :class:`ValueError` (message
+    containing ``"not contiguous"``) on gaps, overlaps or duplicates, and
+    on an empty partial list.
+    """
+    if not partials:
+        raise ValueError("cannot merge an empty list of spans")
+    ordered = sorted(partials, key=lambda partial: span_of(partial)[0])
+    expected = span_of(ordered[0])[0]
+    for partial in ordered:
+        start, stop = span_of(partial)
+        if stop < start:
+            raise ValueError(f"invalid span [{start}, {stop})")
+        if start != expected and start != stop:
+            raise ValueError(
+                f"spans are not contiguous: expected a span starting at "
+                f"{expected}, got [{start}, {stop})"
+            )
+        expected = max(expected, stop)
+    return ordered

@@ -16,6 +16,11 @@ memory**:
 * :mod:`repro.service.server` -- the application, the asyncio front end,
   :func:`~repro.service.server.serve` and the embeddable
   :class:`~repro.service.server.ServiceServer`;
+* :mod:`repro.service.sharding` / :mod:`repro.service.cluster` -- the
+  deterministic combination-space partitioning behind sharded matrix
+  queries, and the multi-process deployment (``--workers N``:
+  ``SO_REUSEPORT`` or front-router, scatter-gather over internal
+  listeners, cross-process cache invalidation);
 * :mod:`repro.service.routing` / :mod:`~repro.service.schemas` /
   :mod:`~repro.service.errors` / :mod:`~repro.service.config` -- routing,
   payload schemas, the structured error envelope and configuration.
@@ -24,6 +29,14 @@ See ``docs/service.md`` for the endpoint reference and cache semantics.
 """
 
 from repro.service.cache import CachedResponse, ResponseCache, make_etag
+from repro.service.cluster import (
+    FrontRouter,
+    HttpPeer,
+    LocalPeer,
+    ServiceCluster,
+    local_shard_fleet,
+    serve_cluster,
+)
 from repro.service.config import ServiceConfig, ServiceConfigError
 from repro.service.errors import (
     ApiError,
@@ -32,6 +45,7 @@ from repro.service.errors import (
     Draining,
     MethodNotAllowed,
     NotFound,
+    NotImplementedFeature,
 )
 from repro.service.jobs import Job, JobTable
 from repro.service.registry import (
@@ -60,19 +74,26 @@ __all__ = [
     "DatasetState",
     "DiversityService",
     "Draining",
+    "FrontRouter",
+    "HttpPeer",
     "HttpRequest",
     "HttpResponse",
     "Job",
     "JobTable",
+    "LocalPeer",
     "MethodNotAllowed",
     "NotFound",
+    "NotImplementedFeature",
     "ResponseCache",
     "Router",
+    "ServiceCluster",
     "ServiceConfig",
     "ServiceConfigError",
     "ServiceServer",
     "SnapshotDatasetProvider",
     "StaticDatasetProvider",
+    "local_shard_fleet",
     "make_etag",
     "serve",
+    "serve_cluster",
 ]

@@ -8,11 +8,16 @@ zero-setup path used by the CI smoke test and the worked examples.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.analysis.dataset import ENGINES
 from repro.core.exceptions import ReproError
+
+#: ``--catalogue`` spec: ``scaled:<families>x<releases>`` (e.g. 10x10 for
+#: the 100-OS benchmark catalogue the scaling gates run on).
+_CATALOGUE_SPEC = re.compile(r"^scaled:(\d+)x(\d+)$")
 
 
 class ServiceConfigError(ReproError):
@@ -23,10 +28,21 @@ class ServiceConfigError(ReproError):
 class ServiceConfig:
     """Every knob of one ``repro serve`` instance.
 
-    ``workers`` sizes the process pool background simulation jobs fan out
-    to (via :class:`~repro.runner.runner.GridRunner`); ``cache_size`` caps
-    the LRU response cache in entries; ``drain_grace`` bounds how long a
-    SIGTERM waits for running jobs before the loop stops.
+    ``workers`` is the number of serving **processes** the deployment runs
+    (each also sizing the process pool its background simulation jobs fan
+    out to, via :class:`~repro.runner.runner.GridRunner`);
+    ``request_threads`` sizes each worker's HTTP dispatch thread pool;
+    ``cache_size`` caps the LRU response cache in entries; ``drain_grace``
+    bounds how long a SIGTERM waits for running jobs before the loop
+    stops.
+
+    The sharding block (``shards``, ``shard_index``, ``peers``) is filled
+    in by :mod:`repro.service.cluster` when it derives one per-worker
+    config from the deployment config: ``shards`` partitions the
+    combination space of pair/k-set matrix queries, ``shard_index`` names
+    this worker's own partition, and ``peers`` lists every worker's
+    internal base URL (indexed by shard) for scatter-gather and
+    cross-process cache invalidation.
     """
 
     host: str = "127.0.0.1"
@@ -42,6 +58,20 @@ class ServiceConfig:
     #: Datasets kept compiled in the artifact registry at once (the current
     #: head plus a few recent snapshots during rolling deltas).
     registry_size: int = 4
+    #: Threads per worker that run ``dispatch`` off the event loop.
+    request_threads: int = 8
+    #: Serve a generated catalogue instead of the calibrated corpus
+    #: (``scaled:10x10`` = 100 OS releases); deterministic per ``seed``, so
+    #: every worker process rebuilds the identical dataset digest.
+    catalogue: Optional[str] = None
+    #: Force the stdlib front-router even where ``SO_REUSEPORT`` exists.
+    front_router: bool = False
+    #: Combination-space partitions (the cluster sets this to ``workers``).
+    shards: int = 1
+    #: This worker's partition index in ``[0, shards)``.
+    shard_index: int = 0
+    #: Internal base URLs of every worker, indexed by shard.
+    peers: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -60,7 +90,41 @@ class ServiceConfig:
             )
         if self.drain_grace < 0:
             raise ServiceConfigError("the drain grace period must be non-negative")
+        if self.request_threads < 1:
+            raise ServiceConfigError(
+                "the request executor needs at least one thread"
+            )
+        if self.shards < 1:
+            raise ServiceConfigError("the query space needs at least one shard")
+        if not 0 <= self.shard_index < self.shards:
+            raise ServiceConfigError(
+                f"shard index {self.shard_index} is outside [0, {self.shards})"
+            )
+        if self.peers and len(self.peers) != self.shards:
+            raise ServiceConfigError(
+                f"{len(self.peers)} peer URLs for {self.shards} shards; "
+                "peers must be indexed by shard"
+            )
+        if self.catalogue is not None:
+            if self.db or self.feeds:
+                raise ServiceConfigError(
+                    "--catalogue is mutually exclusive with --db/--feeds"
+                )
+            if self.scaled_catalogue_shape() is None:
+                raise ServiceConfigError(
+                    f"unknown catalogue spec {self.catalogue!r}; expected "
+                    "scaled:<families>x<releases>, e.g. scaled:10x10"
+                )
         if self.db and self.feeds:
             raise ServiceConfigError("--db and --feeds are mutually exclusive")
         if self.snapshot and not self.db:
             raise ServiceConfigError("--snapshot requires --db")
+
+    def scaled_catalogue_shape(self) -> Optional[Tuple[int, int]]:
+        """The ``(families, releases)`` of a ``scaled:FxR`` catalogue spec."""
+        if self.catalogue is None:
+            return None
+        match = _CATALOGUE_SPEC.match(self.catalogue)
+        if match is None or int(match.group(1)) < 1 or int(match.group(2)) < 1:
+            return None
+        return int(match.group(1)), int(match.group(2))

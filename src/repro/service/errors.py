@@ -84,6 +84,19 @@ class PayloadTooLarge(ApiError):
     code = "payload_too_large"
 
 
+class NotImplementedFeature(ApiError):
+    """The request uses an HTTP feature the server does not speak (501).
+
+    Raised for ``Transfer-Encoding: chunked`` bodies: the front end cannot
+    parse them, and pretending otherwise would leave the unread chunk
+    bytes in the stream to desync the next keep-alive request -- so the
+    connection is closed after this envelope is written.
+    """
+
+    status = 501
+    code = "not_implemented"
+
+
 class Draining(ApiError):
     """The server received SIGTERM and no longer accepts new work (HTTP 503)."""
 

@@ -65,6 +65,7 @@ from repro.service.errors import (
     BadRequest,
     Conflict,
     NotFound,
+    NotImplementedFeature,
     PayloadTooLarge,
     internal_error,
 )
@@ -77,7 +78,7 @@ from repro.service.registry import (
     StaticDatasetProvider,
 )
 from repro.service.routing import Router
-from repro.service import schemas
+from repro.service import schemas, sharding
 
 #: Largest accepted request body (modified feeds are well under this).
 MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -89,7 +90,7 @@ _STATUS_REASONS = {
     200: "OK", 202: "Accepted", 304: "Not Modified", 400: "Bad Request",
     404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
     413: "Payload Too Large", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    501: "Not Implemented", 503: "Service Unavailable",
 }
 
 
@@ -120,6 +121,19 @@ def _default_provider(config: ServiceConfig):
         return SnapshotDatasetProvider(
             config.db, snapshot=config.snapshot, engine=config.engine
         )
+    shape = config.scaled_catalogue_shape()
+    if shape is not None:
+        from repro.synthetic.generator import generate_scaled_catalogue
+
+        catalogue = generate_scaled_catalogue(
+            n_families=shape[0], releases_per_family=shape[1], seed=config.seed
+        )
+        return StaticDatasetProvider(
+            catalogue.entries,
+            engine=config.engine,
+            os_names=catalogue.os_names,
+            label=f"catalogue:{config.catalogue} (seed {config.seed})",
+        )
     if config.feeds:
         from repro.db.ingest import IngestPipeline
 
@@ -146,7 +160,7 @@ def _default_provider(config: ServiceConfig):
 class DiversityService:
     """The transport-free application behind ``repro serve``."""
 
-    def __init__(self, config: ServiceConfig, provider=None) -> None:
+    def __init__(self, config: ServiceConfig, provider=None, peers=None) -> None:
         self.config = config
         self.provider = provider if provider is not None else _default_provider(config)
         self.registry = ArtifactRegistry(max_datasets=config.registry_size)
@@ -154,10 +168,28 @@ class DiversityService:
         self.jobs = JobTable(self._run_job)
         self.started = time.time()
         self._request_pool = ThreadPoolExecutor(
-            max_workers=8, thread_name_prefix="repro-http"
+            max_workers=config.request_threads, thread_name_prefix="repro-http"
         )
+        self.peers = self._resolve_peers(peers)
+        # Fan-out runs on its own small pool: a scatter blocking on peer
+        # responses must never occupy the request threads those peers (or
+        # concurrent clients) need to make progress.
+        self._scatter_pool = (
+            ThreadPoolExecutor(
+                max_workers=max(2, config.shards), thread_name_prefix="repro-scatter"
+            )
+            if config.shards > 1
+            else None
+        )
+        self._scatter_lock = threading.Lock()
+        self.scatter_remote = 0
+        self.scatter_local = 0
+        self.scatter_fallback = 0
         self.router = Router()
         add = self.router.add
+        add("GET", "/internal/v1/shards/pairs", self._shard_pairs)
+        add("GET", "/internal/v1/shards/ksets", self._shard_ksets)
+        add("POST", "/internal/v1/invalidate", self._internal_invalidate)
         add("GET", "/healthz", self._healthz)
         add("GET", "/v1/catalogue", self._catalogue)
         add("GET", "/v1/shared", self._shared)
@@ -194,6 +226,100 @@ class DiversityService:
     def shutdown(self) -> None:
         """Release the request pool (the job table is drained separately)."""
         self._request_pool.shutdown(wait=False, cancel_futures=True)
+        if self._scatter_pool is not None:
+            self._scatter_pool.shutdown(wait=False, cancel_futures=True)
+
+    def _resolve_peers(self, peers):
+        """The peer clients scatter-gather and invalidation fan out to.
+
+        An explicit ``peers`` sequence wins (tests inject
+        :class:`~repro.service.cluster.LocalPeer` rows to exercise the
+        merge path in-process); otherwise ``config.peers`` URLs become
+        HTTP clients.  Without either, a sharded config still works --
+        every span is computed locally, which keeps single-process
+        deployments and byte-identity tests honest.
+        """
+        if peers is not None:
+            return list(peers)
+        if not self.config.peers:
+            return []
+        from repro.service.cluster import HttpPeer
+
+        return [HttpPeer(url) for url in self.config.peers]
+
+    # -- scatter-gather -------------------------------------------------------
+
+    def _scatter_partials(
+        self,
+        kind: str,
+        artifacts: CorpusArtifacts,
+        configuration: ServerConfiguration,
+        k: int,
+        top: int,
+    ):
+        """One partial per span, remote where a peer owns it.
+
+        Every remote failure -- peer down, non-200, or a digest mismatch
+        because the peer already serves a newer snapshot -- falls back to
+        computing that span locally, so the merge below always sees a
+        single-digest, fully-covering partial set.  ``None`` means the
+        query is not sharded at all.
+        """
+        if self.config.shards <= 1:
+            return None
+        plan = sharding.plan_spans(
+            artifacts.digest, len(artifacts.os_names), k, self.config.shards
+        )
+
+        def compute(span: sharding.Span, owner: int):
+            if owner != self.config.shard_index and owner < len(self.peers):
+                partial = self._fetch_partial(
+                    owner, kind, configuration, k, top, span, artifacts.digest
+                )
+                if partial is not None:
+                    with self._scatter_lock:
+                        self.scatter_remote += 1
+                    return partial
+                with self._scatter_lock:
+                    self.scatter_fallback += 1
+            else:
+                with self._scatter_lock:
+                    self.scatter_local += 1
+            if kind == "pairs":
+                return sharding.pairs_span_payload(artifacts, configuration, span)
+            return sharding.ksets_span_payload(artifacts, configuration, k, top, span)
+
+        if self._scatter_pool is None or len(plan) <= 1:
+            return [compute(span, owner) for span, owner in plan]
+        futures = [
+            self._scatter_pool.submit(compute, span, owner) for span, owner in plan
+        ]
+        return [future.result() for future in futures]
+
+    def _fetch_partial(
+        self,
+        owner: int,
+        kind: str,
+        configuration: ServerConfiguration,
+        k: int,
+        top: int,
+        span: sharding.Span,
+        digest: str,
+    ):
+        """Ask the owning peer for one span partial; ``None`` on any miss."""
+        query = (
+            f"configuration={schemas.configuration_slug(configuration)}"
+            f"&span={sharding.format_span(span)}&digest={digest}"
+        )
+        if kind == "ksets":
+            query += f"&k={k}&top={top}"
+        try:
+            partial = self.peers[owner].get_json(f"/internal/v1/shards/{kind}?{query}")
+        except Exception:  # repro: noqa[GEN301] -- peer churn degrades to local compute, never to a failed request
+            return None
+        if partial is None or partial.get("digest") != digest:
+            return None
+        return partial
 
     def dispatch(self, request: HttpRequest) -> HttpResponse:
         """Route one request; every failure renders the error envelope."""
@@ -296,6 +422,16 @@ class DiversityService:
                 "patches": self.registry.patched_count,
             },
             "response_cache": self.responses.stats(),
+            "shard": {
+                "index": self.config.shard_index,
+                "count": self.config.shards,
+                "peers": len(self.peers),
+                "scatter": {
+                    "remote": self.scatter_remote,
+                    "local": self.scatter_local,
+                    "fallback": self.scatter_fallback,
+                },
+            },
         }
         return HttpResponse(body=schemas.dumps(payload))
 
@@ -327,10 +463,24 @@ class DiversityService:
         configuration = schemas.parse_configuration(request.query)
         return self._cached_json(
             request, artifacts, None, configuration,
-            lambda digest: schemas.pair_matrix_payload(
-                artifacts, configuration, digest
-            ),
+            lambda digest: self._pairs_payload(artifacts, configuration, digest),
         )
+
+    def _pairs_payload(
+        self,
+        artifacts: CorpusArtifacts,
+        configuration: ServerConfiguration,
+        scope_digest: str,
+    ) -> Dict[str, object]:
+        partials = self._scatter_partials("pairs", artifacts, configuration, 2, 0)
+        if partials is not None:
+            try:
+                return sharding.merged_pair_matrix_payload(
+                    artifacts, configuration, partials, scope_digest
+                )
+            except ValueError:  # pragma: no cover -- local fallbacks make merges total
+                pass
+        return schemas.pair_matrix_payload(artifacts, configuration, scope_digest)
 
     def _matrix_ksets(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
         artifacts = self.artifacts()
@@ -343,10 +493,28 @@ class DiversityService:
         top = schemas.parse_int(request.query, "top", default=5, minimum=1, maximum=100)
         return self._cached_json(
             request, artifacts, None, configuration,
-            lambda digest: schemas.ksets_payload(
+            lambda digest: self._ksets_payload(
                 artifacts, configuration, k, top, digest
             ),
         )
+
+    def _ksets_payload(
+        self,
+        artifacts: CorpusArtifacts,
+        configuration: ServerConfiguration,
+        k: int,
+        top: int,
+        scope_digest: str,
+    ) -> Dict[str, object]:
+        partials = self._scatter_partials("ksets", artifacts, configuration, k, top)
+        if partials is not None:
+            try:
+                return sharding.merged_ksets_payload(
+                    artifacts, configuration, k, top, partials, scope_digest
+                )
+            except ValueError:  # pragma: no cover -- local fallbacks make merges total
+                pass
+        return schemas.ksets_payload(artifacts, configuration, k, top, scope_digest)
 
     def _widest(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
         artifacts = self.artifacts()
@@ -481,26 +649,42 @@ class DiversityService:
         .DeltaIngestPipeline` so any in-process delta (the HTTP ingest
         endpoint, or library code sharing this service's store) evicts
         exactly the response-cache entries whose OS scope the snapshot
-        diff names.  Out-of-process deltas need no callback: the next
-        request sees the new head digest and scoped keys miss naturally.
+        diff names, then extends the same subscription across process
+        boundaries by broadcasting the digest pair to every peer worker's
+        ``/internal/v1/invalidate``.  A worker that misses the broadcast
+        stays correct: the shared ledger is the source of truth, so its
+        next request reads the new head digest and scoped keys miss
+        naturally -- the broadcast only makes eviction (and the packed-
+        engine registry patch below) eager instead of lazy.
+        """
+        snapshot = getattr(report, "snapshot", None)
+        if snapshot is None or report.changed == 0:
+            return
+        self._apply_delta_invalidation(snapshot.parent_digest, snapshot.digest)
+        self._broadcast_invalidation(snapshot.parent_digest, snapshot.digest)
 
-        On the ``packed`` engine the same diff also *warms* the registry:
+    def _apply_delta_invalidation(
+        self, parent_digest: Optional[str], digest: str
+    ) -> int:
+        """Evict scoped caches for the ledger transition ``parent -> digest``.
+
+        Returns how many response-cache entries were evicted.  On the
+        ``packed`` engine the same diff also *warms* the registry:
         :meth:`~repro.service.registry.ArtifactRegistry.patch` derives the
         new head's index from the parent's by patching only the touched
         entry columns, so the first request against the new digest skips
         the full corpus recompile.
         """
-        snapshot = getattr(report, "snapshot", None)
-        if snapshot is None or report.changed == 0:
-            return
-        if snapshot.parent_digest is None:
+        if parent_digest is None:
+            evicted = self.responses.stats()["entries"]
             self.responses.clear()
-            return
+            return evicted
         database, store = self.provider.store()
         try:
-            parent = store.by_digest(snapshot.parent_digest)
+            parent = store.by_digest(parent_digest)
+            snapshot = store.by_digest(digest)
             diff = store.diff(parent.snapshot_id, snapshot.snapshot_id)
-            self.responses.invalidate_scope(diff.affected_os_names())
+            evicted = self.responses.invalidate_scope(diff.affected_os_names())
             self.registry.patch(
                 DatasetState(digest=parent.digest, snapshot=parent),
                 DatasetState(
@@ -510,6 +694,97 @@ class DiversityService:
             )
         finally:
             database.close()
+        return evicted
+
+    def _broadcast_invalidation(
+        self, parent_digest: Optional[str], digest: str
+    ) -> None:
+        """Tell every peer worker about a landed snapshot, synchronously.
+
+        Runs before the ingest response is written, so by the time the
+        client sees the new snapshot digest every worker has already
+        dropped the scoped entries (and their ETags) the delta touched --
+        the zero-stale-reads discipline the bench gate measures.  Peer
+        failures are swallowed: the ledger re-read keeps them correct.
+        """
+        payload = schemas.dumps(
+            {"parent_digest": parent_digest, "digest": digest}
+        )
+        for index, peer in enumerate(self.peers):
+            if index == self.config.shard_index:
+                continue
+            try:
+                peer.post_json("/internal/v1/invalidate", payload)
+            except Exception:  # repro: noqa[GEN301] -- a dead peer re-reads the ledger on its next request
+                continue
+
+    # -- internal cluster handlers (never routed through the public merge) ----
+
+    def _shard_pairs(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self._shard_artifacts(request)
+        configuration = schemas.parse_configuration(request.query)
+        span = sharding.parse_span(
+            request.query, sharding.combination_space(len(artifacts.os_names), 2)
+        )
+        return self._cached_json(
+            request, artifacts, None, configuration,
+            lambda digest: sharding.pairs_span_payload(
+                artifacts, configuration, span
+            ),
+        )
+
+    def _shard_ksets(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        artifacts = self._shard_artifacts(request)
+        configuration = schemas.parse_configuration(request.query)
+        k = schemas.parse_int(
+            request.query, "k", default=3, minimum=2,
+            maximum=len(artifacts.os_names),
+        )
+        schemas.check_combination_budget(len(artifacts.os_names), k, "k")
+        top = schemas.parse_int(request.query, "top", default=5, minimum=1, maximum=100)
+        span = sharding.parse_span(
+            request.query, sharding.combination_space(len(artifacts.os_names), k)
+        )
+        return self._cached_json(
+            request, artifacts, None, configuration,
+            lambda digest: sharding.ksets_span_payload(
+                artifacts, configuration, k, top, span
+            ),
+        )
+
+    def _shard_artifacts(self, request: HttpRequest) -> CorpusArtifacts:
+        """Current artifacts, digest-guarded for span partial requests.
+
+        A 409 here tells the gatherer its dataset state and ours diverged
+        mid-scatter (a delta landed between its ``current()`` and this
+        request); it computes the span locally instead of merging two
+        snapshots into one payload.
+        """
+        artifacts = self.artifacts()
+        expected = schemas.single(request.query, "digest")
+        if expected is not None and expected != artifacts.digest:
+            raise Conflict(
+                "shard serves a different dataset state",
+                detail={"expected": expected, "current": artifacts.digest},
+            )
+        return artifacts
+
+    def _internal_invalidate(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        payload = schemas.parse_json_body(request.body)
+        digest = payload.get("digest")
+        if not isinstance(digest, str) or not digest:
+            raise BadRequest(
+                "field 'digest' must be a snapshot digest",
+                detail={"field": "digest"},
+            )
+        parent = payload.get("parent_digest")
+        if parent is not None and not isinstance(parent, str):
+            raise BadRequest(
+                "field 'parent_digest' must be a digest or null",
+                detail={"field": "parent_digest"},
+            )
+        evicted = self._apply_delta_invalidation(parent, digest)
+        return HttpResponse(body=schemas.dumps({"digest": digest, "evicted": evicted}))
 
     # -- job handlers ---------------------------------------------------------
 
@@ -636,12 +911,28 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
         ).items()
     }
     body = b""
+    encoding = headers.get("transfer-encoding")
+    if encoding is not None and encoding.lower() != "identity":
+        # We cannot parse chunked framing; accepting the request anyway
+        # would leave the chunk bytes unread in the stream to desync the
+        # next keep-alive request, so the connection is closed after the
+        # 501 envelope (the ApiError path below breaks the loop).
+        raise NotImplementedFeature(
+            f"Transfer-Encoding {encoding!r} is not supported; "
+            "send a Content-Length body",
+            detail={"header": "transfer-encoding"},
+        )
     length = headers.get("content-length")
     if length is not None:
         try:
             size = int(length)
         except ValueError:
             raise BadRequest("malformed Content-Length header")
+        if size < 0:
+            raise BadRequest(
+                f"Content-Length must be non-negative, got {size}",
+                detail={"header": "content-length"},
+            )
         if size > MAX_BODY_BYTES:
             raise PayloadTooLarge(
                 f"request body of {size} bytes exceeds the "

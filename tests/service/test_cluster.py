@@ -1,0 +1,186 @@
+"""Multi-process deployments, end to end: spawn real workers, query them.
+
+Covers the cluster lifecycle (spawn, per-worker health, clean SIGTERM
+drain), both public-socket modes (``SO_REUSEPORT`` kernel balancing and
+the stdlib front-router proxy), public-vs-single-process byte identity,
+and the cross-worker invalidation path: a delta ingested on one worker's
+internal listener makes the other worker answer stale ETags fresh.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline
+from repro.service import (
+    DiversityService,
+    HttpPeer,
+    ServiceCluster,
+    ServiceConfig,
+)
+from repro.snapshots.store import SnapshotStore
+
+from tests.service.conftest import ServiceClient
+from tests.service.test_delta_freshness import _debian_delta
+
+#: Small generated catalogue: 20 OS releases keeps worker start-up quick.
+CATALOGUE = "scaled:4x5"
+
+
+def _fetch(url: str, etag=None):
+    headers = {"If-None-Match": etag} if etag else {}
+    request = urllib.request.Request(url, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture(scope="module")
+def catalogue_cluster():
+    """A live 2-worker cluster over the generated catalogue."""
+    config = ServiceConfig(
+        port=0, workers=2, catalogue=CATALOGUE, drain_grace=5.0
+    )
+    cluster = ServiceCluster(config)
+    cluster.start()
+    yield cluster
+    cluster.stop()
+
+
+class TestClusterLifecycle:
+    def test_every_worker_reports_its_shard(self, catalogue_cluster):
+        payloads = catalogue_cluster.healthz()
+        assert [p["shard"]["index"] for p in payloads] == [0, 1]
+        assert all(p["shard"]["count"] == 2 for p in payloads)
+        assert all(p["shard"]["peers"] == 2 for p in payloads)
+        # Same config -> every worker rebuilt the identical dataset state.
+        assert len({p["dataset"]["digest"] for p in payloads}) == 1
+
+    def test_public_address_answers(self, catalogue_cluster):
+        status, _headers, body = _fetch(catalogue_cluster.base_url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["shard"]["count"] == 2
+
+    def test_public_matrix_matches_single_process_bytes(self, catalogue_cluster):
+        single = DiversityService(
+            ServiceConfig(catalogue=CATALOGUE)
+        )
+        client = ServiceClient(catalogue_cluster.base_url)
+        for path in ("/v1/matrix/pairs", "/v1/matrix/ksets?k=3&top=5"):
+            from repro.service.server import HttpRequest
+            from urllib.parse import parse_qs, urlsplit
+
+            parts = urlsplit(path)
+            query = {
+                name: tuple(values)
+                for name, values in parse_qs(parts.query).items()
+            }
+            reference = single.dispatch(
+                HttpRequest(method="GET", path=parts.path, query=query, headers={})
+            )
+            result = client.get(path)
+            assert result.status == 200
+            assert result.body == reference.body
+
+    def test_clean_sigterm_drain(self):
+        config = ServiceConfig(
+            port=0, workers=2, catalogue=CATALOGUE, drain_grace=5.0
+        )
+        cluster = ServiceCluster(config)
+        cluster.start()
+        assert cluster.stop() is True  # every worker exited 0 after drain
+
+
+class TestFrontRouterMode:
+    def test_forced_front_router_serves_the_public_port(self):
+        config = ServiceConfig(
+            port=0, workers=2, catalogue=CATALOGUE,
+            front_router=True, drain_grace=5.0,
+        )
+        cluster = ServiceCluster(config)
+        assert cluster.mode == "front-router"
+        try:
+            base = cluster.start()
+            # Round-robin: consecutive connections hit alternating workers.
+            seen = set()
+            for _ in range(4):
+                status, _headers, body = _fetch(base + "/healthz")
+                assert status == 200
+                seen.add(json.loads(body)["shard"]["index"])
+            assert seen == {0, 1}
+            status, _headers, _body = _fetch(base + "/v1/matrix/pairs")
+            assert status == 200
+        finally:
+            assert cluster.stop() is True
+
+
+class TestCrossWorkerInvalidation:
+    def test_delta_on_one_worker_freshens_the_other(
+        self, corpus, tmp_path_factory
+    ):
+        db_path = tmp_path_factory.mktemp("cluster-db") / "serve.db"
+        database = VulnerabilityDatabase(db_path)
+        pipeline = IngestPipeline(database=database)
+        pipeline.ingest_raw(corpus.to_raw_feed_entries())
+        SnapshotStore(database).commit(source="full ingest")
+        database.close()
+
+        config = ServiceConfig(
+            port=0, workers=2, db=str(db_path), drain_grace=10.0
+        )
+        cluster = ServiceCluster(config)
+        cluster.start()
+        try:
+            first, second = cluster.internal_urls
+            debian_path = "/v1/shared?os=Debian,OpenBSD"
+            windows_path = "/v1/shared?os=Windows2000,Windows2003"
+
+            # Prime worker 1 (the one that will NOT ingest the delta).
+            status, headers, debian_before = _fetch(second + debian_path)
+            assert status == 200
+            debian_etag = headers["ETag"]
+            status, headers, _body = _fetch(second + windows_path)
+            windows_etag = headers["ETag"]
+
+            # Ingest a Debian-only delta on worker 0's internal listener.
+            feed = _debian_delta(corpus).write_feed(
+                tmp_path_factory.mktemp("cluster-delta") / "delta.xml"
+            )
+            request = urllib.request.Request(
+                first + "/v1/ingest/delta", data=feed.read_bytes(),
+                headers={"Content-Type": "application/xml"}, method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                report = json.loads(response.read())
+            assert report["modified"] > 0
+
+            # Worker 1's scoped caches were invalidated by the broadcast
+            # (eager), and its next read re-reads the shared ledger head
+            # (correct even without the broadcast): the stale Debian ETag
+            # misses and fresh bytes arrive.
+            status, headers, debian_after = _fetch(
+                second + debian_path, etag=debian_etag
+            )
+            assert status == 200
+            assert headers["ETag"] != debian_etag
+            assert debian_after != debian_before
+
+            # The untouched Windows scope still revalidates to 304.
+            status, _headers, body = _fetch(
+                second + windows_path, etag=windows_etag
+            )
+            assert status == 304
+            assert body == b""
+
+            # The broadcast reached worker 1 before the ingest returned.
+            health = HttpPeer(second).get_json("/healthz")
+            assert health["response_cache"]["invalidations"] > 0
+        finally:
+            cluster.stop()

@@ -1,0 +1,158 @@
+"""Front-end parser edge cases, held on raw sockets.
+
+The urllib-based :class:`~tests.service.conftest.ServiceClient` can't
+send deliberately broken framing, so these tests speak bytes directly:
+chunked transfer coding (unsupported -> 501 + connection close, never a
+silently ignored body), negative ``Content-Length`` (400 before any
+``readexactly``), and the keep-alive desync regression the 501 close
+prevents.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from urllib.parse import urlsplit
+
+import pytest
+
+
+def _raw_exchange(base_url: str, payload: bytes, timeout: float = 10.0) -> bytes:
+    """Send raw bytes, read until the server closes the connection."""
+    parts = urlsplit(base_url)
+    with socket.create_connection((parts.hostname, parts.port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            try:
+                chunk = sock.recv(65536)
+            except socket.timeout:
+                break
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def _split_responses(raw: bytes):
+    """Naive HTTP/1.1 response splitter (Content-Length framing only)."""
+    responses = []
+    rest = raw
+    while rest:
+        head, _, rest = rest.partition(b"\r\n\r\n")
+        if not head:
+            break
+        headers = dict(
+            line.split(b": ", 1)
+            for line in head.split(b"\r\n")[1:]
+            if b": " in line
+        )
+        length = int(headers.get(b"Content-Length", b"0"))
+        body, rest = rest[:length], rest[length:]
+        status = int(head.split(b" ", 2)[1])
+        responses.append((status, headers, body))
+    return responses
+
+
+def _error_code(body: bytes) -> str:
+    return json.loads(body)["error"]["code"]
+
+
+class TestChunkedBodies:
+    def test_chunked_request_is_501_and_closes(self, server):
+        client, _app = server
+        raw = _raw_exchange(
+            client.base_url,
+            b"POST /v1/ingest/delta HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+            b"5\r\nhello\r\n0\r\n\r\n",
+        )
+        responses = _split_responses(raw)
+        assert len(responses) == 1
+        status, headers, body = responses[0]
+        assert status == 501
+        assert headers[b"Connection"] == b"close"
+        assert _error_code(body) == "not_implemented"
+
+    def test_chunked_get_cannot_desync_a_pipelined_request(self, server):
+        """Regression: the chunk bytes used to stay unread in the stream,
+        so the next pipelined request line would be parsed out of garbage.
+        Closing on 501 means the follow-up request gets no answer at all
+        -- one 501, nothing else."""
+        client, _app = server
+        raw = _raw_exchange(
+            client.base_url,
+            b"POST /v1/simulations HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+            b"16\r\nGET /healthz HTTP/1.1\r\n\r\n"
+            b"0\r\n\r\n"
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        responses = _split_responses(raw)
+        assert [status for status, _headers, _body in responses] == [501]
+
+    def test_transfer_encoding_identity_is_accepted(self, server):
+        client, _app = server
+        raw = _raw_exchange(
+            client.base_url,
+            b"GET /healthz HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Transfer-Encoding: identity\r\n"
+            b"Connection: close\r\n"
+            b"\r\n",
+        )
+        responses = _split_responses(raw)
+        assert len(responses) == 1
+        assert responses[0][0] == 200
+
+
+class TestContentLength:
+    @pytest.mark.parametrize("length", [b"-1", b"-999999"])
+    def test_negative_content_length_is_400_and_closes(self, server, length):
+        client, _app = server
+        raw = _raw_exchange(
+            client.base_url,
+            b"POST /v1/simulations HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: " + length + b"\r\n"
+            b"\r\n",
+        )
+        responses = _split_responses(raw)
+        assert len(responses) == 1
+        status, headers, body = responses[0]
+        assert status == 400
+        assert headers[b"Connection"] == b"close"
+        assert _error_code(body) == "bad_request"
+
+    def test_malformed_content_length_is_still_400(self, server):
+        client, _app = server
+        raw = _raw_exchange(
+            client.base_url,
+            b"POST /v1/simulations HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: banana\r\n"
+            b"\r\n",
+        )
+        assert _split_responses(raw)[0][0] == 400
+
+    def test_wellformed_body_still_works_on_the_same_framing(self, server):
+        """Control: the new guards don't break ordinary bodied requests."""
+        client, _app = server
+        body = json.dumps({"configurations": {}, "runs": 1}).encode()
+        raw = _raw_exchange(
+            client.base_url,
+            b"POST /v1/simulations HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n"
+            b"\r\n" + body,
+        )
+        responses = _split_responses(raw)
+        assert len(responses) == 1
+        # 400 (empty grid) proves the body was read and parsed, not skipped.
+        assert responses[0][0] == 400

@@ -1,0 +1,202 @@
+"""Sharded matrix queries: partition determinism and byte-identity.
+
+The PR's core property, in-process: an N-shard fleet wired with
+:class:`~repro.service.cluster.LocalPeer` answers every pair/k-set matrix
+query with bytes identical to a single-process service over the same
+dataset digest -- for any shard count, any configuration filter, and any
+worker the request lands on.  Plus the safety rails: span parsing,
+digest-guarded partials (409 on mismatch), and merge refusal of
+mixed-digest or non-covering partial sets.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import ServiceConfig, StaticDatasetProvider, local_shard_fleet
+from repro.service.server import HttpRequest
+from repro.service import schemas, sharding
+
+from tests.service.conftest import make_app
+
+
+def _get(app, path, query=None):
+    return app.dispatch(
+        HttpRequest(method="GET", path=path, query=query or {}, headers={})
+    )
+
+
+@pytest.fixture()
+def provider(corpus):
+    return StaticDatasetProvider(corpus.entries, label="test corpus")
+
+
+class TestSpanPlumbing:
+    def test_plan_covers_the_space_exactly(self):
+        plan = sharding.plan_spans("digest-a", 11, 3, 4)
+        spans = [span for span, _owner in plan]
+        assert spans[0][0] == 0 and spans[-1][1] == sharding.combination_space(11, 3)
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start
+        assert all(0 <= owner < 4 for _span, owner in plan)
+
+    def test_ownership_is_digest_consistent_and_digest_sensitive(self):
+        first = sharding.plan_spans("digest-a", 11, 2, 3)
+        again = sharding.plan_spans("digest-a", 11, 2, 3)
+        rotated = sharding.plan_spans("digest-b", 11, 2, 3)
+        assert first == again
+        assert [span for span, _ in first] == [span for span, _ in rotated]
+        # sha256 offsets for these two digests differ mod 3, so the
+        # rotation moves every span to a different owner.
+        assert [owner for _, owner in first] != [owner for _, owner in rotated]
+
+    def test_empty_spans_are_dropped_from_the_plan(self):
+        # C(3, 2) = 3 combinations over 5 shards: two spans are empty.
+        plan = sharding.plan_spans("d", 3, 2, 5)
+        assert len(plan) == 3
+        assert all(span[0] < span[1] for span, _owner in plan)
+
+    @pytest.mark.parametrize("raw", ["", "5", "a-b", "3-2", "0-999999"])
+    def test_parse_span_rejects_malformed_and_out_of_bounds(self, raw):
+        from repro.service.errors import BadRequest
+
+        with pytest.raises(BadRequest):
+            sharding.parse_span({"span": (raw,)}, total=100)
+
+    def test_parse_span_round_trips_format_span(self):
+        span = (7, 42)
+        assert sharding.parse_span(
+            {"span": (sharding.format_span(span),)}, total=100
+        ) == span
+
+
+class TestMergeGuards:
+    def test_mixed_digests_refuse_to_merge(self):
+        partials = [
+            {"digest": "aaa", "span": [0, 5], "pairs": []},
+            {"digest": "bbb", "span": [5, 10], "pairs": []},
+        ]
+        with pytest.raises(ValueError, match="dataset states"):
+            sharding._check_merge(partials, total=10)
+
+    def test_gap_refuses_to_merge(self):
+        partials = [
+            {"digest": "aaa", "span": [0, 4], "pairs": []},
+            {"digest": "aaa", "span": [5, 10], "pairs": []},
+        ]
+        with pytest.raises(ValueError, match="not contiguous"):
+            sharding._check_merge(partials, total=10)
+
+    def test_partial_cover_refuses_to_merge(self):
+        partials = [{"digest": "aaa", "span": [0, 9], "pairs": []}]
+        with pytest.raises(ValueError, match="combination"):
+            sharding._check_merge(partials, total=10)
+
+
+class TestShardPartialEndpoints:
+    def test_digest_guard_is_a_409(self, corpus, provider):
+        app = make_app(corpus)
+        result = _get(
+            app, "/internal/v1/shards/pairs",
+            {"span": ("0-5",), "digest": ("not-the-current-digest",)},
+        )
+        assert result.status == 409
+        assert json.loads(result.body)["error"]["code"] == "conflict"
+
+    def test_partial_carries_digest_and_span(self, corpus):
+        app = make_app(corpus)
+        artifacts = app.artifacts()
+        result = _get(app, "/internal/v1/shards/pairs", {"span": ("0-5",)})
+        assert result.status == 200
+        partial = json.loads(result.body)
+        assert partial["digest"] == artifacts.digest
+        assert partial["span"] == [0, 5]
+        assert len(partial["pairs"]) == 5
+
+    def test_span_is_required(self, corpus):
+        app = make_app(corpus)
+        assert _get(app, "/internal/v1/shards/ksets").status == 400
+
+    def test_invalidate_rejects_bad_bodies(self, corpus):
+        app = make_app(corpus)
+        result = app.dispatch(
+            HttpRequest(
+                method="POST", path="/internal/v1/invalidate", query={},
+                headers={}, body=json.dumps({"digest": 7}).encode(),
+            )
+        )
+        assert result.status == 400
+
+
+class TestByteIdentity:
+    """workers=1 and workers=N produce bit-for-bit identical payloads."""
+
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_pairs_matrix_is_byte_identical(self, corpus, provider, shards):
+        single = make_app(corpus)
+        fleet = local_shard_fleet(ServiceConfig(), shards, provider=provider)
+        reference = _get(single, "/v1/matrix/pairs")
+        assert reference.status == 200
+        for app in fleet:
+            result = _get(app, "/v1/matrix/pairs")
+            assert result.status == 200
+            assert result.body == reference.body
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("slug", list(schemas.CONFIGURATIONS))
+    def test_ksets_are_byte_identical_across_configurations(
+        self, corpus, provider, shards, slug
+    ):
+        single = make_app(corpus)
+        fleet = local_shard_fleet(ServiceConfig(), shards, provider=provider)
+        query = {"k": ("3",), "top": ("7",), "configuration": (slug,)}
+        reference = _get(single, "/v1/matrix/ksets", query)
+        assert reference.status == 200
+        result = _get(fleet[shards - 1], "/v1/matrix/ksets", query)
+        assert result.status == 200
+        assert result.body == reference.body
+
+    def test_scatter_actually_ran_remotely(self, corpus, provider):
+        fleet = local_shard_fleet(ServiceConfig(), 3, provider=provider)
+        _get(fleet[0], "/v1/matrix/pairs")
+        assert fleet[0].scatter_remote > 0
+        assert fleet[0].scatter_fallback == 0
+
+    def test_peer_outage_degrades_to_local_compute(self, corpus, provider):
+        single = make_app(corpus)
+        fleet = local_shard_fleet(ServiceConfig(), 3, provider=provider)
+
+        class DeadPeer:
+            def get_json(self, path):
+                raise OSError("connection refused")
+
+            def post_json(self, path, body):
+                raise OSError("connection refused")
+
+        fleet[0].peers = [DeadPeer() for _ in fleet]
+        reference = _get(single, "/v1/matrix/pairs")
+        result = _get(fleet[0], "/v1/matrix/pairs")
+        assert result.status == 200
+        assert result.body == reference.body
+        assert fleet[0].scatter_fallback > 0
+
+    def test_digest_mismatch_mid_scatter_degrades_to_local(self, corpus, provider):
+        """A peer answering for a different dataset state is never merged."""
+        single = make_app(corpus)
+        fleet = local_shard_fleet(ServiceConfig(), 2, provider=provider)
+
+        class StaleDigestPeer:
+            def get_json(self, path):
+                return {"digest": "some-other-snapshot", "span": [0, 1], "pairs": []}
+
+            def post_json(self, path, body):
+                return 200
+
+        fleet[0].peers = [StaleDigestPeer() for _ in fleet]
+        reference = _get(single, "/v1/matrix/pairs")
+        result = _get(fleet[0], "/v1/matrix/pairs")
+        assert result.status == 200
+        assert result.body == reference.body
+        assert fleet[0].scatter_fallback > 0
