@@ -190,6 +190,50 @@ def _interval_list(spec: str) -> List[float]:
     return values
 
 
+def _ledger_lifetimes(args: argparse.Namespace) -> tuple:
+    """Observed closure lifetimes from the --db snapshot ledger."""
+    from repro.core.exceptions import SimulationError
+
+    if not getattr(args, "db", None) or not Path(args.db).exists():
+        raise SimulationError(
+            "closure=empirical without inline lifetimes needs --db "
+            "(the snapshot ledger supplies the observed lifetimes)"
+        )
+    from repro.db.database import VulnerabilityDatabase
+    from repro.snapshots.history import closure_lifetimes
+    from repro.snapshots.store import SnapshotStore
+
+    database = VulnerabilityDatabase(args.db)
+    try:
+        lifetimes = closure_lifetimes(SnapshotStore(database))
+    finally:
+        database.close()
+    if not lifetimes:
+        raise SimulationError(
+            "the snapshot ledger records no closure lifetimes yet; "
+            "ingest more snapshots or pass lifetimes=... explicitly"
+        )
+    return lifetimes
+
+
+def _resolve_scenario(token: str, args: argparse.Namespace):
+    """One scenario axis entry: ``none`` or a ``family:key=value,...`` spec.
+
+    An empirical patch-race spec without inline lifetimes resamples the
+    ``--db`` snapshot ledger (:func:`repro.snapshots.closure_lifetimes`).
+    Raises :class:`~repro.core.exceptions.SimulationError` on bad input.
+    """
+    from repro.itsys.scenarios import parse_scenario
+
+    token = token.replace(" ", "")
+    if token.lower() == "none":
+        return None
+    if "closure=empirical" in token and "lifetimes=" not in token:
+        lifetimes = _ledger_lifetimes(args)
+        token += ",lifetimes=" + ";".join(repr(value) for value in lifetimes)
+    return parse_scenario(token)
+
+
 def _simulate_configurations(args: argparse.Namespace) -> dict:
     """Replica configurations selected by --homogeneous / --config / --os."""
     configurations: dict = {}
@@ -242,6 +286,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     failure = _reject_bad_simulation_inputs(args, configurations)
     if failure is not None:
         return failure
+    from repro.core.exceptions import SimulationError
+
+    try:
+        scenario = (
+            _resolve_scenario(args.scenario, args) if args.scenario else None
+        )
+    except SimulationError as error:
+        print(f"invalid scenario: {error}", file=sys.stderr)
+        return 2
     dataset = _load_dataset(args)
     simulation = CompromiseSimulation(
         [entry for entry in dataset if entry.is_valid],
@@ -257,6 +310,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         arrival=args.arrival,
         shape=args.shape,
         smart=args.smart,
+        scenario=scenario,
     )
     analyses = {
         name: simulation.single_exploit_analysis(name, os_names, quorum_model=args.quorum_model)
@@ -282,7 +336,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
         payload = {
             "engine": simulation.engine,
-            "parameters": {**campaign, "seed": args.seed,
+            "parameters": {**campaign,
+                           "scenario": scenario.params() if scenario else None,
+                           "seed": args.seed,
                            "recovery_sweep": sweep_intervals},
             "configurations": {name: list(os_names) for name, os_names in configurations.items()},
             "single_exploit": [dataclasses.asdict(a) for a in analyses.values()],
@@ -295,8 +351,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     for name, analysis in analyses.items():
         print(f"  {name:28s} {analysis.single_attack_defeat_probability:5.2f} "
               f"(mean replicas hit {analysis.mean_replicas_per_exploit:.2f})")
+    scenario_note = f", scenario {scenario.label}" if scenario else ""
     print(f"\nMonte-Carlo campaigns ({args.runs} runs, rate {args.rate}, "
-          f"horizon {args.horizon}, {args.arrival} arrivals, engine {simulation.engine}):")
+          f"horizon {args.horizon}, {args.arrival} arrivals, "
+          f"engine {simulation.engine}{scenario_note}):")
     for result in results:
         print(f"  {result.summary()}")
     return 0
@@ -342,12 +400,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ArrivalSpec(process, args.shape if process == "aging" else 1.0)
             for process in args.arrivals
         )
+        scenarios = tuple(
+            _resolve_scenario(token, args)
+            for token in (args.scenario or ["none"])
+        )
         grid = ExperimentGrid(
             configurations=configurations,
             quorum_models=tuple(args.quorum_models),
             recovery_intervals=tuple(args.recovery_intervals),
             arrivals=arrivals,
             adversaries=tuple(args.adversaries),
+            scenarios=scenarios,
             runs=args.runs,
             exploit_rate=args.rate,
             horizon=args.horizon,
@@ -742,6 +805,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="draw exploits from the whole pool, not just the group's OSes",
     )
     simulate_parser.add_argument(
+        "--scenario", metavar="SPEC", default=None,
+        help="adversary scenario family:key=value,... "
+             "(campaign | patch-race | epidemic | adaptive), e.g. "
+             "campaign:adversaries=3 or patch-race:closure=empirical; "
+             "empirical closure without inline lifetimes reads the --db "
+             "snapshot ledger",
+    )
+    simulate_parser.add_argument(
         "--json", action="store_true", help="emit results as JSON instead of text"
     )
     simulate_parser.set_defaults(func=cmd_simulate)
@@ -797,6 +868,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--adversaries", type=_comma_list, default=["standard"],
         metavar="A1,A2",
         help="adversary axis (subset of: standard,smart,untargeted)",
+    )
+    sweep_parser.add_argument(
+        "--scenario", action="append", metavar="SPEC", default=None,
+        help="scenario axis entry (repeatable): 'none' for the classic "
+             "adversary, or family:key=value,... as in simulate --scenario",
     )
     sweep_parser.add_argument(
         "--workers", type=int, default=1,

@@ -12,13 +12,25 @@ executable:
 * :mod:`repro.itsys.bft` -- a quorum-based state-machine-replication service
   model that reports when safety/liveness are lost;
 * :mod:`repro.itsys.simulation` -- Monte-Carlo campaigns comparing
-  homogeneous and diverse replica groups.
+  homogeneous and diverse replica groups;
+* :mod:`repro.itsys.scenarios` -- composable adversary scenarios (multi-
+  adversary campaigns, patch races, epidemic propagation, adaptive
+  re-targeting) plugged into the simulation's event loop.
 """
 
 from repro.itsys.attacker import Attacker, ExploitEvent, best_exploit_entry
 from repro.itsys.bft import BFTService, ServiceState
 from repro.itsys.events import Event, EventQueue
 from repro.itsys.replica import Replica, ReplicaGroup
+from repro.itsys.scenarios import (
+    CLOSURE_MODELS,
+    SCENARIOS,
+    ArrivalModel,
+    AdversaryPolicy,
+    ScenarioSpec,
+    build_scenario,
+    parse_scenario,
+)
 from repro.itsys.simulation import (
     ARRIVALS,
     ENGINES,
@@ -50,4 +62,11 @@ __all__ = [
     "merge_run_ranges",
     "result_from_tallies",
     "wilson_interval",
+    "CLOSURE_MODELS",
+    "SCENARIOS",
+    "ArrivalModel",
+    "AdversaryPolicy",
+    "ScenarioSpec",
+    "build_scenario",
+    "parse_scenario",
 ]

@@ -56,6 +56,15 @@ the campaign with the single most damaging exploit
 (:meth:`Attacker.best_single_exploit`), proactive-recovery interval sweeps
 (:meth:`CompromiseSimulation.recovery_sweep`) and Wilson 95% confidence
 intervals on every estimated probability.
+
+Richer adversaries live in :mod:`repro.itsys.scenarios`: passing a
+:class:`~repro.itsys.scenarios.ScenarioSpec` as the ``scenario`` campaign
+keyword routes ``run_range`` through a scenario event loop built from a
+pluggable arrival-model/adversary-policy pair compiled over the same
+incidence bitmasks.  The scenario loop is engine-independent (all three
+engine labels execute the identical code path, so bitset ≡ packed ≡ naive
+by construction) and preserves the per-run seeding contract, so scenario
+campaigns merge, cache and sweep exactly like classic ones.
 """
 
 from __future__ import annotations
@@ -74,6 +83,7 @@ from repro.core.models import VulnerabilityEntry
 from repro.itsys.attacker import Attacker, best_exploit_entry
 from repro.itsys.bft import BFTService
 from repro.itsys.replica import ReplicaGroup
+from repro.itsys.scenarios import ScenarioSpec, build_scenario
 
 #: Execution engines understood by :class:`CompromiseSimulation`.
 ENGINES: Tuple[str, ...] = ("bitset", "naive", "packed")
@@ -92,7 +102,12 @@ def wilson_interval(
 
     Unlike the normal approximation it stays inside ``[0, 1]`` and behaves
     sensibly at 0 or ``trials`` successes, which is exactly the regime of
-    safety-violation counts for well-chosen diverse groups.
+    safety-violation counts for well-chosen diverse groups.  The boundary
+    cases are pinned exactly: 0 successes yields a lower bound of exactly
+    ``0.0`` and ``trials`` successes an upper bound of exactly ``1.0``
+    (the analytic Wilson bounds, which float rounding would otherwise
+    perturb by ~1e-17 for some trial counts -- see
+    ``tests/itsys/test_wilson_boundaries.py``).
     """
     if trials <= 0:
         raise SimulationError("a confidence interval needs at least one trial")
@@ -107,7 +122,9 @@ def wilson_interval(
         * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
         / denominator
     )
-    return (max(0.0, centre - half_width), min(1.0, centre + half_width))
+    lower = 0.0 if successes == 0 else max(0.0, centre - half_width)
+    upper = 1.0 if successes == trials else min(1.0, centre + half_width)
+    return (lower, upper)
 
 
 @dataclass(frozen=True)
@@ -372,6 +389,7 @@ class CompromiseSimulation:
         arrival: str = "poisson",
         shape: float = 1.0,
         smart: bool = False,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> SimulationResult:
         """Estimate compromise statistics for one replica configuration.
 
@@ -383,6 +401,9 @@ class CompromiseSimulation:
         Weibull ``"aging"`` process with the given ``shape``); ``smart``
         additionally opens every campaign with the single most damaging
         exploit against the group (a 0-day in hand before the clock starts).
+        ``scenario`` selects a richer adversary from
+        :mod:`repro.itsys.scenarios` (``None`` keeps the classic single
+        adversary); the base arrival process composes with the scenario.
         """
         if runs <= 0:
             raise SimulationError("the number of runs must be positive")
@@ -398,6 +419,7 @@ class CompromiseSimulation:
             arrival=arrival,
             shape=shape,
             smart=smart,
+            scenario=scenario,
         )
         return result_from_tallies(name, os_names, tallies)
 
@@ -414,6 +436,7 @@ class CompromiseSimulation:
         arrival: str = "poisson",
         shape: float = 1.0,
         smart: bool = False,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> RunRangeTallies:
         """Execute runs ``[run_start, run_stop)`` of a campaign.
 
@@ -433,7 +456,16 @@ class CompromiseSimulation:
             raise SimulationError(
                 f"unknown arrival process {arrival!r}; expected one of {ARRIVALS}"
             )
-        if self._engine == "naive":
+        if scenario is not None:
+            # One shared loop for all engine labels: scenario campaigns are
+            # engine-independent by construction (asserted by the
+            # equivalence property suite all the same).
+            tallies = self._campaign_tallies_scenario(
+                os_names, run_start, run_stop, exploit_rate, horizon,
+                quorum_model, targeted, recovery_interval, arrival, shape,
+                smart, scenario,
+            )
+        elif self._engine == "naive":
             tallies = self._campaign_tallies_naive(
                 os_names, run_start, run_stop, exploit_rate, horizon,
                 quorum_model, targeted, recovery_interval, arrival, shape, smart,
@@ -605,6 +637,127 @@ class CompromiseSimulation:
                     newly = victim_masks[entry_index] & ~compromised
                     if newly:
                         compromised |= newly
+                        count = compromised.bit_count()
+                        if count > peak:
+                            peak = count
+                        if violation_time is None and count > f:
+                            violation_time = time
+                        if liveness_time is None and n - count < quorum:
+                            liveness_time = time
+            compromised_counts.append(peak)
+            if violation_time is not None:
+                violations += 1
+                violation_times.append(violation_time)
+            if liveness_time is not None:
+                liveness_losses += 1
+        return violations, liveness_losses, compromised_counts, violation_times
+
+    def _campaign_tallies_scenario(
+        self,
+        os_names: Sequence[str],
+        run_start: int,
+        run_stop: int,
+        exploit_rate: float,
+        horizon: float,
+        quorum_model: str,
+        targeted: bool,
+        recovery_interval: Optional[float],
+        arrival: str,
+        shape: float,
+        smart: bool,
+        scenario: ScenarioSpec,
+    ) -> Tuple[int, int, List[int], List[float]]:
+        """Scenario path: arrival model × adversary policy over the bitmasks.
+
+        Shares the compiled pool, incidence masks, recovery schedule and
+        smart-opening logic with the bitset loop; *when* events happen and
+        *what* each event does are delegated to the pair compiled by
+        :func:`repro.itsys.scenarios.build_scenario`.  All draws come from
+        the per-run ``Random(seed + 7919 * run_index)`` stream, so scenario
+        ranges merge bit for bit like classic ones.
+        """
+        if exploit_rate <= 0:
+            raise SimulationError("the exploit arrival rate must be positive")
+        if arrival == "aging" and shape <= 0:
+            raise SimulationError("the inter-arrival shape must be positive")
+        if horizon <= 0:
+            raise SimulationError("the campaign horizon must be positive")
+        pool = self._compiled_pool()
+        group = self._group(os_names, quorum_model)
+        n, f, quorum = group.n, group.f, group.quorum_size
+        if targeted:
+            targets = set(os_names)
+            targeted_pool = [
+                entry for entry in pool if entry.affected_os & targets
+            ]
+        else:
+            targeted_pool = pool
+        incidence = ReplicaIncidence(targeted_pool, group.os_names)
+        victim_masks = incidence.victim_masks
+        opening_mask: Optional[int] = None
+        if smart:
+            entry, _coverage = best_exploit_entry(pool, os_names)
+            if entry is not None:
+                opening_mask = incidence.victim_mask_for(entry.affected_os)
+        recovery_times: List[float] = []
+        if recovery_interval is not None and recovery_interval > 0:
+            t = recovery_interval
+            while t <= horizon:  # same float accumulation as BFTService
+                recovery_times.append(t)
+                t += recovery_interval
+        n_recoveries = len(recovery_times)
+        aging = arrival == "aging"
+        scale = 1.0 / exploit_rate
+        if aging:
+            def draw_gap(rng, _scale=scale, _shape=shape):
+                return rng.weibullvariate(_scale, _shape)
+        else:
+            def draw_gap(rng, _rate=exploit_rate):
+                return rng.expovariate(_rate)
+        arrivals, policy = build_scenario(scenario, draw_gap, victim_masks, n)
+
+        violations = 0
+        liveness_losses = 0
+        compromised_counts: List[int] = []
+        violation_times: List[float] = []
+        for run_index in range(run_start, run_stop):
+            rng = random.Random(self._seed + 7919 * run_index)
+            policy.reset(rng)
+            compromised = 0
+            peak = 0
+            violation_time: Optional[float] = None
+            liveness_time: Optional[float] = None
+            if opening_mask:
+                # The smart opening shot lands at time 0.0, before any
+                # recovery (those start strictly after 0).
+                compromised = opening_mask
+                count = compromised.bit_count()
+                peak = count
+                if count > f:
+                    violation_time = 0.0
+                if n - count < quorum:
+                    liveness_time = 0.0
+            if targeted_pool:
+                recovery_index = 0
+                for time in arrivals.events(rng, horizon):
+                    entry_index = policy.choose(rng, time, compromised)
+                    # Recoveries strictly before this exploit fire first
+                    # (exploit < recovery at equal timestamps, matching the
+                    # bitset loop and BFTService.run_campaign).
+                    while (
+                        recovery_index < n_recoveries
+                        and recovery_times[recovery_index] < time
+                    ):
+                        compromised = 0
+                        recovery_index += 1
+                    landed = False
+                    if entry_index is not None:
+                        newly = victim_masks[entry_index] & ~compromised
+                        if newly:
+                            compromised |= newly
+                            landed = True
+                    if landed:
+                        compromised = policy.propagate(rng, compromised)
                         count = compromised.bit_count()
                         if count > peak:
                             peak = count

@@ -138,7 +138,9 @@ def cell_key(
     :func:`scoped_corpus_digest`), the cell parameters, the seed, the
     engine, the server-configuration filter (it selects the attacker's
     exploitable pool) and the ``catalogued`` switch (it changes OS-name
-    normalisation in the replica group).
+    normalisation in the replica group).  Scenario cells contribute their
+    normalised scenario parameters through ``cell.params()``; classic cells
+    omit the key entirely, so pre-scenario cache entries keep their keys.
     """
     canonical = json.dumps(
         {

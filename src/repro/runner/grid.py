@@ -9,8 +9,9 @@ that the :class:`~repro.runner.runner.GridRunner` executes and the
 :class:`~repro.runner.cache.ResultCache` keys results by.
 
 Expansion order is deterministic (configurations x quorum models x recovery
-intervals x arrivals x adversaries, each axis in declaration order), so cell
-lists, cache keys and report rows are stable across processes and runs.
+intervals x arrivals x adversaries x scenarios, each axis in declaration
+order), so cell lists, cache keys and report rows are stable across
+processes and runs.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.exceptions import SimulationError
+from repro.itsys.scenarios import ScenarioSpec
 from repro.itsys.simulation import ARRIVALS
 
 #: Adversary behaviours the grid understands, mapped onto the simulator's
@@ -78,6 +80,10 @@ class GridCell:
     runs: int
     exploit_rate: float
     horizon: float
+    #: Optional adversary scenario (``None`` keeps the classic single
+    #: adversary).  Appended last so legacy positional construction and the
+    #: pre-scenario cache keys stay valid.
+    scenario: Optional[ScenarioSpec] = None
 
     @property
     def cell_id(self) -> str:
@@ -86,10 +92,13 @@ class GridCell:
             if self.recovery_interval is not None
             else "no-recovery"
         )
-        return (
+        cell_id = (
             f"{self.configuration}|{self.quorum_model}|{recovery}"
             f"|{self.arrival.label}|{self.adversary}"
         )
+        if self.scenario is not None:
+            cell_id += f"|{self.scenario.label}"
+        return cell_id
 
     @property
     def targeted(self) -> bool:
@@ -110,11 +119,18 @@ class GridCell:
             arrival=self.arrival.process,
             shape=self.arrival.shape,
             smart=self.smart,
+            scenario=self.scenario,
         )
 
     def params(self) -> Dict[str, object]:
-        """Canonical JSON-serialisable parameter mapping for the cell."""
-        return {
+        """Canonical JSON-serialisable parameter mapping for the cell.
+
+        The ``"scenario"`` key is present only when a scenario is set, so
+        classic cells keep their exact pre-scenario mapping -- and therefore
+        their exact :func:`repro.runner.cache.cell_key` digests: a warmed
+        cache stays warm across this upgrade.
+        """
+        params: Dict[str, object] = {
             "configuration": self.configuration,
             "os_names": list(self.os_names),
             "quorum_model": self.quorum_model,
@@ -126,6 +142,9 @@ class GridCell:
             "exploit_rate": self.exploit_rate,
             "horizon": self.horizon,
         }
+        if self.scenario is not None:
+            params["scenario"] = self.scenario.params()
+        return params
 
 
 @dataclass(frozen=True)
@@ -142,6 +161,8 @@ class ExperimentGrid:
     recovery_intervals: Tuple[Optional[float], ...] = (None,)
     arrivals: Tuple[ArrivalSpec, ...] = (ArrivalSpec(),)
     adversaries: Tuple[str, ...] = ("standard",)
+    #: Adversary scenario axis; ``None`` entries are classic campaigns.
+    scenarios: Tuple[Optional[ScenarioSpec], ...] = (None,)
     runs: int = 200
     exploit_rate: float = 1.0
     horizon: float = 5.0
@@ -170,6 +191,7 @@ class ExperimentGrid:
             ("recovery_intervals", self.recovery_intervals),
             ("arrivals", self.arrivals),
             ("adversaries", self.adversaries),
+            ("scenarios", self.scenarios),
         ):
             if not axis:
                 raise SimulationError(f"grid axis {axis_name!r} is empty")
@@ -187,6 +209,12 @@ class ExperimentGrid:
                     f"unknown adversary mode {adversary!r}; "
                     f"expected one of {tuple(ADVERSARY_MODES)}"
                 )
+        for scenario in self.scenarios:
+            if scenario is not None and not isinstance(scenario, ScenarioSpec):
+                raise SimulationError(
+                    "scenario axis entries must be ScenarioSpec or None, "
+                    f"got {scenario!r}"
+                )
         object.__setattr__(self, "_configuration_items", items)
 
     def __len__(self) -> int:
@@ -197,6 +225,7 @@ class ExperimentGrid:
             * len(self.recovery_intervals)
             * len(self.arrivals)
             * len(self.adversaries)
+            * len(self.scenarios)
         )
 
     def expand(self) -> List[GridCell]:
@@ -207,17 +236,19 @@ class ExperimentGrid:
                 for interval in self.recovery_intervals:
                     for arrival in self.arrivals:
                         for adversary in self.adversaries:
-                            cells.append(
-                                GridCell(
-                                    configuration=name,
-                                    os_names=os_names,
-                                    quorum_model=quorum_model,
-                                    recovery_interval=interval,
-                                    arrival=arrival,
-                                    adversary=adversary,
-                                    runs=self.runs,
-                                    exploit_rate=self.exploit_rate,
-                                    horizon=self.horizon,
+                            for scenario in self.scenarios:
+                                cells.append(
+                                    GridCell(
+                                        configuration=name,
+                                        os_names=os_names,
+                                        quorum_model=quorum_model,
+                                        recovery_interval=interval,
+                                        arrival=arrival,
+                                        adversary=adversary,
+                                        runs=self.runs,
+                                        exploit_rate=self.exploit_rate,
+                                        horizon=self.horizon,
+                                        scenario=scenario,
+                                    )
                                 )
-                            )
         return cells

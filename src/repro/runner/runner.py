@@ -179,7 +179,7 @@ class SweepReport:
         "exploit_rate", "horizon", "safety_violation_probability",
         "safety_ci_low", "safety_ci_high", "mean_compromised",
         "mean_time_to_violation", "liveness_loss_probability", "cached",
-        "corpus_digest", "scope_digest",
+        "corpus_digest", "scope_digest", "scenario",
     )
 
     def csv_rows(self) -> List[Tuple[object, ...]]:
@@ -210,6 +210,7 @@ class SweepReport:
                     int(cell_result.cached),
                     self.corpus_digest,
                     cell_result.scope_digest,
+                    "" if cell.scenario is None else cell.scenario.label,
                 )
             )
         return rows

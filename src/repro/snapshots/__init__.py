@@ -44,6 +44,7 @@ _EXPORTS = {
     "SnapshotStore": "repro.snapshots.store",
     "DeltaIngestPipeline": "repro.snapshots.delta",
     "DeltaReport": "repro.snapshots.delta",
+    "closure_lifetimes": "repro.snapshots.history",
     "entry_to_raw": "repro.snapshots.export",
     "write_snapshot_feeds": "repro.snapshots.export",
 }

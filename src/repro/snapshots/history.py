@@ -1,0 +1,67 @@
+"""Vulnerability-lifetime statistics mined from the snapshot ledger.
+
+The ``patch-race`` adversary scenario (:mod:`repro.itsys.scenarios`) needs a
+distribution of *closure times* -- how long a vulnerability stays open
+before a patch lands.  When a deployment tracks its corpus through the
+snapshot ledger (:class:`repro.snapshots.store.SnapshotStore`), that history
+is right there: every ``entry_version`` row records the snapshot at which an
+entry first appeared, was modified (typically a fix/advisory update) or was
+tombstoned, and every snapshot carries its ledger timestamp.
+
+:func:`closure_lifetimes` turns the ledger into an empirical lifetime sample
+that :class:`~repro.itsys.scenarios.ScenarioSpec` consumes directly
+(``closure="empirical"``), closing the loop the paper's data section opens:
+measured patch behaviour feeding the simulated patch race.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Tuple
+
+from repro.snapshots.store import SnapshotStore
+
+#: Seconds per day -- ledger timestamps are ISO-8601, lifetimes are in days.
+_DAY_SECONDS = 86400.0
+
+
+def closure_lifetimes(store: SnapshotStore) -> Tuple[float, ...]:
+    """Observed vulnerability lifetimes (in days) from the snapshot ledger.
+
+    For every CVE, each ``entry_version`` row after its first marks a change
+    to the entry -- a modification or a tombstone, both evidence the vendor
+    acted on it.  The lifetime of a version is the ledger time between the
+    snapshot that introduced it and the snapshot that replaced it; a version
+    still live at the ledger head contributes nothing (its lifetime is
+    right-censored, not observed).
+
+    Returns the positive lifetimes sorted ascending -- the canonical order
+    :class:`~repro.itsys.scenarios.ScenarioSpec` stores empirical lifetimes
+    in -- so a ledger always maps to exactly one spec.  Zero-length
+    lifetimes (two snapshots committed with the same timestamp, common in
+    tests) are dropped: a closure time of 0 would make the patch win every
+    race unconditionally.
+    """
+    created_at: Dict[int, _dt.datetime] = {
+        record.snapshot_id: _dt.datetime.fromisoformat(record.created)
+        for record in store.list()
+    }
+    lifetimes = []
+    introduced_at: Dict[str, int] = {}
+    rows = store.database.connection.execute(
+        "SELECT cve_id, snapshot_id FROM entry_version ORDER BY version_id"
+    )
+    for row in rows:
+        cve_id = row["cve_id"]
+        snapshot_id = row["snapshot_id"]
+        previous = introduced_at.get(cve_id)
+        if previous is not None:
+            seconds = (
+                created_at[snapshot_id] - created_at[previous]
+            ).total_seconds()
+            if seconds > 0:
+                lifetimes.append(seconds / _DAY_SECONDS)
+        # The new version's clock starts now; its own closure (if any) is
+        # measured against the next change.
+        introduced_at[cve_id] = snapshot_id
+    return tuple(sorted(lifetimes))

@@ -13,6 +13,7 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.core.enums import AccessVector, ComponentClass
+from repro.itsys.scenarios import ScenarioSpec
 from repro.itsys.simulation import CompromiseSimulation
 from tests.conftest import make_entry
 
@@ -77,6 +78,39 @@ def test_engines_produce_identical_results(campaign, os_names, seed):
     fast_result = fast.run_configuration("cfg", os_names, **campaign)
     naive_result = naive.run_configuration("cfg", os_names, **campaign)
     assert fast_result == naive_result
+
+
+#: Optional scenario axis: the classic adversary (None) plus one
+#: representative per scenario family.  ``tests/itsys/test_scenarios.py``
+#: covers the knob space; here the point is that scenarios do not disturb
+#: the engine equivalence.
+scenarios = st.sampled_from((
+    None,
+    ScenarioSpec(family="campaign", adversaries=3),
+    ScenarioSpec(family="patch-race", closure_scale=1.5, closure_shape=2.0),
+    ScenarioSpec(
+        family="patch-race", closure="empirical", lifetimes=(0.5, 1.25, 4.0)
+    ),
+    ScenarioSpec(family="epidemic", spread=0.4),
+    ScenarioSpec(family="adaptive", explore=0.1),
+))
+
+
+@given(campaign=campaigns, os_names=groups, seed=st.integers(0, 10_000),
+       scenario=scenarios)
+@settings(max_examples=60, deadline=None)
+def test_engines_identical_under_every_scenario_family(
+    campaign, os_names, seed, scenario
+):
+    fast = CompromiseSimulation(POOL, seed=seed, engine="bitset")
+    fast_result = fast.run_configuration(
+        "cfg", os_names, scenario=scenario, **campaign
+    )
+    for engine in ("naive", "packed"):
+        other = fast.with_engine(engine).run_configuration(
+            "cfg", os_names, scenario=scenario, **campaign
+        )
+        assert other == fast_result
 
 
 @given(os_names=groups, seed=st.integers(0, 10_000),

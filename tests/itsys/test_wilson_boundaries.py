@@ -1,0 +1,71 @@
+"""Boundary behaviour of :func:`wilson_interval` at 0 and ``n`` successes.
+
+The analytic Wilson bounds at the boundaries are exactly 0 and 1: with zero
+successes the score equation's lower root is 0, with all successes the upper
+root is 1.  Naive evaluation of the closed form perturbs them by float
+rounding for some trial counts (``trials=3`` used to yield a lower bound of
+~5.6e-17 and ``trials=10`` an upper bound of 0.9999999999999999), so the
+implementation pins the boundary sides exactly.  These tests hold that pin
+and the interval's interior sanity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import SimulationError
+from repro.itsys.simulation import wilson_interval
+
+#: Trial counts with historically imperfect rounding (3, 10) plus a spread
+#: of small, golden-run (8) and large counts.
+TRIALS = (1, 2, 3, 5, 8, 10, 25, 100, 1000, 12345)
+
+
+class TestExactBoundaries:
+    @pytest.mark.parametrize("trials", TRIALS)
+    def test_zero_successes_lower_bound_is_exactly_zero(self, trials):
+        lower, upper = wilson_interval(0, trials)
+        assert lower == 0.0
+        # The other side stays informative: still room above zero.
+        assert 0.0 < upper < 1.0
+
+    @pytest.mark.parametrize("trials", TRIALS)
+    def test_all_successes_upper_bound_is_exactly_one(self, trials):
+        lower, upper = wilson_interval(trials, trials)
+        assert upper == 1.0
+        assert 0.0 < lower < 1.0
+
+    def test_boundary_intervals_mirror_each_other(self):
+        for trials in TRIALS:
+            none_lower, none_upper = wilson_interval(0, trials)
+            all_lower, all_upper = wilson_interval(trials, trials)
+            # p -> 1 - p symmetry of the score interval.
+            assert none_upper == pytest.approx(1.0 - all_lower)
+            assert none_lower == pytest.approx(1.0 - all_upper)
+
+
+class TestInterior:
+    @given(
+        trials=st.integers(min_value=2, max_value=5000),
+        data=st.data(),
+    )
+    def test_interior_intervals_bracket_the_point_estimate(self, trials, data):
+        successes = data.draw(st.integers(min_value=1, max_value=trials - 1))
+        lower, upper = wilson_interval(successes, trials)
+        p = successes / trials
+        assert 0.0 < lower < p < upper < 1.0
+
+    def test_wider_at_fewer_trials(self):
+        narrow = wilson_interval(50, 100)
+        wide = wilson_interval(5, 10)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("successes,trials", [
+        (0, 0), (1, 0), (0, -3), (-1, 10), (11, 10),
+    ])
+    def test_bad_inputs_rejected(self, successes, trials):
+        with pytest.raises(SimulationError):
+            wilson_interval(successes, trials)

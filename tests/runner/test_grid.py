@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.exceptions import SimulationError
+from repro.itsys.scenarios import ScenarioSpec
 from repro.runner import ADVERSARY_MODES, ArrivalSpec, ExperimentGrid, GridCell
 
 
@@ -80,6 +81,51 @@ class TestExpansion:
             assert params["configuration"] == cell.configuration
             assert tuple(params["os_names"]) == cell.os_names
             assert cell.cell_id.startswith(cell.configuration)
+
+
+class TestScenarioAxis:
+    def test_scenario_axis_multiplies_the_cell_count(self):
+        grid = _grid(scenarios=(None, ScenarioSpec(family="epidemic")))
+        assert len(grid) == 2 * 2 * 2 * 2 * 2
+        assert len(grid.expand()) == len(grid)
+
+    def test_default_axis_is_the_classic_adversary_only(self):
+        grid = _grid()
+        assert grid.scenarios == (None,)
+        assert all(cell.scenario is None for cell in grid.expand())
+
+    def test_scenario_cells_carry_spec_and_labelled_cell_id(self):
+        spec = ScenarioSpec(family="campaign", adversaries=3)
+        grid = _grid(scenarios=(None, spec))
+        classic = [c for c in grid.expand() if c.scenario is None]
+        scenario = [c for c in grid.expand() if c.scenario is not None]
+        assert len(classic) == len(scenario)
+        for cell in scenario:
+            assert cell.scenario == spec
+            assert cell.cell_id.endswith("|campaign(n=3)")
+            assert cell.campaign_kwargs()["scenario"] == spec
+        for cell in classic:
+            assert "campaign(n=3)" not in cell.cell_id
+            assert cell.campaign_kwargs()["scenario"] is None
+
+    def test_classic_cells_omit_the_scenario_param_key(self):
+        # Cache-key stability: pre-scenario sweeps must keep hitting their
+        # warm entries, so a classic cell's params() must not grow a key.
+        spec = ScenarioSpec(family="adaptive", explore=0.1)
+        cells = _grid(scenarios=(None, spec)).expand()
+        classic = next(c for c in cells if c.scenario is None)
+        scenario = next(c for c in cells if c.scenario is not None)
+        assert "scenario" not in classic.params()
+        assert scenario.params()["scenario"] == spec.params()
+
+    @pytest.mark.parametrize("value", [
+        (),
+        (ScenarioSpec(family="epidemic"), ScenarioSpec(family="epidemic")),
+        ("epidemic",),
+    ])
+    def test_bad_scenario_axes_rejected(self, value):
+        with pytest.raises(SimulationError):
+            _grid(scenarios=value)
 
 
 class TestValidation:

@@ -1,0 +1,186 @@
+"""Scenario sweeps through the runner: parallel, cached, CSV-visible.
+
+The scenario axis must inherit every runner guarantee the classic axes
+enjoy: ``workers=1`` and ``workers=N`` merge to identical results per seed,
+a warm cache serves byte-identical JSON without simulating, and scenario
+cells never collide with classic cells in the cache or the report.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.itsys.scenarios import ScenarioSpec
+from repro.itsys.simulation import CompromiseSimulation
+from repro.runner import ArrivalSpec, ExperimentGrid, GridRunner, ResultCache
+from tests.runner.test_runner_parallel import corpora
+
+#: The classic adversary plus one representative of every scenario family.
+SCENARIO_AXIS = (
+    None,
+    ScenarioSpec(family="campaign", adversaries=3),
+    ScenarioSpec(
+        family="patch-race", closure="empirical", lifetimes=(0.5, 1.5, 3.0)
+    ),
+    ScenarioSpec(family="epidemic", spread=0.4),
+    ScenarioSpec(family="adaptive", explore=0.1),
+)
+
+
+@st.composite
+def scenario_grids(draw):
+    scenarios = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(SCENARIO_AXIS),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+    )
+    return ExperimentGrid(
+        configurations={
+            "diverse": ("Debian", "OpenBSD", "Solaris", "Windows2003"),
+            "homogeneous": ("Debian",) * 4,
+        },
+        quorum_models=("3f+1",),
+        arrivals=(ArrivalSpec("poisson"),),
+        scenarios=scenarios,
+        runs=draw(st.integers(min_value=5, max_value=10)),
+        horizon=3.0,
+    )
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(entries=corpora(), grid=scenario_grids(), seed=st.integers(0, 10_000))
+def test_scenario_sweeps_merge_identically_across_worker_counts(
+    entries, grid, seed
+):
+    serial = GridRunner(entries, seed=seed, workers=1).run(grid)
+    pooled = GridRunner(entries, seed=seed, workers=4).run(grid)
+    assert serial.results() == pooled.results()
+    assert [c.cell for c in serial.cells] == [c.cell for c in pooled.cells]
+    assert json.dumps(serial.to_json_payload(), sort_keys=True) == json.dumps(
+        pooled.to_json_payload(), sort_keys=True
+    )
+
+
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(entries=corpora(), grid=scenario_grids(), seed=st.integers(0, 10_000))
+def test_scenario_cache_hits_are_byte_identical(
+    entries, grid, seed, tmp_path_factory
+):
+    cache_dir = tmp_path_factory.mktemp("scenario-cache")
+    cold = GridRunner(
+        entries, seed=seed, workers=1, cache=ResultCache(cache_dir)
+    ).run(grid)
+    warm = GridRunner(
+        entries, seed=seed, workers=1, cache=ResultCache(cache_dir)
+    ).run(grid)
+    assert warm.simulated_cells == 0
+    assert warm.results() == cold.results()
+    assert json.dumps(warm.to_json_payload(), sort_keys=True) == json.dumps(
+        cold.to_json_payload(), sort_keys=True
+    )
+
+
+class TestScenarioCacheIsolation:
+    def test_scenario_cells_never_reuse_classic_entries(self, corpus, tmp_path):
+        """A classic warm cache must not answer a scenario sweep, or back."""
+        entries = corpus.valid_entries
+        configurations = {
+            "Set1": ("Windows2003", "Solaris", "Debian", "OpenBSD")
+        }
+        classic = ExperimentGrid(
+            configurations=configurations, runs=6, horizon=2.0
+        )
+        scenario = ExperimentGrid(
+            configurations=configurations,
+            scenarios=(ScenarioSpec(family="epidemic", spread=0.4),),
+            runs=6,
+            horizon=2.0,
+        )
+        GridRunner(
+            entries, seed=5, workers=1, cache=ResultCache(tmp_path)
+        ).run(classic)
+        report = GridRunner(
+            entries, seed=5, workers=1, cache=ResultCache(tmp_path)
+        ).run(scenario)
+        assert report.cached_cells == 0
+        assert report.simulated_cells == 1
+        rerun = GridRunner(
+            entries, seed=5, workers=1, cache=ResultCache(tmp_path)
+        ).run(classic)
+        assert rerun.simulated_cells == 0  # classic entries stayed warm
+
+    def test_classic_cache_keys_unchanged_by_the_scenario_axis(
+        self, corpus, tmp_path, monkeypatch
+    ):
+        """A pre-scenario cache directory still serves a scenarios=(None,) grid."""
+        entries = corpus.valid_entries
+        grid = ExperimentGrid(
+            configurations={"Set1": ("Debian", "OpenBSD", "Solaris", "RedHat")},
+            runs=6,
+            horizon=2.0,
+        )
+        GridRunner(
+            entries, seed=9, workers=1, cache=ResultCache(tmp_path)
+        ).run(grid)
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError("simulation invoked on a warm cache")
+
+        monkeypatch.setattr(CompromiseSimulation, "run_range", _forbidden)
+        explicit = ExperimentGrid(
+            configurations={"Set1": ("Debian", "OpenBSD", "Solaris", "RedHat")},
+            scenarios=(None,),
+            runs=6,
+            horizon=2.0,
+        )
+        warm = GridRunner(
+            entries, seed=9, workers=1, cache=ResultCache(tmp_path)
+        ).run(explicit)
+        assert warm.simulated_cells == 0
+
+
+class TestScenarioReportShape:
+    def test_csv_scenario_column(self, corpus):
+        spec = ScenarioSpec(family="campaign", adversaries=3)
+        grid = ExperimentGrid(
+            configurations={"Set1": ("Debian", "OpenBSD", "Solaris", "RedHat")},
+            scenarios=(None, spec),
+            runs=5,
+            horizon=2.0,
+        )
+        report = GridRunner(corpus.valid_entries, seed=5, workers=1).run(grid)
+        rows = report.csv_rows()
+        assert len(rows) == 2
+        column = report.CSV_HEADERS.index("scenario")
+        assert all(len(row) == len(report.CSV_HEADERS) for row in rows)
+        assert sorted(row[column] for row in rows) == ["", "campaign(n=3)"]
+
+    def test_json_payload_carries_scenario_params(self, corpus):
+        spec = ScenarioSpec(family="adaptive", explore=0.1)
+        grid = ExperimentGrid(
+            configurations={"Set1": ("Debian", "OpenBSD", "Solaris", "RedHat")},
+            scenarios=(spec,),
+            runs=5,
+            horizon=2.0,
+        )
+        report = GridRunner(corpus.valid_entries, seed=5, workers=1).run(grid)
+        (cell,) = report.to_json_payload()["cells"]
+        assert cell["params"]["scenario"] == spec.params()
+        assert cell["cell_id"].endswith("|adaptive(eps=0.1)")

@@ -5,11 +5,16 @@ drain), both public-socket modes (``SO_REUSEPORT`` kernel balancing and
 the stdlib front-router proxy), public-vs-single-process byte identity,
 and the cross-worker invalidation path: a delta ingested on one worker's
 internal listener makes the other worker answer stale ETags fresh.
+It also hosts the fault-injection suite: a worker killed hard (SIGKILL, no
+drain) mid-operation must leave the survivor answering every query with
+locally-computed, internally-consistent payloads -- scatter-gather degrades
+to local compute, never to a mixed-digest merge.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -26,6 +31,7 @@ from repro.service import (
 from repro.snapshots.store import SnapshotStore
 
 from tests.service.conftest import ServiceClient
+from tests.service.soak import run_soak
 from tests.service.test_delta_freshness import _debian_delta
 
 #: Small generated catalogue: 20 OS releases keeps worker start-up quick.
@@ -182,5 +188,150 @@ class TestCrossWorkerInvalidation:
             # The broadcast reached worker 1 before the ingest returned.
             health = HttpPeer(second).get_json("/healthz")
             assert health["response_cache"]["invalidations"] > 0
+        finally:
+            cluster.stop()
+
+
+class TestWorkerFaultInjection:
+    """Kill a worker hard and assert the survivor degrades gracefully."""
+
+    def test_killed_peer_degrades_to_local_compute(self):
+        """Scatter-gather falls back to local compute, bytes stay identical.
+
+        With its peer SIGKILLed, the survivor's sharded matrix queries
+        cannot gather remote partials; the digest-guarded scatter must
+        degrade to computing every span locally -- and the payload must be
+        byte-identical to a single-process deployment's, which rules out
+        any mixed-digest merge.
+        """
+        from urllib.parse import parse_qs, urlsplit
+
+        from repro.service.server import HttpRequest
+
+        config = ServiceConfig(
+            port=0, workers=2, catalogue=CATALOGUE, drain_grace=5.0
+        )
+        cluster = ServiceCluster(config)
+        cluster.start()
+        try:
+            survivor = cluster.internal_urls[0]
+            victim = cluster.processes[1]
+            victim.kill()
+            victim.join(timeout=30)
+            assert not victim.is_alive()
+
+            single = DiversityService(ServiceConfig(catalogue=CATALOGUE))
+            for path in ("/v1/matrix/pairs", "/v1/matrix/ksets?k=3&top=4"):
+                status, _headers, body = _fetch(survivor + path)
+                assert status == 200
+                parts = urlsplit(path)
+                reference = single.dispatch(
+                    HttpRequest(
+                        method="GET", path=parts.path,
+                        query={
+                            name: tuple(values)
+                            for name, values in parse_qs(parts.query).items()
+                        },
+                        headers={},
+                    )
+                )
+                assert body == reference.body, (
+                    f"{path} diverged from single-process bytes after the "
+                    "peer died"
+                )
+                # One internally consistent dataset digest per payload.
+                payload = json.loads(body)
+                health = HttpPeer(survivor).get_json("/healthz")
+                assert payload["dataset"]["digest"] == health["dataset"]["digest"]
+
+            health = HttpPeer(survivor).get_json("/healthz")
+            assert health["shard"]["scatter"]["fallback"] > 0, (
+                "the survivor never took the local-compute fallback"
+            )
+        finally:
+            # The victim was SIGKILLed, so the cluster cannot stop cleanly;
+            # stop() must still reap every process without hanging.
+            cluster.stop()
+
+    def test_worker_killed_mid_soak_survivor_stays_consistent(
+        self, corpus, tmp_path_factory
+    ):
+        """Mid-soak worker death: no stale reads, no mixed digests after.
+
+        Runs the reusable soak harness (one delta, readers on both
+        workers), SIGKILLs worker 1 the moment the delta's ingest returns,
+        and asserts the survivor keeps serving fresh, monotone,
+        single-digest payloads while the dead worker's readers record
+        connection errors instead of crashing the soak.
+        """
+        root = tmp_path_factory.mktemp("soak-fault")
+        db_path = root / "soak.db"
+        database = VulnerabilityDatabase(db_path)
+        IngestPipeline(database=database).ingest_raw(
+            corpus.to_raw_feed_entries()
+        )
+        SnapshotStore(database).commit(source="soak seed")
+        database.close()
+
+        config = ServiceConfig(
+            port=0, workers=2, db=str(db_path), drain_grace=10.0
+        )
+        cluster = ServiceCluster(config)
+        cluster.start()
+        killed_at = {}
+        try:
+            survivor, victim_url = cluster.internal_urls
+
+            def kill_victim(mark):
+                victim = cluster.processes[1]
+                victim.kill()
+                victim.join(timeout=30)
+                killed_at["t"] = time.monotonic()
+
+            report = run_soak(
+                cluster.internal_urls,
+                corpus,
+                root,
+                deltas=1,
+                readers_per_url=1,
+                min_requests=60,
+                settle=1.0,
+                on_delta=kill_victim,
+            )
+
+            assert killed_at, "the fault-injection hook never fired"
+            # The survivor kept answering: every post-kill observation on
+            # it succeeded, nothing stale, nothing moving backwards.
+            after = [
+                obs
+                for obs in report.observations_after(killed_at["t"])
+                if obs.url == survivor
+            ]
+            assert after, "no post-kill observations on the survivor"
+            assert all(obs.status in (200, 304) for obs in after)
+            assert not report.stale_reads()
+            assert not report.snapshot_regressions()
+            # The harness absorbed the dead worker as recorded errors.
+            assert any(
+                obs.status == 0
+                for obs in report.observations
+                if obs.url == victim_url
+            ), "the dead worker's readers recorded no connection errors"
+            # Post-kill the survivor serves exactly one dataset digest.
+            digests = report.digests_after(killed_at["t"], survivor)
+            assert len(digests) == 1, (
+                f"mixed dataset digests after the kill: {sorted(digests)}"
+            )
+
+            # A never-cached sharded query now must scatter, hit the dead
+            # peer and take the local fallback -- still one clean payload.
+            status, _headers, body = _fetch(
+                survivor + "/v1/matrix/ksets?k=2&top=3"
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["dataset"]["digest"] in digests
+            health = HttpPeer(survivor).get_json("/healthz")
+            assert health["shard"]["scatter"]["fallback"] > 0
         finally:
             cluster.stop()

@@ -1,0 +1,229 @@
+"""The soak harness itself: classification unit tests + a short live soak.
+
+The heavy production-churn gate lives in ``benchmarks/bench_soak.py``; this
+module keeps the harness honest at unit level (does ``stale_reads`` flag
+exactly the right observations? does ``snapshot_regressions`` respect
+stream boundaries?) and runs one short 2-worker soak so the harness's
+plumbing is exercised in every tier-1 run, not only in the benchmark job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.db.database import VulnerabilityDatabase
+from repro.db.ingest import IngestPipeline
+from repro.service import ServiceCluster, ServiceConfig
+from repro.snapshots.store import SnapshotStore
+
+from tests.service.soak import (
+    TOUCHED_PATH,
+    UNTOUCHED_PATH,
+    DeltaMark,
+    Observation,
+    SoakReport,
+    debian_delta,
+    run_soak,
+)
+
+
+def _obs(timestamp, *, reader=0, url="http://w0", path=TOUCHED_PATH,
+         status=200, etag=None, presented=None, snapshot_id=None,
+         digest=None, latency=0.01):
+    return Observation(
+        timestamp=timestamp, reader=reader, url=url, path=path,
+        status=status, etag=etag, presented=presented,
+        snapshot_id=snapshot_id, digest=digest, latency=latency,
+    )
+
+
+def _mark(returned_at, *retired):
+    return DeltaMark(
+        index=0, returned_at=returned_at,
+        retired_etags=frozenset(retired), report={"modified": 1},
+    )
+
+
+class TestStaleReadClassification:
+    def test_post_ingest_304_against_retired_etag_is_stale(self):
+        report = SoakReport(
+            observations=[
+                _obs(5.0, status=304, presented='"old"'),
+            ],
+            marks=[_mark(4.0, '"old"')],
+            elapsed=10.0,
+        )
+        assert len(report.stale_reads()) == 1
+
+    def test_post_ingest_200_carrying_retired_etag_is_stale(self):
+        report = SoakReport(
+            observations=[_obs(5.0, status=200, etag='"old"')],
+            marks=[_mark(4.0, '"old"')],
+            elapsed=10.0,
+        )
+        assert len(report.stale_reads()) == 1
+
+    def test_pre_ingest_and_fresh_observations_are_clean(self):
+        report = SoakReport(
+            observations=[
+                # Before the ingest returned: stale is allowed.
+                _obs(3.0, status=304, presented='"old"'),
+                # After, but revalidating a *fresh* ETag: fine.
+                _obs(5.0, status=304, presented='"new"'),
+                # After, fresh 200: fine.
+                _obs(6.0, status=200, etag='"new"'),
+                # Untouched scope never counts, whatever it revalidates.
+                _obs(7.0, path=UNTOUCHED_PATH, status=304, presented='"old"'),
+            ],
+            marks=[_mark(4.0, '"old"')],
+            elapsed=10.0,
+        )
+        assert report.stale_reads() == []
+
+    def test_each_delta_retires_its_own_etags(self):
+        report = SoakReport(
+            observations=[
+                _obs(5.0, status=200, etag='"v2"'),  # fresh for delta 1
+                _obs(9.0, status=200, etag='"v2"'),  # stale after delta 2
+            ],
+            marks=[
+                _mark(4.0, '"v1"'),
+                DeltaMark(index=1, returned_at=8.0,
+                          retired_etags=frozenset(('"v2"',)),
+                          report={"modified": 1}),
+            ],
+            elapsed=10.0,
+        )
+        stale = report.stale_reads()
+        assert [obs.timestamp for obs in stale] == [9.0]
+
+
+class TestSnapshotMonotonicity:
+    def test_decrease_within_a_stream_is_a_regression(self):
+        report = SoakReport(
+            observations=[
+                _obs(1.0, snapshot_id=2),
+                _obs(2.0, snapshot_id=3),
+                _obs(3.0, snapshot_id=2),
+            ],
+            marks=[],
+            elapsed=10.0,
+        )
+        regressions = report.snapshot_regressions()
+        assert len(regressions) == 1
+        earlier, later = regressions[0]
+        assert (earlier.snapshot_id, later.snapshot_id) == (3, 2)
+
+    def test_streams_are_independent(self):
+        # Reader 1 seeing an older snapshot than reader 0 already saw is
+        # NOT a regression -- only a decrease within one serial stream is.
+        report = SoakReport(
+            observations=[
+                _obs(1.0, reader=0, snapshot_id=3),
+                _obs(2.0, reader=1, snapshot_id=2),
+                _obs(3.0, reader=1, snapshot_id=3),
+            ],
+            marks=[],
+            elapsed=10.0,
+        )
+        assert report.snapshot_regressions() == []
+
+    def test_observations_without_snapshot_ids_are_ignored(self):
+        report = SoakReport(
+            observations=[_obs(1.0), _obs(2.0, status=304)],
+            marks=[],
+            elapsed=10.0,
+        )
+        assert report.snapshot_regressions() == []
+
+
+class TestReportHelpers:
+    def test_latency_percentile_orders_successes_only(self):
+        observations = [
+            _obs(float(i), latency=latency)
+            for i, latency in enumerate((0.05, 0.01, 0.03, 0.02, 0.04))
+        ]
+        observations.append(_obs(9.0, status=0, latency=99.0))  # dead worker
+        report = SoakReport(observations=observations, marks=[], elapsed=10.0)
+        assert report.latency_percentile(0.5) == pytest.approx(0.03)
+        assert report.latency_percentile(0.99) == pytest.approx(0.05)
+        assert report.latency_percentile(1.0) == pytest.approx(0.05)
+
+    def test_digests_after_filters_by_worker_and_time(self):
+        report = SoakReport(
+            observations=[
+                _obs(1.0, url="http://w0", digest="aaa"),
+                _obs(5.0, url="http://w0", digest="bbb"),
+                _obs(6.0, url="http://w1", digest="ccc"),
+            ],
+            marks=[],
+            elapsed=10.0,
+        )
+        assert report.digests_after(2.0, "http://w0") == frozenset({"bbb"})
+
+    def test_errors_and_statuses(self):
+        report = SoakReport(
+            observations=[_obs(1.0), _obs(2.0, status=304), _obs(3.0, status=0)],
+            marks=[],
+            elapsed=10.0,
+        )
+        assert len(report.errors) == 1
+        assert report.statuses == {200: 1, 304: 1, 0: 1}
+
+    def test_run_soak_rejects_seed_exhaustion_and_empty_urls(self):
+        with pytest.raises(ValueError):
+            run_soak([], None, ".")
+        with pytest.raises(ValueError):
+            run_soak(["http://w0"], None, ".", deltas=3, delta_seeds=(1, 2))
+
+
+def test_debian_delta_touches_debian_only(corpus):
+    """Soak deltas must move the touched scope and spare the Windows one."""
+    delta = debian_delta(corpus, seed=47)
+    assert delta.modified
+    by_id = {entry.cve_id: entry for entry in corpus.entries}
+    windows = {"Windows2000", "Windows2003", "Windows2008"}
+    for cve_id in delta.modified_ids:
+        oses = by_id[cve_id].affected_os
+        assert "Debian" in oses
+        assert not oses & windows
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="the live soak needs >= 2 cores to mean anything",
+)
+def test_short_soak_live_cluster(corpus, tmp_path_factory):
+    """One delta, small request floor: the full harness loop end to end."""
+    root = tmp_path_factory.mktemp("soak-short")
+    db_path = root / "soak.db"
+    database = VulnerabilityDatabase(db_path)
+    IngestPipeline(database=database).ingest_raw(corpus.to_raw_feed_entries())
+    base = SnapshotStore(database).commit(source="soak seed")
+    database.close()
+
+    config = ServiceConfig(port=0, workers=2, db=str(db_path), drain_grace=10.0)
+    cluster = ServiceCluster(config)
+    cluster.start()
+    try:
+        report = run_soak(
+            cluster.internal_urls,
+            corpus,
+            root,
+            deltas=1,
+            readers_per_url=1,
+            min_requests=40,
+            settle=0.3,
+        )
+    finally:
+        cluster.stop()
+
+    assert len(report.observations) >= 40
+    assert not report.errors
+    assert not report.stale_reads()
+    assert not report.snapshot_regressions()
+    assert len(report.marks) == 1
+    seen = {o.snapshot_id for o in report.observations if o.snapshot_id is not None}
+    assert base.snapshot_id + 1 in seen

@@ -1,0 +1,125 @@
+"""Closure lifetimes mined from the snapshot ledger (``repro.snapshots.history``)."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.db.ingest import IngestPipeline
+from repro.itsys.scenarios import ScenarioSpec
+from repro.nvd.feed_parser import RawFeedEntry
+from repro.nvd.feed_writer import rejection_entry
+from repro.snapshots import closure_lifetimes
+from repro.snapshots.delta import DeltaIngestPipeline
+from repro.snapshots.store import SnapshotStore
+
+
+def _raw(cve_id="CVE-2005-0001", summary="A kernel flaw in Debian allows "
+         "remote attackers to crash the system."):
+    return RawFeedEntry(
+        cve_id=cve_id,
+        published=dt.date(2005, 6, 15),
+        summary=summary,
+        cvss_vector="AV:N/AC:L/Au:N/C:P/I:P/A:P",
+        cpe_uris=("cpe:/o:debian:debian_linux:4.0",),
+    )
+
+
+def _stamp(day: int) -> str:
+    return f"2011-01-{day:02d}T00:00:00+00:00"
+
+
+@pytest.fixture()
+def delta():
+    return DeltaIngestPipeline(IngestPipeline())
+
+
+class TestClosureLifetimes:
+    def test_empty_ledger_yields_no_lifetimes(self, delta):
+        assert closure_lifetimes(delta.store) == ()
+
+    def test_unmodified_entries_are_right_censored(self, delta):
+        # One snapshot, entries never touched again: no observed closure.
+        delta.apply_raw([_raw()], created=_stamp(1))
+        assert closure_lifetimes(delta.store) == ()
+
+    def test_modification_measures_days_between_snapshots(self, delta):
+        delta.apply_raw([_raw()], created=_stamp(1))
+        delta.apply_raw(
+            [_raw(summary="A kernel flaw in Debian allows remote attackers "
+                  "to crash the system. Revised advisory.")],
+            created=_stamp(4),
+        )
+        assert closure_lifetimes(delta.store) == (3.0,)
+
+    def test_tombstones_count_as_closures_too(self, delta):
+        delta.apply_raw([_raw()], created=_stamp(1))
+        delta.apply_raw(
+            [rejection_entry("CVE-2005-0001", _raw().published)],
+            created=_stamp(6),
+        )
+        assert closure_lifetimes(delta.store) == (5.0,)
+
+    def test_lifetimes_come_back_sorted_across_cves(self, delta):
+        first = _raw("CVE-2005-0001")
+        second = _raw("CVE-2005-0002", summary="A remote kernel flaw in "
+                      "Debian allows attackers to gain elevated privileges.")
+        delta.apply_raw([first, second], created=_stamp(1))
+        # Second closes after 1 day, first after 7: report must be sorted,
+        # not in ledger order.
+        delta.apply_raw(
+            [RawFeedEntry(
+                cve_id=second.cve_id, published=second.published,
+                summary=second.summary + " Fix released.",
+                cvss_vector=second.cvss_vector, cpe_uris=second.cpe_uris,
+            )],
+            created=_stamp(2),
+        )
+        delta.apply_raw(
+            [RawFeedEntry(
+                cve_id=first.cve_id, published=first.published,
+                summary=first.summary + " Fix released.",
+                cvss_vector=first.cvss_vector, cpe_uris=first.cpe_uris,
+            )],
+            created=_stamp(8),
+        )
+        assert closure_lifetimes(delta.store) == (1.0, 7.0)
+
+    def test_each_new_version_rearms_the_clock(self, delta):
+        entry = _raw()
+        delta.apply_raw([entry], created=_stamp(1))
+        for day, note in ((3, " First advisory."), (7, " Second advisory.")):
+            delta.apply_raw(
+                [RawFeedEntry(
+                    cve_id=entry.cve_id, published=entry.published,
+                    summary=entry.summary + note,
+                    cvss_vector=entry.cvss_vector, cpe_uris=entry.cpe_uris,
+                )],
+                created=_stamp(day),
+            )
+        # Days 1->3 and 3->7, not 1->7.
+        assert closure_lifetimes(delta.store) == (2.0, 4.0)
+
+    def test_zero_length_lifetimes_are_dropped(self, delta):
+        delta.apply_raw([_raw()], created=_stamp(1))
+        delta.apply_raw(
+            [_raw(summary="A kernel flaw in Debian allows remote attackers "
+                  "to crash the system. Same-day fix.")],
+            created=_stamp(1),
+        )
+        assert closure_lifetimes(delta.store) == ()
+
+    def test_lifetimes_feed_an_empirical_patch_race_spec(self, delta):
+        """The mined sample plugs straight into ScenarioSpec."""
+        delta.apply_raw([_raw()], created=_stamp(1))
+        delta.apply_raw(
+            [_raw(summary="A kernel flaw in Debian allows remote attackers "
+                  "to crash the system. Patched.")],
+            created=_stamp(3),
+        )
+        lifetimes = closure_lifetimes(delta.store)
+        spec = ScenarioSpec(
+            family="patch-race", closure="empirical", lifetimes=lifetimes
+        )
+        assert spec.lifetimes == lifetimes == (2.0,)

@@ -26,6 +26,19 @@ SWEEP_ARGS = [
     "--no-cache", "--json",
 ]
 
+SIMULATE_SCENARIO_ARGS = [
+    *SIMULATE_ARGS, "--scenario",
+    "patch-race:closure=empirical,lifetimes=0.5;1.25;4",
+]
+
+SWEEP_SCENARIO_ARGS = [
+    "sweep", "--runs", "8", "--horizon", "2.0",
+    "--config", "Set1", "--homogeneous", "Debian",
+    "--scenario", "none", "--scenario", "campaign:adversaries=3",
+    "--scenario", "epidemic:spread=0.4",
+    "--no-cache", "--json",
+]
+
 
 def _stdout_of(capsys, argv) -> str:
     assert main(argv) == 0
@@ -77,6 +90,52 @@ class TestSweepGolden:
             assert "result" in cell and "safety_violation_probability" in cell["result"]
 
 
+class TestScenarioGolden:
+    """The scenario axis joins the stable JSON contract."""
+
+    def test_simulate_scenario_json_matches_golden(self, capsys, golden):
+        golden(
+            "simulate_scenario.json",
+            _stdout_of(capsys, SIMULATE_SCENARIO_ARGS),
+        )
+
+    def test_simulate_scenario_payload_records_normalised_params(self, capsys):
+        payload = json.loads(_stdout_of(capsys, SIMULATE_SCENARIO_ARGS))
+        scenario = payload["parameters"]["scenario"]
+        assert scenario["family"] == "patch-race"
+        assert scenario["closure"] == "empirical"
+        assert scenario["lifetimes"] == [0.5, 1.25, 4.0]
+
+    def test_sweep_scenario_json_matches_golden(self, capsys, golden):
+        golden("sweep_scenarios.json", _stdout_of(capsys, SWEEP_SCENARIO_ARGS))
+
+    def test_sweep_scenario_json_identical_across_worker_counts(self, capsys):
+        serial = _stdout_of(capsys, SWEEP_SCENARIO_ARGS)
+        pooled = _stdout_of(capsys, [*SWEEP_SCENARIO_ARGS, "--workers", "2"])
+        assert serial == pooled
+
+    def test_sweep_scenario_axis_multiplies_cells(self, capsys):
+        payload = json.loads(_stdout_of(capsys, SWEEP_SCENARIO_ARGS))
+        assert len(payload["cells"]) == 2 * 3  # configs x scenarios
+        labels = {
+            cell["params"].get("scenario", {"family": None})["family"]
+            if cell["params"].get("scenario") else "classic"
+            for cell in payload["cells"]
+        }
+        assert labels == {"classic", "campaign", "epidemic"}
+
+    def test_invalid_scenario_exits_with_diagnostic(self, capsys):
+        assert main([*SIMULATE_ARGS, "--scenario", "bogus"]) == 2
+        assert "invalid scenario" in capsys.readouterr().err
+
+    def test_empirical_scenario_without_db_or_lifetimes_fails_cleanly(
+        self, capsys
+    ):
+        argv = [*SIMULATE_ARGS, "--scenario", "patch-race:closure=empirical"]
+        assert main(argv) == 2
+        assert "invalid scenario" in capsys.readouterr().err
+
+
 class TestSweepCsv:
     def test_csv_export_writes_one_row_per_cell(self, capsys, tmp_path):
         csv_path = tmp_path / "sweep.csv"
@@ -88,7 +147,9 @@ class TestSweepCsv:
         assert lines[0].startswith("cell_id,configuration,os_names")
 
 
-@pytest.mark.parametrize("argv", [SIMULATE_ARGS, SWEEP_ARGS])
+@pytest.mark.parametrize("argv", [
+    SIMULATE_ARGS, SWEEP_ARGS, SIMULATE_SCENARIO_ARGS, SWEEP_SCENARIO_ARGS,
+])
 def test_json_outputs_are_run_to_run_stable(capsys, argv):
     assert _stdout_of(capsys, argv) == _stdout_of(capsys, argv)
 
