@@ -419,15 +419,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"invalid grid: {error}", file=sys.stderr)
         return 2
     dataset = _load_dataset(args)
-    cache = None if args.no_cache else ResultCache(Path(args.cache_dir))
+    # One registry shared by the result cache and the runner, so --stats
+    # reports cache warm/cold and chunk timings from a single source.
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    cache = (
+        None if args.no_cache
+        else ResultCache(Path(args.cache_dir), metrics=metrics)
+    )
     runner = GridRunner.for_dataset(
         dataset,
         seed=args.seed,
         engine=args.engine,
         workers=args.workers,
         cache=cache,
+        metrics=metrics,
     )
     report = runner.run(grid)
+    if args.stats:
+        print(runner.metrics.render(), end="", file=sys.stderr)
 
     # Dataset provenance: every exported result is traceable to the exact
     # dataset state it was computed from (and the snapshot, when pinned).
@@ -484,6 +495,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             request_threads=args.request_threads,
             catalogue=args.catalogue,
             front_router=args.front_router,
+            metrics=args.metrics,
+            trace_log=args.trace_log,
+            trace_buffer=args.trace_buffer,
         )
         if config.workers > 1:
             return serve_cluster(config)
@@ -896,6 +910,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", metavar="PATH", default=None,
         help="additionally write one CSV row per grid cell to PATH",
     )
+    sweep_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the sweep's metrics registry (cache warm/cold, per-"
+             "chunk timings) as Prometheus text on stderr after the run",
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
 
     serve_parser = add_command(
@@ -944,6 +963,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--front-router", action="store_true",
         help="route the public port through a stdlib TCP proxy instead of "
         "SO_REUSEPORT (the automatic fallback where the option is missing)",
+    )
+    serve_parser.add_argument(
+        "--metrics", action=argparse.BooleanOptionalAction, default=True,
+        help="expose GET /metrics (Prometheus text, cluster-aggregated) "
+        "and GET /v1/traces on the public port (default: enabled)",
+    )
+    serve_parser.add_argument(
+        "--trace-log", action="store_true",
+        help="log every finished request trace as one JSON line on stderr",
+    )
+    serve_parser.add_argument(
+        "--trace-buffer", type=int, default=256,
+        help="finished traces retained per worker for GET /v1/traces "
+        "(default: 256)",
     )
     serve_parser.set_defaults(func=cmd_serve)
 

@@ -1,5 +1,5 @@
 """Rule modules; importing this package populates the rule registry."""
 
-from repro.devtools.rules import asy, det, eng, gen  # noqa: F401
+from repro.devtools.rules import asy, det, eng, gen, obs  # noqa: F401
 
-__all__ = ["asy", "det", "eng", "gen"]
+__all__ = ["asy", "det", "eng", "gen", "obs"]

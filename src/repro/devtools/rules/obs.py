@@ -1,0 +1,55 @@
+"""OBS: observability rules.
+
+The serving stack reports through one structured seam -- the
+:class:`repro.obs.logging.JsonLogger` -- so operators can parse, route and
+alert on every line a worker emits.  A bare ``print()`` buried in library
+code bypasses that seam: it interleaves unparseable text with the JSON
+stream, ignores the injectable clock, and (on stdout) can corrupt piped
+output.  OBS401 bans it from ``repro.*`` library modules while leaving the
+CLI entry points -- whose whole job is human-facing terminal output --
+alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.devtools.framework import ModuleInfo, Rule, register
+
+#: Final module-name segments that ARE the human-facing terminal surface;
+#: ``print()`` is their output channel, not a bypass of one.
+ENTRYPOINT_TAILS = frozenset({"cli", "__main__"})
+
+
+@register
+class BarePrintRule(Rule):
+    """OBS401: no bare ``print()`` in library code; log through the seam."""
+
+    code = "OBS401"
+    name = "bare-print"
+    family = "OBS"
+    rationale = (
+        "Library code that print()s interleaves free-form text with the "
+        "structured JSON log stream operators parse, and silently targets "
+        "stdout where piped output lives.  Emit through a "
+        "repro.obs.logging.JsonLogger (or return the text to the CLI "
+        "layer); a deliberate operator-facing banner carries a "
+        "# repro: noqa[OBS401] with its rationale."
+    )
+    scope = ("repro",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Tuple[int, int, str]]:
+        if module.module.rsplit(".", 1)[-1] in ENTRYPOINT_TAILS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.canonical(node.func) == "print":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "bare print() in library code; emit structured lines "
+                    "through repro.obs.logging.JsonLogger or return the "
+                    "text to the CLI layer",
+                )

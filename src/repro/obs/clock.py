@@ -1,0 +1,57 @@
+"""The injectable clock seam every observability timing read goes through.
+
+Determinism discipline (ROADMAP: golden payloads are byte-identical, merges
+are pure functions of their inputs) bans ad-hoc wall-clock reads from the
+digest/merge paths -- the DET002 lint rule enforces it.  Observability
+still needs durations, so this module concentrates **all** of them behind
+one seam: production code holds a :class:`Clock` (usually the module
+singleton :data:`CLOCK`) and calls ``clock.perf()`` / ``clock.wall()``;
+tests inject a :class:`ManualClock` to make timings exact and goldens
+reproducible.  The two ``time`` reads below are the only sanctioned ones
+in the instrumented tree, each carrying its own ``noqa`` rationale.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Real clocks behind an injectable interface.
+
+    ``perf()`` is monotonic and only ever used for *durations* (span
+    lengths, histogram observations); ``wall()`` is the epoch clock used
+    for log-line timestamps and uptime.  Neither reading may enter a
+    digest, a merge, or a golden payload -- observability is observe-only.
+    """
+
+    def perf(self) -> float:
+        """Monotonic seconds, for durations."""
+        return time.perf_counter()  # repro: noqa[DET002] -- the single sanctioned monotonic read: every span/histogram duration funnels through this seam
+
+    def wall(self) -> float:
+        """Epoch seconds, for log timestamps and uptime."""
+        return time.time()  # repro: noqa[DET002] -- the single sanctioned epoch read: log-line timestamps are provenance, never data
+
+
+class ManualClock(Clock):
+    """A hand-cranked clock for deterministic tests and golden files."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def perf(self) -> float:
+        return self._now
+
+    def wall(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move both clocks forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("a clock cannot run backwards")
+        self._now += seconds
+
+
+#: The process-wide real clock, injected by default everywhere.
+CLOCK = Clock()

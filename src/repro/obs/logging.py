@@ -1,0 +1,56 @@
+"""Structured JSON-lines logging: the sanctioned sink for library output.
+
+The OBS401 lint rule bans bare ``print()`` in ``src/repro`` library code
+(CLI/``__main__`` entry points excepted): unstructured text on a stream
+the caller does not control corrupts JSON stdout contracts and cannot be
+scraped.  Library diagnostics instead go through :class:`JsonLogger`,
+which writes one JSON object per line to stderr (or an injected stream),
+each stamped through the clock seam.  ``repro serve --trace-log`` wires a
+logger as the tracer sink, so every finished trace becomes one
+``{"event": "trace", ...}`` line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Callable, Dict, Optional, TextIO
+
+from repro.obs.clock import CLOCK, Clock
+
+
+class JsonLogger:
+    """One JSON object per line, machine-parseable, thread-safe.
+
+    ``stream=None`` resolves ``sys.stderr`` at *call* time, so tests that
+    swap ``sys.stderr`` (pytest's ``capsys``) observe the lines.
+    """
+
+    def __init__(
+        self, stream: Optional[TextIO] = None, clock: Optional[Clock] = None
+    ) -> None:
+        self._stream = stream
+        self._clock = clock if clock is not None else CLOCK
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields: object) -> None:
+        """Emit one log line: ``{"ts": ..., "event": event, **fields}``."""
+        record: Dict[str, object] = {
+            "ts": round(self._clock.wall(), 6),
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            print(line, file=stream, flush=True)  # repro: noqa[OBS401] -- the one sanctioned print: every structured log line funnels through this sink
+
+
+def trace_sink(logger: JsonLogger) -> Callable[[Dict[str, object]], None]:
+    """A tracer sink that logs each finished trace as one JSON line."""
+
+    def sink(record: Dict[str, object]) -> None:
+        logger.log("trace", **record)
+
+    return sink

@@ -44,6 +44,7 @@ from repro.classify.filters import ServerConfigurationFilter
 from repro.core.enums import ServerConfiguration
 from repro.core.models import VulnerabilityEntry
 from repro.itsys.simulation import SimulationResult
+from repro.obs.metrics import MetricsRegistry
 from repro.runner.grid import GridCell
 from repro.snapshots.digests import entry_digest as normalized_entry_digest
 
@@ -196,11 +197,34 @@ class ResultCache:
     corpus or parameter simply addresses a different file.
     """
 
-    def __init__(self, cache_dir: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        cache_dir: Union[str, Path],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._dir = Path(cache_dir)
-        self.hits = 0
-        self.misses = 0
-        self.writes = 0
+        # Tallies live in the (possibly shared) metrics registry so that
+        # ``repro sweep --stats`` and the serving stack report warm/cold
+        # behaviour from one source; the int properties below preserve the
+        # original counter attribute API.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events = self._metrics.counter(
+            "sweep_cache_events_total",
+            "Sweep result-cache lookups and writes.",
+            labels=("event",),
+        )
+
+    @property
+    def hits(self) -> int:
+        return int(self._events.value(event="hit"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._events.value(event="miss"))
+
+    @property
+    def writes(self) -> int:
+        return int(self._events.value(event="write"))
 
     @property
     def cache_dir(self) -> Path:
@@ -220,23 +244,23 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            self.misses += 1
+            self._events.inc(event="miss")
             return None
         if (
             not isinstance(payload, dict)
             or payload.get("schema") != CACHE_SCHEMA
             or "result" not in payload
         ):
-            self.misses += 1
+            self._events.inc(event="miss")
             return None
         try:
             result = result_from_json(payload["result"])
         except (KeyError, TypeError, ValueError):
             # Structurally-broken result payloads (hand edits, foreign
             # writers) degrade to recomputation like any other corruption.
-            self.misses += 1
+            self._events.inc(event="miss")
             return None
-        self.hits += 1
+        self._events.inc(event="hit")
         return result
 
     def put(self, key: str, cell: GridCell, result: SimulationResult) -> Path:
@@ -259,5 +283,5 @@ class ResultCache:
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         tmp.write_text(text, encoding="utf-8")
         tmp.replace(path)
-        self.writes += 1
+        self._events.inc(event="write")
         return path

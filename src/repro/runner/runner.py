@@ -24,7 +24,6 @@ output is **bit-for-bit identical for workers=1 and workers=N**:
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -32,6 +31,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.enums import ServerConfiguration
 from repro.core.exceptions import SimulationError
 from repro.core.models import VulnerabilityEntry
+from repro.obs.clock import CLOCK
+from repro.obs.metrics import MetricsRegistry
 from repro.itsys.simulation import (
     CompromiseSimulation,
     RunRangeTallies,
@@ -79,13 +80,19 @@ def _init_worker(
 
 def _run_chunk(
     cell_index: int, cell: GridCell, run_start: int, run_stop: int
-) -> Tuple[int, RunRangeTallies]:
-    """Execute one run range of one cell inside a worker process."""
+) -> Tuple[int, RunRangeTallies, float]:
+    """Execute one run range of one cell inside a worker process.
+
+    The elapsed seconds ride back with the tallies so the parent process
+    can feed its chunk-timing histogram without cross-process metric state;
+    timings are observability only and never reach the merged results.
+    """
     assert _WORKER_SIMULATION is not None, "worker initializer did not run"
+    started = CLOCK.perf()
     tallies = _WORKER_SIMULATION.run_range(
         cell.os_names, run_start, run_stop, **cell.campaign_kwargs()
     )
-    return cell_index, tallies
+    return cell_index, tallies, CLOCK.perf() - started
 
 
 def chunk_ranges(runs: int, chunks: int) -> List[Tuple[int, int]]:
@@ -235,6 +242,7 @@ class GridRunner:
         catalogued: bool = True,
         workers: int = 1,
         cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if workers < 1:
             raise SimulationError("the runner needs at least one worker")
@@ -245,6 +253,16 @@ class GridRunner:
         self._catalogued = catalogued
         self._workers = workers
         self._cache = cache
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._cells_counter = self._metrics.counter(
+            "sweep_cells_total",
+            "Sweep cells completed, by origin (cache-served vs simulated).",
+            labels=("origin",),
+        )
+        self._chunk_seconds = self._metrics.histogram(
+            "sweep_chunk_seconds",
+            "Per-chunk simulation wall time, inline or per worker process.",
+        )
         self._digest = corpus_digest(self._entries)
         #: Scoped digests memoized per (targeted, group OS set) -- many grid
         #: cells share a configuration, and the scope only depends on it.
@@ -273,6 +291,11 @@ class GridRunner:
     @property
     def cache(self) -> Optional[ResultCache]:
         return self._cache
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry sweep instrumentation reports into (shared or private)."""
+        return self._metrics
 
     @property
     def corpus_digest(self) -> str:
@@ -317,7 +340,7 @@ class GridRunner:
 
     def run(self, grid: ExperimentGrid) -> SweepReport:
         """Execute every cell of the grid and return the merged report."""
-        started = time.perf_counter()  # repro: noqa[DET002] -- wall-clock provenance only; never enters digests or merge order
+        started = CLOCK.perf()
         cells = grid.expand()
         merged: Dict[int, SimulationResult] = {}
         cached: Dict[int, bool] = {}
@@ -350,6 +373,11 @@ class GridRunner:
             if self._cache is not None:
                 for index, cell in pending:
                     self._cache.put(keys[index], cell, merged[index])
+        served = sum(1 for was_cached in cached.values() if was_cached)
+        if served:
+            self._cells_counter.inc(served, origin="cached")
+        if pending:
+            self._cells_counter.inc(len(pending), origin="simulated")
         return SweepReport(
             cells=tuple(
                 CellResult(
@@ -364,7 +392,7 @@ class GridRunner:
             engine=self._engine,
             workers=self._workers,
             corpus_digest=self._digest,
-            elapsed_seconds=time.perf_counter() - started,  # repro: noqa[DET002] -- wall-clock provenance only; never enters digests or merge order
+            elapsed_seconds=CLOCK.perf() - started,
         )
 
     def _run_inline(
@@ -374,12 +402,15 @@ class GridRunner:
     ) -> None:
         simulation = self._local_simulation()
         for index, cell in pending:
-            partials = [
-                simulation.run_range(
-                    cell.os_names, start, stop, **cell.campaign_kwargs()
+            partials = []
+            for start, stop in chunk_ranges(cell.runs, _CHUNKS_PER_WORKER):
+                chunk_started = CLOCK.perf()
+                partials.append(
+                    simulation.run_range(
+                        cell.os_names, start, stop, **cell.campaign_kwargs()
+                    )
                 )
-                for start, stop in chunk_ranges(cell.runs, _CHUNKS_PER_WORKER)
-            ]
+                self._chunk_seconds.observe(CLOCK.perf() - chunk_started)
             merged[index] = result_from_tallies(
                 cell.cell_id, cell.os_names, merge_run_ranges(partials)
             )
@@ -412,7 +443,8 @@ class GridRunner:
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
-                    index, tallies = future.result()
+                    index, tallies, elapsed = future.result()
+                    self._chunk_seconds.observe(elapsed)
                     partials[index].append(tallies)
         for index, cell in by_cell.items():
             merged[index] = result_from_tallies(

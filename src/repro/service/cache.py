@@ -28,6 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+
 
 def make_etag(scope_digest: str, path: str, query: str) -> str:
     """A strong ETag for one query over one scoped dataset state."""
@@ -69,7 +71,11 @@ class CachedResponse:
 class ResponseCache:
     """Bounded LRU of rendered responses, safe under concurrent requests."""
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(
+        self,
+        max_entries: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_entries < 1:
             raise ValueError("the response cache needs at least one entry")
         self._max = max_entries
@@ -77,10 +83,31 @@ class ResponseCache:
             OrderedDict()
         )
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        # Tallies live in the (possibly shared) metrics registry so that
+        # /healthz and /metrics can never disagree; the int properties
+        # below preserve the original counter attribute API.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._events = self._metrics.counter(
+            "response_cache_events_total",
+            "Response cache lookups, evictions and scope invalidations.",
+            labels=("event",),
+        )
+
+    @property
+    def hits(self) -> int:
+        return int(self._events.value(event="hit"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._events.value(event="miss"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self._events.value(event="eviction"))
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._events.value(event="invalidation"))
 
     def __len__(self) -> int:
         with self._lock:
@@ -94,10 +121,10 @@ class ResponseCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
+                self._events.inc(event="miss")
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._events.inc(event="hit")
             return entry
 
     def put(self, key: Tuple[str, str, str], response: CachedResponse) -> None:
@@ -106,7 +133,7 @@ class ResponseCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._max:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._events.inc(event="eviction")
 
     def invalidate_scope(self, affected_os: Iterable[str]) -> int:
         """Evict entries whose scope a delta's blast radius can touch.
@@ -126,7 +153,8 @@ class ResponseCache:
             ]
             for key in stale:
                 del self._entries[key]
-            self.invalidations += len(stale)
+            if stale:
+                self._events.inc(len(stale), event="invalidation")
             return len(stale)
 
     def clear(self) -> None:

@@ -89,28 +89,39 @@ class HttpPeer:
         self._port = parts.port
         self._timeout = timeout
 
-    def _request(self, method: str, path: str, body: Optional[bytes]) -> Tuple[int, bytes]:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
         connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
         try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
+            sent = {"Content-Type": "application/json"} if body else {}
+            sent.update(headers or {})
+            connection.request(method, path, body=body, headers=sent)
             response = connection.getresponse()
             return response.status, response.read()
         finally:
             connection.close()
 
-    def get_json(self, path: str) -> Optional[Dict[str, object]]:
+    def get_json(
+        self, path: str, headers: Optional[Dict[str, str]] = None
+    ) -> Optional[Dict[str, object]]:
         """GET a JSON payload; ``None`` on any non-200 answer."""
-        status, body = self._request("GET", path, None)
+        status, body = self._request("GET", path, None, headers)
         if status != 200:
             return None
         return json.loads(body)
 
-    def post_json(self, path: str, body: bytes) -> int:
+    def post_json(
+        self, path: str, body: bytes, headers: Optional[Dict[str, str]] = None
+    ) -> int:
         """POST a JSON body; returns the response status."""
-        status, _body = self._request("POST", path, body)
+        status, _body = self._request("POST", path, body, headers)
         return status
 
 
@@ -126,7 +137,13 @@ class LocalPeer:
     def __init__(self, app: DiversityService) -> None:
         self.app = app
 
-    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, bytes]:
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, bytes]:
         parts = urlsplit(path)
         query = {
             name: tuple(values)
@@ -134,23 +151,29 @@ class LocalPeer:
                 parts.query, keep_blank_values=True
             ).items()
         }
-        headers = {"content-type": "application/json"} if body else {}
+        sent = {"content-type": "application/json"} if body else {}
+        for name, value in (headers or {}).items():
+            sent[name.lower()] = value
         response = self.app.dispatch(
             HttpRequest(
                 method=method, path=parts.path, query=query,
-                headers=headers, body=body,
+                headers=sent, body=body,
             )
         )
         return response.status, response.body
 
-    def get_json(self, path: str) -> Optional[Dict[str, object]]:
-        status, body = self._dispatch("GET", path, b"")
+    def get_json(
+        self, path: str, headers: Optional[Dict[str, str]] = None
+    ) -> Optional[Dict[str, object]]:
+        status, body = self._dispatch("GET", path, b"", headers)
         if status != 200:
             return None
         return json.loads(body)
 
-    def post_json(self, path: str, body: bytes) -> int:
-        status, _body = self._dispatch("POST", path, body)
+    def post_json(
+        self, path: str, body: bytes, headers: Optional[Dict[str, str]] = None
+    ) -> int:
+        status, _body = self._dispatch("POST", path, body, headers)
         return status
 
 
@@ -230,11 +253,12 @@ async def _worker_serve(
                 handler, sock=_reuseport_socket(public[0], public[1])
             )
         )
-    print(
-        f"repro worker {config.shard_index}/{config.shards} up "
-        f"(internal http://{internal_host}:{internal_port}"
-        + (f", public http://{public[0]}:{public[1]})" if public else ")"),
-        file=sys.stderr,
+    app.obs_log.log(
+        "worker.up",
+        shard=config.shard_index,
+        shards=config.shards,
+        internal=f"http://{internal_host}:{internal_port}",
+        public=f"http://{public[0]}:{public[1]}" if public else None,
     )
     await stop.wait()
     for server in servers:
@@ -481,10 +505,30 @@ class ServiceCluster:
                 time.sleep(0.05)
 
     def healthz(self) -> List[Dict[str, object]]:
-        """Every worker's internal health payload, in shard order."""
-        return [
-            HttpPeer(url).get_json("/healthz") for url in self.internal_urls
-        ]
+        """Every worker's health, in shard order -- dead peers included.
+
+        Each record is ``{"url", "ok", "payload", "error"}``: a healthy
+        worker carries its ``/healthz`` payload and ``error: None``; a
+        dead or unhealthy one reports ``ok: False`` with the failure text
+        instead of silently contributing a ``None`` entry.
+        """
+        report: List[Dict[str, object]] = []
+        for url in self.internal_urls:
+            record: Dict[str, object] = {
+                "url": url, "ok": False, "payload": None, "error": None,
+            }
+            try:
+                payload = HttpPeer(url).get_json("/healthz")
+            except OSError as error:
+                record["error"] = f"{type(error).__name__}: {error}"
+            else:
+                if payload is None:
+                    record["error"] = "non-200 health response"
+                else:
+                    record["ok"] = True
+                    record["payload"] = payload
+            report.append(record)
+        return report
 
     def stop(self, grace: float = 15.0) -> bool:
         """SIGTERM the fleet, reap it, stop the router; True if all drained."""

@@ -72,6 +72,15 @@ class ServiceConfig:
     shard_index: int = 0
     #: Internal base URLs of every worker, indexed by shard.
     peers: Tuple[str, ...] = ()
+    #: Expose the public observability surface (``GET /metrics`` and
+    #: ``GET /v1/traces``).  The internal scrape/trace endpoints stay up
+    #: regardless, so a cluster keeps aggregating even when the public
+    #: surface is off.
+    metrics: bool = True
+    #: Log every finished trace as one JSON line on stderr.
+    trace_log: bool = False
+    #: Finished traces retained per worker in the tracing ring buffer.
+    trace_buffer: int = 256
 
     def __post_init__(self) -> None:
         if not self.host:
@@ -93,6 +102,10 @@ class ServiceConfig:
         if self.request_threads < 1:
             raise ServiceConfigError(
                 "the request executor needs at least one thread"
+            )
+        if self.trace_buffer < 1:
+            raise ServiceConfigError(
+                "the trace ring buffer needs at least one slot"
             )
         if self.shards < 1:
             raise ServiceConfigError("the query space needs at least one shard")

@@ -39,6 +39,9 @@ from repro.analysis.ksets import KSetAnalysis
 from repro.analysis.selection import ReplicaSetSelector
 from repro.core.enums import ServerConfiguration
 from repro.core.models import VulnerabilityEntry
+from repro.obs.clock import CLOCK, Clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.runner.cache import scoped_corpus_digest
 from repro.service.errors import Conflict, NotFound
 from repro.snapshots.digests import entry_digest
@@ -340,16 +343,58 @@ class ArtifactRegistry:
     server and asserts it stays at one.
     """
 
-    def __init__(self, max_datasets: int = 4) -> None:
+    def __init__(
+        self,
+        max_datasets: int = 4,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
         if max_datasets < 1:
             raise ValueError("the registry must hold at least one dataset")
         self._max = max_datasets
         self._artifacts: "OrderedDict[str, CorpusArtifacts]" = OrderedDict()
         self._locks: Dict[str, threading.Lock] = {}
         self._mutex = threading.Lock()
-        self.compile_count = 0
-        self.hit_count = 0
-        self.patched_count = 0
+        # Tallies live in the (possibly shared) metrics registry; the int
+        # properties below keep the original counter attribute API, so
+        # /healthz and /metrics report from the same source.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = tracer
+        self._clock = clock if clock is not None else CLOCK
+        self._events = self._metrics.counter(
+            "registry_events_total",
+            "Artifact registry compiles, warm hits and incremental patches.",
+            labels=("event",),
+        )
+        self._compile_seconds = self._metrics.histogram(
+            "registry_compile_seconds",
+            "Wall time of full corpus compiles.",
+        )
+        self._patch_seconds = self._metrics.histogram(
+            "registry_patch_seconds",
+            "Wall time of incremental diff patches (compile avoided).",
+        )
+
+    @property
+    def compile_count(self) -> int:
+        return int(self._events.value(event="compile"))
+
+    @property
+    def hit_count(self) -> int:
+        return int(self._events.value(event="hit"))
+
+    @property
+    def patched_count(self) -> int:
+        return int(self._events.value(event="patch"))
+
+    def _record_span(self, name: str, started: float, elapsed: float) -> None:
+        """Attach a compile/patch span to the active request trace, if any."""
+        if self._tracer is None:
+            return
+        trace = self._tracer.current()
+        if trace is not None:
+            trace.record(name, started, elapsed)
 
     def __len__(self) -> int:
         with self._mutex:
@@ -370,7 +415,7 @@ class ArtifactRegistry:
             artifacts = self._artifacts.get(state.digest)
             if artifacts is not None:
                 self._artifacts.move_to_end(state.digest)
-                self.hit_count += 1
+                self._events.inc(event="hit")
                 return artifacts
             lock = self._locks.setdefault(state.digest, threading.Lock())
         with lock:
@@ -379,11 +424,15 @@ class ArtifactRegistry:
             with self._mutex:
                 artifacts = self._artifacts.get(state.digest)
                 if artifacts is not None:
-                    self.hit_count += 1
+                    self._events.inc(event="hit")
                     return artifacts
+            started = self._clock.perf()
             compiled = CorpusArtifacts(loader(state), state).compile()
+            elapsed = self._clock.perf() - started
+            self._compile_seconds.observe(elapsed)
+            self._record_span("registry.compile", started, elapsed)
             with self._mutex:
-                self.compile_count += 1
+                self._events.inc(event="compile")
                 self._artifacts[state.digest] = compiled
                 self._artifacts.move_to_end(state.digest)
                 while len(self._artifacts) > self._max:
@@ -415,22 +464,26 @@ class ArtifactRegistry:
         with self._mutex:
             if state.digest in self._artifacts:
                 self._artifacts.move_to_end(state.digest)
-                self.hit_count += 1
+                self._events.inc(event="hit")
                 return self._artifacts[state.digest]
             parent = self._artifacts.get(parent_state.digest)
         if parent is None or parent.dataset.engine != "packed":
             return None
+        started = self._clock.perf()
         patched_index = parent.dataset.packed.apply_diff(diff)
         dataset = VulnerabilityDataset.from_packed_index(
             patched_index, snapshot=state.snapshot
         )
         artifacts = CorpusArtifacts(dataset, state).compile()
+        elapsed = self._clock.perf() - started
         with self._mutex:
             existing = self._artifacts.get(state.digest)
             if existing is not None:
-                self.hit_count += 1
+                self._events.inc(event="hit")
                 return existing
-            self.patched_count += 1
+            self._patch_seconds.observe(elapsed)
+            self._record_span("registry.patch", started, elapsed)
+            self._events.inc(event="patch")
             self._artifacts[state.digest] = artifacts
             self._artifacts.move_to_end(state.digest)
             while len(self._artifacts) > self._max:

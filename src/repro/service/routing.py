@@ -64,13 +64,16 @@ class Router:
         """(method, template) pairs in registration order (for docs/tests)."""
         return [(route.method, route.template) for route in self._routes]
 
-    def resolve(self, method: str, path: str) -> Tuple[Callable, Dict[str, str]]:
-        """The handler and path params for a request.
+    def match(self, method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+        """The matching :class:`Route` and path params for a request.
 
         Raises :class:`~repro.service.errors.NotFound` when no template
         matches the path, and :class:`~repro.service.errors
         .MethodNotAllowed` (carrying the allowed method set) when templates
-        match but none under the requested method.
+        match but none under the requested method.  Exposing the
+        :class:`Route` (not just its handler) lets the metrics layer label
+        request counters by *template* -- bounded cardinality, unlike raw
+        paths with ids in them.
         """
         allowed = set()
         for route in self._routes:
@@ -78,7 +81,7 @@ class Router:
             if match is None:
                 continue
             if route.method == method.upper():
-                return route.handler, match.groupdict()
+                return route, match.groupdict()
             allowed.add(route.method)
         if allowed:
             raise MethodNotAllowed(
@@ -86,3 +89,8 @@ class Router:
                 detail={"allow": sorted(allowed)},
             )
         raise NotFound(f"no route matches {path}")
+
+    def resolve(self, method: str, path: str) -> Tuple[Callable, Dict[str, str]]:
+        """The handler and path params for a request (see :meth:`match`)."""
+        route, params = self.match(method, path)
+        return route.handler, params

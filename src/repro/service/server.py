@@ -21,6 +21,8 @@ Two layers live here:
 Endpoints (all payloads are canonical JSON, see ``docs/service.md``)::
 
     GET  /healthz                 version, dataset digest, uptime, stats
+    GET  /metrics                 Prometheus text exposition (cluster view)
+    GET  /v1/traces               recent request traces / one gathered trace
     GET  /v1/catalogue            OS names, years, dataset provenance
     GET  /v1/shared?os=A&os=B     vulnerabilities common to the named OSes
     GET  /v1/matrix/pairs         full pairwise shared matrix
@@ -39,11 +41,11 @@ Endpoints (all payloads are canonical JSON, see ``docs/service.md``)::
 from __future__ import annotations
 
 import asyncio
+import functools
 import signal
 import sys
 import tempfile
 import threading
-import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -52,6 +54,16 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.core.enums import ServerConfiguration
+from repro.obs import (
+    CLOCK,
+    TRACE_HEADER,
+    JsonLogger,
+    MetricsRegistry,
+    Tracer,
+    render_exposition,
+    trace_sink,
+    valid_trace_id,
+)
 from repro.runner.runner import GridRunner
 from repro.service.cache import (
     CachedResponse,
@@ -163,10 +175,30 @@ class DiversityService:
     def __init__(self, config: ServiceConfig, provider=None, peers=None) -> None:
         self.config = config
         self.provider = provider if provider is not None else _default_provider(config)
-        self.registry = ArtifactRegistry(max_datasets=config.registry_size)
-        self.responses = ResponseCache(max_entries=config.cache_size)
+        # One metrics registry and one tracer per worker: every component
+        # (artifact registry, response cache, ingest pipeline, grid runner)
+        # reports into the same instruments, so /healthz, /metrics and the
+        # trace spans can never disagree about a tally.
+        self.clock = CLOCK
+        self.obs_log = JsonLogger(clock=self.clock)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            buffer_size=config.trace_buffer,
+            shard=config.shard_index,
+            clock=self.clock,
+            sink=trace_sink(self.obs_log) if config.trace_log else None,
+        )
+        self.registry = ArtifactRegistry(
+            max_datasets=config.registry_size,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            clock=self.clock,
+        )
+        self.responses = ResponseCache(
+            max_entries=config.cache_size, metrics=self.metrics
+        )
         self.jobs = JobTable(self._run_job)
-        self.started = time.time()
+        self.started = self.clock.wall()
         self._request_pool = ThreadPoolExecutor(
             max_workers=config.request_threads, thread_name_prefix="repro-http"
         )
@@ -181,16 +213,51 @@ class DiversityService:
             if config.shards > 1
             else None
         )
-        self._scatter_lock = threading.Lock()
-        self.scatter_remote = 0
-        self.scatter_local = 0
-        self.scatter_fallback = 0
+        self._request_counter = self.metrics.counter(
+            "http_requests_total",
+            "Requests dispatched, by method, route template and status.",
+            labels=("method", "route", "status"),
+        )
+        self._request_latency = self.metrics.histogram(
+            "http_request_seconds",
+            "Request dispatch wall time, by route template.",
+            labels=("route",),
+        )
+        self._scatter_counter = self.metrics.counter(
+            "scatter_partials_total",
+            "Scatter-gather span partials, by compute mode.",
+            labels=("mode",),
+        )
+        self._broadcast_counter = self.metrics.counter(
+            "invalidation_broadcasts_total",
+            "Invalidation broadcast deliveries to peer workers.",
+            labels=("outcome",),
+        )
+        self._uptime_gauge = self.metrics.gauge(
+            "uptime_seconds", "Seconds since this worker started."
+        )
+        self._jobs_gauge = self.metrics.gauge(
+            "jobs", "Jobs in the table, by state.", labels=("state",)
+        )
+        self._registry_gauge = self.metrics.gauge(
+            "registry_datasets",
+            "Datasets currently compiled in the artifact registry.",
+        )
+        self._responses_gauge = self.metrics.gauge(
+            "response_cache_entries",
+            "Entries currently held in the response cache.",
+        )
         self.router = Router()
         add = self.router.add
         add("GET", "/internal/v1/shards/pairs", self._shard_pairs)
         add("GET", "/internal/v1/shards/ksets", self._shard_ksets)
         add("POST", "/internal/v1/invalidate", self._internal_invalidate)
+        add("GET", "/internal/v1/metrics", self._internal_metrics)
+        add("GET", "/internal/v1/traces", self._internal_traces)
         add("GET", "/healthz", self._healthz)
+        if config.metrics:
+            add("GET", "/metrics", self._metrics_endpoint)
+            add("GET", "/v1/traces", self._traces_endpoint)
         add("GET", "/v1/catalogue", self._catalogue)
         add("GET", "/v1/shared", self._shared)
         add("GET", "/v1/matrix/pairs", self._matrix_pairs)
@@ -249,6 +316,18 @@ class DiversityService:
 
     # -- scatter-gather -------------------------------------------------------
 
+    @property
+    def scatter_remote(self) -> int:
+        return int(self._scatter_counter.value(mode="remote"))
+
+    @property
+    def scatter_local(self) -> int:
+        return int(self._scatter_counter.value(mode="local"))
+
+    @property
+    def scatter_fallback(self) -> int:
+        return int(self._scatter_counter.value(mode="fallback"))
+
     def _scatter_partials(
         self,
         kind: str,
@@ -270,31 +349,41 @@ class DiversityService:
         plan = sharding.plan_spans(
             artifacts.digest, len(artifacts.os_names), k, self.config.shards
         )
+        # Captured on the dispatch thread: the scatter pool's threads have
+        # no thread-local current trace, so partial spans attach explicitly.
+        trace = self.tracer.current()
 
         def compute(span: sharding.Span, owner: int):
-            if owner != self.config.shard_index and owner < len(self.peers):
-                partial = self._fetch_partial(
-                    owner, kind, configuration, k, top, span, artifacts.digest
+            with self.tracer.span(
+                "scatter.partial", trace=trace, owner=owner
+            ) as handle:
+                mode = "local"
+                if owner != self.config.shard_index and owner < len(self.peers):
+                    partial = self._fetch_partial(
+                        owner, kind, configuration, k, top, span,
+                        artifacts.digest, trace,
+                    )
+                    if partial is not None:
+                        handle.tag(mode="remote")
+                        self._scatter_counter.inc(mode="remote")
+                        return partial
+                    mode = "fallback"
+                handle.tag(mode=mode)
+                self._scatter_counter.inc(mode=mode)
+                if kind == "pairs":
+                    return sharding.pairs_span_payload(artifacts, configuration, span)
+                return sharding.ksets_span_payload(
+                    artifacts, configuration, k, top, span
                 )
-                if partial is not None:
-                    with self._scatter_lock:
-                        self.scatter_remote += 1
-                    return partial
-                with self._scatter_lock:
-                    self.scatter_fallback += 1
-            else:
-                with self._scatter_lock:
-                    self.scatter_local += 1
-            if kind == "pairs":
-                return sharding.pairs_span_payload(artifacts, configuration, span)
-            return sharding.ksets_span_payload(artifacts, configuration, k, top, span)
 
-        if self._scatter_pool is None or len(plan) <= 1:
-            return [compute(span, owner) for span, owner in plan]
-        futures = [
-            self._scatter_pool.submit(compute, span, owner) for span, owner in plan
-        ]
-        return [future.result() for future in futures]
+        with self.tracer.span("scatter", trace=trace, kind=kind, spans=len(plan)):
+            if self._scatter_pool is None or len(plan) <= 1:
+                return [compute(span, owner) for span, owner in plan]
+            futures = [
+                self._scatter_pool.submit(compute, span, owner)
+                for span, owner in plan
+            ]
+            return [future.result() for future in futures]
 
     def _fetch_partial(
         self,
@@ -305,6 +394,7 @@ class DiversityService:
         top: int,
         span: sharding.Span,
         digest: str,
+        trace=None,
     ):
         """Ask the owning peer for one span partial; ``None`` on any miss."""
         query = (
@@ -313,26 +403,62 @@ class DiversityService:
         )
         if kind == "ksets":
             query += f"&k={k}&top={top}"
+        headers = {TRACE_HEADER: trace.trace_id} if trace is not None else None
         try:
-            partial = self.peers[owner].get_json(f"/internal/v1/shards/{kind}?{query}")
+            partial = self.peers[owner].get_json(
+                f"/internal/v1/shards/{kind}?{query}", headers=headers
+            )
         except Exception:  # repro: noqa[GEN301] -- peer churn degrades to local compute, never to a failed request
             return None
         if partial is None or partial.get("digest") != digest:
             return None
         return partial
 
-    def dispatch(self, request: HttpRequest) -> HttpResponse:
-        """Route one request; every failure renders the error envelope."""
-        try:
-            handler, params = self.router.resolve(request.method, request.path)
-            return handler(request, params)
-        except ApiError as error:
-            return self._render_error(error)
-        except Exception:  # repro: noqa[GEN301] -- dispatch boundary: the error envelope hides the traceback from clients
-            traceback.print_exc(file=sys.stderr)
-            return self._render_error(internal_error())
+    def dispatch(
+        self,
+        request: HttpRequest,
+        parse_seconds: Optional[float] = None,
+    ) -> HttpResponse:
+        """Route one request; every failure renders the error envelope.
 
-    async def dispatch_async(self, request: HttpRequest) -> HttpResponse:
+        Every dispatch runs under a :class:`~repro.obs.tracing.Trace` --
+        joining the id an ``X-Repro-Trace`` header carries (how spans from
+        a scatter-gather's peer workers land in the same trace) or minting
+        a fresh one -- and increments the request counter labelled by the
+        matched route *template*, so metric cardinality stays bounded no
+        matter what paths clients probe.
+        """
+        trace = self.tracer.begin(
+            f"{request.method} {request.path}",
+            request.headers.get(TRACE_HEADER.lower()),
+        )
+        if parse_seconds is not None:
+            trace.record("parse", trace.started, parse_seconds)
+        route_label = "unrouted"
+        with self.tracer.activate(trace):
+            try:
+                route, params = self.router.match(request.method, request.path)
+                route_label = route.template
+                response = route.handler(request, params)
+            except ApiError as error:
+                response = self._render_error(error)
+            except Exception:  # repro: noqa[GEN301] -- dispatch boundary: the error envelope hides the traceback from clients
+                traceback.print_exc(file=sys.stderr)
+                response = self._render_error(internal_error())
+        response.headers.setdefault(TRACE_HEADER, trace.trace_id)
+        self.tracer.finish(trace, status=response.status)
+        self._request_counter.inc(
+            method=request.method, route=route_label, status=response.status
+        )
+        if trace.duration is not None:
+            self._request_latency.observe(trace.duration, route=route_label)
+        return response
+
+    async def dispatch_async(
+        self,
+        request: HttpRequest,
+        parse_seconds: Optional[float] = None,
+    ) -> HttpResponse:
         """Route one request on the request pool, off the event loop.
 
         ``dispatch`` touches sqlite-backed providers and the result cache,
@@ -340,7 +466,12 @@ class DiversityService:
         coroutine is the only sanctioned bridge (ASY104 enforces it).
         """
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._request_pool, self.dispatch, request)
+        call = (
+            self.dispatch
+            if parse_seconds is None
+            else functools.partial(self.dispatch, parse_seconds=parse_seconds)
+        )
+        return await loop.run_in_executor(self._request_pool, call, request)
 
     async def drain_async(self, grace: float) -> bool:
         """Wait for running jobs to finish without blocking the event loop."""
@@ -385,7 +516,11 @@ class DiversityService:
             return HttpResponse(status=304, headers={"ETag": etag})
         key = ResponseCache.key(scope_digest, request.path, query)
         headers = {"ETag": etag, "Cache-Control": "no-cache"}
-        hit = self.responses.get(key)
+        # The 304 path above short-circuits before the cache is consulted,
+        # so revalidations show up as a trace with no cache.lookup span.
+        with self.tracer.span("cache.lookup") as lookup:
+            hit = self.responses.get(key)
+            lookup.tag(result="hit" if hit is not None else "miss")
         if hit is not None:
             headers["X-Cache"] = "hit"
             return HttpResponse(body=hit.body, headers=headers)
@@ -410,7 +545,7 @@ class DiversityService:
             "service": "repro",
             "version": __version__,
             "engine": self.config.engine,
-            "uptime_seconds": round(time.time() - self.started, 3),
+            "uptime_seconds": round(self.clock.wall() - self.started, 3),
             "source": self.provider.source,
             "dataset": schemas.dataset_block(artifacts),
             "jobs": self.jobs.counts(),
@@ -432,6 +567,146 @@ class DiversityService:
                     "fallback": self.scatter_fallback,
                 },
             },
+        }
+        return HttpResponse(body=schemas.dumps(payload))
+
+    # -- observability handlers -----------------------------------------------
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time gauges, refreshed at scrape time (never on hot paths)."""
+        self._uptime_gauge.set(round(self.clock.wall() - self.started, 3))
+        for state, count in self.jobs.counts().items():
+            self._jobs_gauge.set(count, state=state)
+        self._registry_gauge.set(len(self.registry))
+        self._responses_gauge.set(self.responses.stats()["entries"])
+
+    def _metrics_endpoint(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        """Prometheus text exposition; cluster-aggregated by default.
+
+        ``?scope=worker`` restricts the scrape to this worker.  The cluster
+        view scatter-gathers every peer's ``/internal/v1/metrics`` JSON
+        snapshot -- the same fan-out path matrix queries use -- and renders
+        all samples side by side under per-shard labels (no cross-worker
+        summing: sums are wrong for gauges and hide skew).
+        """
+        scope = schemas.single(request.query, "scope", "cluster")
+        if scope not in ("cluster", "worker"):
+            raise BadRequest(
+                f"unknown scope {scope!r}; expected 'cluster' or 'worker'",
+                detail={"parameter": "scope"},
+            )
+        self._refresh_gauges()
+        parts = [(self.metrics.snapshot(), {"shard": str(self.config.shard_index)})]
+        if scope == "cluster" and self.config.shards > 1 and self.peers:
+            parts.extend(self._gather_peer_metrics())
+        return HttpResponse(
+            body=render_exposition(parts).encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _gather_peer_metrics(self):
+        """Peer metric snapshots as exposition parts; dead peers are omitted."""
+        trace = self.tracer.current()
+        headers = {TRACE_HEADER: trace.trace_id} if trace is not None else None
+
+        def fetch(index: int, peer):
+            try:
+                payload = peer.get_json("/internal/v1/metrics", headers=headers)
+            except Exception:  # repro: noqa[GEN301] -- a dead peer drops out of the aggregate; the scrape itself must not fail
+                return None
+            if not isinstance(payload, dict) or "metrics" not in payload:
+                return None
+            return payload["metrics"], {"shard": str(payload.get("shard", index))}
+
+        targets = [
+            (index, peer)
+            for index, peer in enumerate(self.peers)
+            if index != self.config.shard_index
+        ]
+        with self.tracer.span("metrics.gather", trace=trace, peers=len(targets)):
+            if self._scatter_pool is None:
+                results = [fetch(index, peer) for index, peer in targets]
+            else:
+                futures = [
+                    self._scatter_pool.submit(fetch, index, peer)
+                    for index, peer in targets
+                ]
+                results = [future.result() for future in futures]
+        return [part for part in results if part is not None]
+
+    def _internal_metrics(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        """This worker's metric snapshot as JSON (the aggregation transport)."""
+        self._refresh_gauges()
+        payload = {
+            "shard": self.config.shard_index,
+            "metrics": self.metrics.snapshot(),
+        }
+        return HttpResponse(body=schemas.dumps(payload))
+
+    def _traces_endpoint(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        """Recent traces, or one trace gathered across the whole cluster.
+
+        Without ``?id=`` this lists this worker's ring buffer, newest
+        first.  With an id, peer workers' rings are consulted too and the
+        response carries every record plus one flattened, shard-stamped
+        span list -- a scatter-gather request viewed end to end.
+        """
+        trace_id = schemas.single(request.query, "id")
+        if trace_id is None:
+            limit = schemas.parse_int(
+                request.query, "limit", default=20, minimum=1,
+                maximum=self.tracer.buffer_size,
+            )
+            payload = {
+                "shard": self.config.shard_index,
+                "traces": [
+                    record.to_json() for record in self.tracer.recent(limit)
+                ],
+            }
+            return HttpResponse(body=schemas.dumps(payload))
+        if not valid_trace_id(trace_id):
+            raise BadRequest(
+                "malformed trace id", detail={"parameter": "id"}
+            )
+        records = [record.to_json() for record in self.tracer.find(trace_id)]
+        records.extend(self._gather_peer_traces(trace_id))
+        spans = [
+            dict(span, shard=record["shard"])
+            for record in records
+            for span in record["spans"]
+        ]
+        spans.sort(key=lambda span: (span["shard"], span["start_ms"], span["name"]))
+        payload = {"trace_id": trace_id, "records": records, "spans": spans}
+        return HttpResponse(body=schemas.dumps(payload))
+
+    def _gather_peer_traces(self, trace_id: str):
+        """Peer workers' records for one trace id; dead peers contribute none."""
+        gathered = []
+        for index, peer in enumerate(self.peers):
+            if index == self.config.shard_index:
+                continue
+            try:
+                payload = peer.get_json(f"/internal/v1/traces?id={trace_id}")
+            except Exception:  # repro: noqa[GEN301] -- a dead peer just contributes no spans to the gathered trace
+                continue
+            if isinstance(payload, dict):
+                gathered.extend(payload.get("traces", ()))
+        return gathered
+
+    def _internal_traces(self, request: HttpRequest, params: Dict[str, str]) -> HttpResponse:
+        """This worker's ring buffer only (what trace gathering fans out to)."""
+        trace_id = schemas.single(request.query, "id")
+        if trace_id is not None:
+            records = self.tracer.find(trace_id)
+        else:
+            limit = schemas.parse_int(
+                request.query, "limit", default=20, minimum=1,
+                maximum=self.tracer.buffer_size,
+            )
+            records = self.tracer.recent(limit)
+        payload = {
+            "shard": self.config.shard_index,
+            "traces": [record.to_json() for record in records],
         }
         return HttpResponse(body=schemas.dumps(payload))
 
@@ -475,9 +750,10 @@ class DiversityService:
         partials = self._scatter_partials("pairs", artifacts, configuration, 2, 0)
         if partials is not None:
             try:
-                return sharding.merged_pair_matrix_payload(
-                    artifacts, configuration, partials, scope_digest
-                )
+                with self.tracer.span("merge", kind="pairs", partials=len(partials)):
+                    return sharding.merged_pair_matrix_payload(
+                        artifacts, configuration, partials, scope_digest
+                    )
             except ValueError:  # pragma: no cover -- local fallbacks make merges total
                 pass
         return schemas.pair_matrix_payload(artifacts, configuration, scope_digest)
@@ -509,9 +785,10 @@ class DiversityService:
         partials = self._scatter_partials("ksets", artifacts, configuration, k, top)
         if partials is not None:
             try:
-                return sharding.merged_ksets_payload(
-                    artifacts, configuration, k, top, partials, scope_digest
-                )
+                with self.tracer.span("merge", kind="ksets", partials=len(partials)):
+                    return sharding.merged_ksets_payload(
+                        artifacts, configuration, k, top, partials, scope_digest
+                    )
             except ValueError:  # pragma: no cover -- local fallbacks make merges total
                 pass
         return schemas.ksets_payload(artifacts, configuration, k, top, scope_digest)
@@ -612,7 +889,11 @@ class DiversityService:
         database, store = self.provider.store()
         try:
             pipeline = DeltaIngestPipeline(
-                IngestPipeline(database=database), store
+                IngestPipeline(database=database),
+                store,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                clock=self.clock,
             )
             pipeline.subscribe(self._on_delta_snapshot)
             with tempfile.NamedTemporaryFile(
@@ -710,13 +991,22 @@ class DiversityService:
         payload = schemas.dumps(
             {"parent_digest": parent_digest, "digest": digest}
         )
-        for index, peer in enumerate(self.peers):
-            if index == self.config.shard_index:
-                continue
-            try:
-                peer.post_json("/internal/v1/invalidate", payload)
-            except Exception:  # repro: noqa[GEN301] -- a dead peer re-reads the ledger on its next request
-                continue
+        trace = self.tracer.current()
+        headers = {TRACE_HEADER: trace.trace_id} if trace is not None else None
+        with self.tracer.span(
+            "ingest.broadcast", trace=trace, peers=len(self.peers)
+        ):
+            for index, peer in enumerate(self.peers):
+                if index == self.config.shard_index:
+                    continue
+                try:
+                    peer.post_json(
+                        "/internal/v1/invalidate", payload, headers=headers
+                    )
+                    self._broadcast_counter.inc(outcome="delivered")
+                except Exception:  # repro: noqa[GEN301] -- a dead peer re-reads the ledger on its next request
+                    self._broadcast_counter.inc(outcome="failed")
+                    continue
 
     # -- internal cluster handlers (never routed through the public merge) ----
 
@@ -802,6 +1092,7 @@ class DiversityService:
             engine=self.config.engine,
             workers=self.config.workers,
             catalogued=catalogued,
+            metrics=self.metrics,
         )
         return runner.run(job.grid).to_json_payload()
 
@@ -880,8 +1171,15 @@ def _head_or_conflict(store):
 # ---------------------------------------------------------------------------
 
 
-async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
-    """Parse one request off the stream; ``None`` on a clean EOF."""
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[HttpRequest, float]]:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Returns the request together with the seconds spent parsing it (header
+    split + body read).  The clock starts *after* the head arrives, so
+    keep-alive idle time between requests never counts as parse time.
+    """
     try:
         head = await asyncio.wait_for(
             reader.readuntil(b"\r\n\r\n"), timeout=IDLE_TIMEOUT
@@ -892,6 +1190,7 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
         return None
     except asyncio.LimitOverrunError:
         raise BadRequest("request headers too large")
+    parse_started = CLOCK.perf()
     try:
         request_line, *header_lines = head.decode("latin-1").split("\r\n")
         method, target, _version = request_line.split(" ", 2)
@@ -945,13 +1244,14 @@ async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
                 )
             except (asyncio.IncompleteReadError, asyncio.TimeoutError):
                 return None
-    return HttpRequest(
+    request = HttpRequest(
         method=method.upper(),
         path=unquote(parts.path) or "/",
         query=query,
         headers=headers,
         body=body,
     )
+    return request, CLOCK.perf() - parse_started
 
 
 def _serialise(response: HttpResponse, keep_alive: bool, version: str) -> bytes:
@@ -978,7 +1278,7 @@ async def _handle_connection(
     try:
         while True:
             try:
-                request = await _read_request(reader)
+                parsed = await _read_request(reader)
             except ApiError as error:
                 body = _serialise(
                     DiversityService._render_error(error), False, __version__
@@ -986,9 +1286,10 @@ async def _handle_connection(
                 writer.write(body)
                 await writer.drain()
                 break
-            if request is None:
+            if parsed is None:
                 break
-            response = await app.dispatch_async(request)
+            request, parse_seconds = parsed
+            response = await app.dispatch_async(request, parse_seconds)
             keep_alive = request.headers.get("connection", "keep-alive") != "close"
             writer.write(_serialise(response, keep_alive, __version__))
             await writer.drain()

@@ -1,0 +1,9 @@
+"""OBS401 fixture: bare prints in library code bypass the structured log."""
+
+
+def report_progress(count):
+    print(f"{count} entries ingested")  # expect: OBS401
+
+
+def warn(message):
+    print("warning:", message)  # expect: OBS401

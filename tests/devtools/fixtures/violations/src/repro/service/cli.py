@@ -1,0 +1,9 @@
+"""Entry-point exemption fixture: ``cli`` modules own the terminal.
+
+No ``# expect`` marker here -- OBS401 must NOT fire on modules whose final
+name segment is ``cli`` or ``__main__``; print() is their output channel.
+"""
+
+
+def main():
+    print("human-facing terminal output")

@@ -53,9 +53,9 @@ class TestFixtureTree:
 
     def test_registry_has_the_advertised_rule_count(self):
         rules = all_rules()
-        assert len(rules) == 13
+        assert len(rules) == 14
         families = Counter(rule.family for rule in rules)
-        assert families == {"DET": 4, "ASY": 4, "ENG": 2, "GEN": 3}
+        assert families == {"DET": 4, "ASY": 4, "ENG": 2, "GEN": 3, "OBS": 1}
 
     def test_suppression_fixture_is_counted_not_reported(self):
         result = lint_paths(

@@ -1,0 +1,165 @@
+"""Metrics primitives: semantics, thread-safety, and the text exposition.
+
+The golden test pins the exact Prometheus text format a scrape sees; the
+hammer test drives one Counter and one Histogram from a thread pool and
+asserts no update was lost (every mutation takes the instrument lock).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    render_exposition,
+)
+
+
+class TestInstrumentSemantics:
+    def test_counter_counts_per_label_series(self):
+        counter = Counter("events_total", "Events.", labels=("event",))
+        counter.inc(event="hit")
+        counter.inc(2, event="miss")
+        assert counter.value(event="hit") == 1.0
+        assert counter.value(event="miss") == 2.0
+        assert counter.value(event="never") == 0.0
+        assert counter.total() == 3.0
+
+    def test_counters_only_go_up(self):
+        counter = Counter("events_total", "Events.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_label_set_is_validated(self):
+        counter = Counter("events_total", "Events.", labels=("event",))
+        with pytest.raises(ValueError):
+            counter.inc(wrong="label")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_histogram_bins_cumulatively(self):
+        histogram = Histogram("seconds", "Latency.", buckets=(0.1, 0.5, 1.0))
+        for value in (0.05, 0.3, 0.4, 2.0):
+            histogram.observe(value)
+        (sample,) = histogram.snapshot()["samples"]
+        assert sample["buckets"] == [[0.1, 1], [0.5, 3], [1.0, 3]]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(2.75)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("seconds", "x", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("seconds", "x", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("seconds", "x", buckets=(1.0, float("inf")))
+
+    def test_metric_names_are_validated(self):
+        with pytest.raises(ValueError):
+            Counter("9starts_with_digit", "x")
+        with pytest.raises(ValueError):
+            Counter("has space", "x")
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("events_total", "Events.", labels=("event",))
+        second = registry.counter("events_total", "ignored", labels=("event",))
+        assert first is second
+
+    def test_type_or_label_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events.", labels=("event",))
+        with pytest.raises(ValueError):
+            registry.gauge("events_total", "Events.", labels=("event",))
+        with pytest.raises(ValueError):
+            registry.counter("events_total", "Events.", labels=("other",))
+
+    def test_namespace_prefixes_every_name(self):
+        registry = MetricsRegistry(namespace="repro")
+        assert registry.counter("x_total", "x").name == "repro_x_total"
+
+
+class TestExposition:
+    def test_worker_render_matches_the_golden_file(self, golden):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "http_requests_total",
+            "HTTP requests served, by method and route.",
+            labels=("method", "route"),
+        )
+        requests.inc(method="GET", route="/v1/matrix/pairs")
+        requests.inc(2, method="GET", route="/healthz")
+        registry.gauge("jobs_queued", "Jobs waiting to run.").set(3)
+        latency = registry.histogram(
+            "http_request_seconds",
+            "Request latency in seconds.",
+            buckets=(0.1, 0.5, 1.0),
+        )
+        for value in (0.05, 0.3, 2.0):
+            latency.observe(value)
+        golden("obs_exposition.txt", registry.render())
+
+    def test_cluster_parts_merge_under_shard_labels(self):
+        shard0, shard1 = MetricsRegistry(), MetricsRegistry()
+        for index, registry in enumerate((shard0, shard1)):
+            counter = registry.counter(
+                "http_requests_total", "HTTP requests served."
+            )
+            counter.inc(index + 1)
+        text = render_exposition(
+            [
+                (shard0.snapshot(), {"shard": "0"}),
+                (shard1.snapshot(), {"shard": "1"}),
+            ]
+        )
+        # One header, both shards' series side by side -- never summed.
+        assert text.count("# TYPE repro_http_requests_total counter") == 1
+        assert 'repro_http_requests_total{shard="0"} 1' in text
+        assert 'repro_http_requests_total{shard="1"} 2' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_are_never_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "hammer_total", "Hammered.", labels=("worker",)
+        )
+        histogram = registry.histogram(
+            "hammer_seconds", "Hammered.", buckets=(0.25, 0.75)
+        )
+        threads, per_thread = 8, 2500
+        barrier = threading.Barrier(threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for iteration in range(per_thread):
+                counter.inc(worker=str(worker % 2))
+                histogram.observe((iteration % 2) * 0.5)
+
+        pool = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert counter.total() == threads * per_thread
+        assert counter.value(worker="0") == threads * per_thread / 2
+        (sample,) = histogram.snapshot()["samples"]
+        assert sample["count"] == threads * per_thread
+        # Half the observations were 0.0 (<= 0.25), half 0.5 (<= 0.75).
+        assert sample["buckets"] == [
+            [0.25, threads * per_thread // 2],
+            [0.75, threads * per_thread],
+        ]

@@ -37,6 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.filters import ServerConfigurationFilter
 from repro.core.enums import ServerConfiguration
+from repro.obs import MetricsRegistry
 from repro.synthetic.evolution import evolve_corpus
 
 #: The scope every delta touches (deltas are Debian-scoped, Windows-avoiding).
@@ -98,6 +99,12 @@ class SoakReport:
     observations: List[Observation]
     marks: List[DeltaMark]
     elapsed: float
+    #: The harness's own instrument registry (``soak_requests_total`` by
+    #: path/status, ``soak_request_seconds`` by path) -- the same
+    #: :class:`~repro.obs.metrics.MetricsRegistry` machinery the serving
+    #: stack exposes at ``/metrics``, so soak gates and production scrapes
+    #: read identically-shaped data.  ``None`` on hand-built reports.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def errors(self) -> List[Observation]:
@@ -260,6 +267,17 @@ def run_soak(
     observations: List[Observation] = []
     lock = threading.Lock()
     stop = threading.Event()
+    metrics = MetricsRegistry()
+    requests_total = metrics.counter(
+        "soak_requests_total",
+        "Soak reader requests, by path and response status.",
+        labels=("path", "status"),
+    )
+    request_seconds = metrics.histogram(
+        "soak_request_seconds",
+        "Soak reader request latency, by path.",
+        labels=("path",),
+    )
 
     def reader(reader_index: int, url: str) -> None:
         last_etags: Dict[str, Optional[str]] = {}
@@ -272,6 +290,8 @@ def run_soak(
             status, headers, body = _fetch(url, path, etag=presented)
             latency = time.perf_counter() - started
             snapshot_id, digest = _dataset_fields(body)
+            requests_total.inc(path=path, status=str(status))
+            request_seconds.observe(latency, path=path)
             etag = headers.get("ETag")
             if status == 200 and etag:
                 last_etags[path] = etag
@@ -355,4 +375,5 @@ def run_soak(
         observations=list(observations),
         marks=marks,
         elapsed=time.monotonic() - started,
+        metrics=metrics,
     )

@@ -62,7 +62,10 @@ def catalogue_cluster():
 
 class TestClusterLifecycle:
     def test_every_worker_reports_its_shard(self, catalogue_cluster):
-        payloads = catalogue_cluster.healthz()
+        records = catalogue_cluster.healthz()
+        assert all(r["ok"] for r in records)
+        assert all(r["error"] is None for r in records)
+        payloads = [r["payload"] for r in records]
         assert [p["shard"]["index"] for p in payloads] == [0, 1]
         assert all(p["shard"]["count"] == 2 for p in payloads)
         assert all(p["shard"]["peers"] == 2 for p in payloads)
@@ -161,11 +164,23 @@ class TestCrossWorkerInvalidation:
             )
             request = urllib.request.Request(
                 first + "/v1/ingest/delta", data=feed.read_bytes(),
-                headers={"Content-Type": "application/xml"}, method="POST",
+                headers={
+                    "Content-Type": "application/xml",
+                    "X-Repro-Trace": "cluster-delta-trace",
+                },
+                method="POST",
             )
             with urllib.request.urlopen(request, timeout=60) as response:
                 report = json.loads(response.read())
             assert report["modified"] > 0
+
+            # The traced ingest recorded both the apply and the broadcast.
+            with urllib.request.urlopen(
+                first + "/v1/traces?id=cluster-delta-trace", timeout=60
+            ) as response:
+                trace = json.loads(response.read())
+            span_names = {span["name"] for span in trace["spans"]}
+            assert {"ingest.apply", "ingest.broadcast"} <= span_names
 
             # Worker 1's scoped caches were invalidated by the broadcast
             # (eager), and its next read re-reads the shared ledger head
